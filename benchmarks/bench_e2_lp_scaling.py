@@ -1,0 +1,99 @@
+"""E2 — Section III-B / Section V: LP model size and solve time vs |S|.
+
+Verifies the paper's stated model statistics (2·|S|² − |S| variables,
+2·|S|² constraints), times the MILP across instance sizes, and checks
+agreement between the LP, exhaustive search, and branch-and-bound on every
+size where the exact baselines are tractable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import save_table
+
+from repro.ordering import (
+    BranchAndBoundOrderOptimizer,
+    BruteForceOrderOptimizer,
+    DependenceMatrix,
+    LPOrderOptimizer,
+    model_statistics,
+)
+
+SIZES = (2, 3, 4, 5, 6, 8, 10, 12)
+BF_LIMIT = 7
+BB_LIMIT = 9
+
+
+def synthetic_matrix(n: int, seed: int = 0) -> DependenceMatrix:
+    rng = np.random.default_rng(seed)
+    features = tuple(f"f{i}" for i in range(n))
+    w_empty = 100.0
+    w_single = {f: float(w_empty * rng.uniform(0.3, 0.95)) for f in features}
+    w_pair = {}
+    for a in features:
+        for b in features:
+            if a != b:
+                base = min(w_single[a], w_single[b])
+                w_pair[(a, b)] = float(base * rng.uniform(0.55, 1.0))
+    return DependenceMatrix(
+        features=features,
+        w_empty=w_empty,
+        w_single=w_single,
+        w_pair=w_pair,
+        tuning_cost_ms={f: 1.0 for f in features},
+    )
+
+
+def test_e2_lp_scaling(benchmark):
+    rows = []
+    for n in SIZES:
+        matrix = synthetic_matrix(n, seed=n)
+        n_vars, n_cons = model_statistics(n)
+        assert (n_vars, n_cons) == (2 * n * n - n, 2 * n * n)
+
+        lp = LPOrderOptimizer().optimize(matrix)
+        bf_seconds = ""
+        bb_seconds = ""
+        if n <= BF_LIMIT:
+            started = time.perf_counter()
+            bf = BruteForceOrderOptimizer().optimize(matrix)
+            bf_seconds = f"{time.perf_counter() - started:.3f}"
+            assert lp.objective == pytest.approx(bf.objective)
+        if n <= BB_LIMIT:
+            started = time.perf_counter()
+            bb = BranchAndBoundOrderOptimizer().optimize(matrix)
+            bb_seconds = f"{time.perf_counter() - started:.3f}"
+            assert lp.objective == pytest.approx(bb.objective)
+
+        rows.append(
+            [
+                n,
+                n_vars,
+                n_cons,
+                f"{lp.solve_seconds:.3f}",
+                bf_seconds or "-",
+                bb_seconds or "-",
+                round(lp.objective, 2),
+            ]
+        )
+    save_table(
+        "e2_lp_scaling",
+        [
+            "|S|",
+            "variables",
+            "constraints",
+            "lp_seconds",
+            "bruteforce_seconds",
+            "branchbound_seconds",
+            "objective",
+        ],
+        rows,
+        "E2: ordering-LP model size and solve time vs feature count",
+    )
+
+    # benchmark kernel: one mid-size solve
+    matrix = synthetic_matrix(8, seed=8)
+    benchmark(lambda: LPOrderOptimizer().optimize(matrix))

@@ -1,0 +1,77 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module reproduces one experiment from DESIGN.md's index
+(F1, E1..E9). Benchmarks print their experiment table and also persist it
+to ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can quote stable
+artifacts regardless of pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.forecasting.scenarios import (
+    EXPECTED_SCENARIO,
+    WORST_CASE_SCENARIO,
+    Forecast,
+    WorkloadScenario,
+)
+from repro.util.tables import render_table
+from repro.workload.benchmarks import BenchmarkSuite, build_retail_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(
+    experiment: str,
+    headers: list[str],
+    rows: list[list[object]],
+    title: str,
+) -> str:
+    """Render, print, and persist one experiment table."""
+    text = render_table(headers, rows, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def make_forecast(
+    suite: BenchmarkSuite,
+    frequency: float = 10.0,
+    worst_multiplier: float = 2.0,
+    families: list[str] | None = None,
+    rng_seed: int = 12345,
+) -> Forecast:
+    """Deterministic two-scenario forecast straight from the suite."""
+    rng = np.random.default_rng(rng_seed)
+    sample_queries = {}
+    frequencies = {}
+    for name, family in suite.families.items():
+        if families is not None and name not in families:
+            continue
+        query = family.sample(rng)
+        key = query.template().key
+        sample_queries[key] = query
+        frequencies[key] = frequency
+    worst = {key: value * worst_multiplier for key, value in frequencies.items()}
+    return Forecast(
+        scenarios=(
+            WorkloadScenario(EXPECTED_SCENARIO, 0.7, frequencies),
+            WorkloadScenario(WORST_CASE_SCENARIO, 0.3, worst),
+        ),
+        horizon_bins=4,
+        bin_duration_ms=60_000.0,
+        sample_queries=sample_queries,
+    )
+
+
+@pytest.fixture
+def fresh_suite():
+    """A function-scoped suite for benchmarks that mutate configuration."""
+    return build_retail_suite(
+        orders_rows=30_000, inventory_rows=8_000, chunk_size=8_192
+    )

@@ -1,0 +1,103 @@
+"""repro — a reproduction of "A Framework for Self-Managing Database
+Systems" (Kossmann & Schlosser, ICDE Workshops 2019).
+
+The package implements the paper's component-based self-management
+framework end to end, including every substrate it depends on:
+
+- :mod:`repro.dbms` — a Hyrise-like chunked, columnar, in-memory engine
+  with segment encodings, per-chunk indexes, storage tiers, knobs, a plan
+  cache, simulated timing, and a plugin host;
+- :mod:`repro.workload` — a SQL subset, query templates, workload
+  generators, and time-binned traces with drift injectors;
+- :mod:`repro.forecasting` — the Workload Predictor: plan-cache snapshots
+  → series → forecast models → multi-scenario forecasts;
+- :mod:`repro.cost` — logical, physical, and adaptive learned cost models
+  plus the what-if optimizer;
+- :mod:`repro.configuration` — configuration instances, deltas/actions,
+  constraints, and the instance store (feedback loop);
+- :mod:`repro.tuning` — the Tuner pipeline: enumerators, assessors,
+  selectors (greedy/optimal/genetic/robust), executors, and four feature
+  tuners (indexes, compression, placement, buffer pool);
+- :mod:`repro.ordering` — Section III: measured dependence ratios and the
+  integer LP that optimizes the multi-feature tuning order;
+- :mod:`repro.core` — the Driver, Organizer, triggers, event log, and the
+  closed-loop simulation harness.
+
+Quickstart::
+
+    from repro import Database, Driver, standard_features
+    from repro.workload import build_retail_suite
+
+    suite = build_retail_suite()
+    db = suite.database
+    driver = Driver(standard_features())
+    db.plugin_host.attach(driver)
+    # ... execute workload; the driver observes, forecasts, and tunes.
+"""
+
+from repro.configuration import (
+    ConfigurationDelta,
+    ConfigurationInstance,
+    ConstraintSet,
+    ResourceBudget,
+    SlaConstraint,
+)
+from repro.core import (
+    ClosedLoopSimulation,
+    Driver,
+    DriverConfig,
+    Organizer,
+    OrganizerConfig,
+)
+from repro.cost import (
+    LearnedCostModel,
+    LogicalCostModel,
+    PhysicalCostModel,
+    WhatIfOptimizer,
+)
+from repro.dbms import Database, DataType, EncodingType, StorageTier, TableSchema
+from repro.forecasting import Forecast, WorkloadAnalyzer, WorkloadPredictor
+from repro.ordering import (
+    DependenceAnalyzer,
+    LPOrderOptimizer,
+    RecursiveTuningPlanner,
+)
+from repro.tuning import Tuner
+from repro.tuning.features import standard_features
+from repro.workload import Predicate, Query, parse_sql
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ClosedLoopSimulation",
+    "ConfigurationDelta",
+    "ConfigurationInstance",
+    "ConstraintSet",
+    "DataType",
+    "Database",
+    "DependenceAnalyzer",
+    "Driver",
+    "DriverConfig",
+    "EncodingType",
+    "Forecast",
+    "LPOrderOptimizer",
+    "LearnedCostModel",
+    "LogicalCostModel",
+    "Organizer",
+    "OrganizerConfig",
+    "PhysicalCostModel",
+    "Predicate",
+    "Query",
+    "RecursiveTuningPlanner",
+    "ResourceBudget",
+    "SlaConstraint",
+    "StorageTier",
+    "TableSchema",
+    "Tuner",
+    "WhatIfOptimizer",
+    "WorkloadAnalyzer",
+    "WorkloadPredictor",
+    "__version__",
+    "parse_sql",
+    "standard_features",
+]

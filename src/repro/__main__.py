@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``        — package, component, and feature inventory;
+- ``simulate``    — run a closed-loop self-management simulation over the
+                    retail (or telemetry) workload and print per-bin stats
+                    plus the self-management log;
+- ``order``       — measure the feature dependence matrix on a fresh suite
+                    and print the LP-optimized tuning order;
+- ``components``  — list every registered exchangeable component.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    del args
+    from repro.core.component import default_registry
+
+    registry = default_registry()
+    print(f"repro {__version__} — reproduction of Kossmann & Schlosser, "
+          "'A Framework for Self-Managing Database Systems' (ICDEW 2019)")
+    print()
+    for kind in registry.kinds():
+        names = ", ".join(registry.names(kind))
+        print(f"  {kind:15s} {names}")
+    print()
+    print("suites: retail (orders+inventory), telemetry (readings)")
+    print("docs:   README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    from repro.core.component import default_registry
+
+    registry = default_registry()
+    kind = args.kind
+    kinds = [kind] if kind else registry.kinds()
+    for k in kinds:
+        for name in registry.names(k):
+            print(f"{k}\t{name}")
+    return 0
+
+
+def _build_suite(name: str, rows: int, seed: int):
+    from repro.workload import build_retail_suite, build_telemetry_suite
+
+    if name == "retail":
+        return build_retail_suite(
+            orders_rows=rows, inventory_rows=rows // 4, seed=seed
+        )
+    if name == "telemetry":
+        return build_telemetry_suite(rows=rows, seed=seed)
+    raise SystemExit(f"unknown suite {name!r} (retail | telemetry)")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import (
+        ClosedLoopSimulation,
+        ConstraintSet,
+        Driver,
+        DriverConfig,
+        OrganizerConfig,
+        ResourceBudget,
+    )
+    from repro.configuration import INDEX_MEMORY
+    from repro.core import EventKind, ForecastDriftTrigger, PeriodicTrigger
+    from repro.tuning import standard_features
+    from repro.util.units import MIB
+    from repro.workload import generate_trace
+
+    suite = _build_suite(args.suite, args.rows, args.seed)
+    db = suite.database
+    trace = generate_trace(
+        suite.families,
+        suite.rates,
+        args.bins,
+        bin_duration_ms=60_000,
+        seed=args.seed,
+    )
+    features = standard_features(include_sort_order=args.sort_order)
+    driver = Driver(
+        features[: args.features] if args.features else features,
+        constraints=ConstraintSet(
+            [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
+        ),
+        triggers=[
+            PeriodicTrigger(every_ms=args.tune_every_bins * 60_000),
+            ForecastDriftTrigger(relative_threshold=0.25),
+        ],
+        config=DriverConfig(
+            organizer=OrganizerConfig(
+                horizon_bins=4, min_history_bins=4, cooldown_ms=3 * 60_000
+            )
+        ),
+    )
+    db.plugin_host.attach(driver)
+
+    print(f"simulating {args.bins} bins of the {args.suite} workload "
+          f"({db.catalog.table_names()}, {args.rows} rows)")
+    print("bin  queries  mean_ms   tuned")
+    for record in ClosedLoopSimulation(db, trace, seed=args.seed).run():
+        marker = "  *" if record.reconfigured else ""
+        print(f"{record.index:3d}  {record.queries_executed:7d}  "
+              f"{record.mean_query_ms:8.4f}{marker}")
+
+    print("\nself-management log:")
+    for event in driver.events.events():
+        if event.kind in (EventKind.ORDER_PLANNED, EventKind.TUNING_FINISHED):
+            print(f"  [{event.at_ms / 60_000:5.1f} min] {event.message}")
+    print(f"\nindex memory: {db.index_bytes() / MIB:.2f} MiB; "
+          f"reconfigurations: {db.counters.reconfigurations}")
+    return 0
+
+
+def _cmd_order(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import ConstraintSet, RecursiveTuningPlanner, ResourceBudget, Tuner
+    from repro.configuration import INDEX_MEMORY
+    from repro.forecasting.scenarios import point_forecast
+    from repro.tuning import standard_features
+    from repro.util.tables import render_table
+    from repro.util.units import MIB
+
+    suite = _build_suite(args.suite, args.rows, args.seed)
+    db = suite.database
+    rng = np.random.default_rng(args.seed)
+    samples = {}
+    frequencies = {}
+    for family in suite.families.values():
+        query = family.sample(rng)
+        samples[query.template().key] = query
+        frequencies[query.template().key] = 10.0
+    forecast = point_forecast(frequencies, samples)
+
+    features = standard_features(include_sort_order=args.sort_order)
+    if args.features:
+        features = features[: args.features]
+    tuners = [Tuner(feature, db) for feature in features]
+    constraints = ConstraintSet(
+        [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
+    )
+    planner = RecursiveTuningPlanner(db, tuners, constraints)
+    print(f"measuring dependence matrix over {len(tuners)} features ...")
+    matrix, solution = planner.plan_order(forecast)
+    print(f"\nW_0 = {matrix.w_empty:.3f} ms\n")
+    print(render_table(
+        ["feature", "W_A_ms", "impact", "tuning_cost_ms"],
+        [[f, round(matrix.w_single[f], 3), round(matrix.impact(f), 3),
+          round(matrix.tuning_cost_ms[f], 2)] for f in matrix.features],
+    ))
+    print()
+    print(render_table(
+        ["A", "B", "d_AB", "tune first"],
+        [[a, b, round(matrix.d(a, b), 4),
+          a if matrix.d(a, b) > 1 else (b if matrix.d(a, b) < 1 else "-")]
+         for a in matrix.features for b in matrix.features if a < b],
+    ))
+    print(f"\nLP order ({solution.n_variables} vars, "
+          f"{solution.n_constraints} constraints, "
+          f"{solution.solve_seconds * 1e3:.1f} ms): "
+          f"{' -> '.join(solution.order)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Self-managing database framework (ICDEW'19 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="package inventory").set_defaults(
+        run=_cmd_info
+    )
+
+    components = commands.add_parser(
+        "components", help="list registered components"
+    )
+    components.add_argument("kind", nargs="?", default=None)
+    components.set_defaults(run=_cmd_components)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--suite", default="retail",
+                         choices=("retail", "telemetry"))
+        sub.add_argument("--rows", type=int, default=40_000)
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--features", type=int, default=0,
+                         help="use only the first N standard features")
+        sub.add_argument("--sort-order", action="store_true",
+                         help="include the sort-order feature")
+        sub.add_argument("--index-budget-mib", type=float, default=4.0)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a closed-loop self-management simulation"
+    )
+    common(simulate)
+    simulate.add_argument("--bins", type=int, default=24)
+    simulate.add_argument("--tune-every-bins", type=int, default=8)
+    simulate.set_defaults(run=_cmd_simulate)
+
+    order = commands.add_parser(
+        "order", help="measure dependencies and print the LP tuning order"
+    )
+    common(order)
+    order.set_defaults(run=_cmd_order)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,318 @@
+"""Configuration actions: the atomic steps that change a database's
+configuration instance.
+
+Every action supports three modes:
+
+- :meth:`Action.apply` — accounted application through the
+  :class:`~repro.dbms.database.Database` facade (advances the simulated
+  clock, counts as a reconfiguration, returns the one-time cost);
+- :meth:`Action.apply_raw` — *unaccounted* application used by the what-if
+  optimizer: mutates the physical structures directly and returns the
+  inverse actions needed to roll back;
+- :meth:`Action.estimate_cost_ms` — predicts the one-time cost without
+  applying anything (the "reconfiguration costs" of Section II-D.b).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.dbms.database import Database
+from repro.dbms.knobs import BUFFER_POOL_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier, migration_cost_ms
+
+
+class Action(ABC):
+    """One atomic configuration change."""
+
+    @abstractmethod
+    def apply(self, db: Database) -> float:
+        """Apply through the database facade; returns the one-time cost."""
+
+    @abstractmethod
+    def apply_raw(self, db: Database) -> list["Action"]:
+        """Apply without accounting; returns inverse actions (newest last)."""
+
+    @abstractmethod
+    def estimate_cost_ms(self, db: Database) -> float:
+        """Predicted one-time cost of applying this action now."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class CreateIndexAction(Action):
+    table: str
+    columns: tuple[str, ...]
+    #: None applies to all chunks
+    chunk_ids: tuple[int, ...] | None = None
+
+    def apply(self, db: Database) -> float:
+        return db.create_index(self.table, list(self.columns), self.chunk_ids)
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        table = db.table(self.table)
+        touched = table.create_index(list(self.columns), self.chunk_ids)
+        if not touched:
+            return []
+        return [
+            DropIndexAction(
+                self.table,
+                self.columns,
+                tuple(c.chunk_id for c in touched),
+            )
+        ]
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        table = db.table(self.table)
+        chunks = (
+            table.chunks()
+            if self.chunk_ids is None
+            else [table.chunk(cid) for cid in self.chunk_ids]
+        )
+        return sum(
+            db.hardware.index_build_ms(c.row_count, len(self.columns), c.tier)
+            for c in chunks
+            if not c.has_index(self.columns)
+        )
+
+    def describe(self) -> str:
+        scope = "all chunks" if self.chunk_ids is None else f"chunks {list(self.chunk_ids)}"
+        return f"CREATE INDEX ON {self.table}({', '.join(self.columns)}) [{scope}]"
+
+
+@dataclass(frozen=True)
+class DropIndexAction(Action):
+    table: str
+    columns: tuple[str, ...]
+    chunk_ids: tuple[int, ...] | None = None
+
+    def apply(self, db: Database) -> float:
+        return db.drop_index(self.table, list(self.columns), self.chunk_ids)
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        table = db.table(self.table)
+        touched = table.drop_index(list(self.columns), self.chunk_ids)
+        if not touched:
+            return []
+        return [
+            CreateIndexAction(
+                self.table,
+                self.columns,
+                tuple(c.chunk_id for c in touched),
+            )
+        ]
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        del db
+        return 0.02 * (len(self.chunk_ids) if self.chunk_ids else 1)
+
+    def describe(self) -> str:
+        scope = "all chunks" if self.chunk_ids is None else f"chunks {list(self.chunk_ids)}"
+        return f"DROP INDEX ON {self.table}({', '.join(self.columns)}) [{scope}]"
+
+
+@dataclass(frozen=True)
+class SetEncodingAction(Action):
+    table: str
+    column: str
+    encoding: EncodingType
+    chunk_ids: tuple[int, ...] | None = None
+
+    def apply(self, db: Database) -> float:
+        return db.set_encoding(
+            self.table, self.column, self.encoding, self.chunk_ids
+        )
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        table = db.table(self.table)
+        chunks = (
+            table.chunks()
+            if self.chunk_ids is None
+            else [table.chunk(cid) for cid in self.chunk_ids]
+        )
+        reverted: dict[EncodingType, list[int]] = {}
+        for chunk in chunks:
+            old = chunk.encoding_of(self.column)
+            if old is self.encoding:
+                continue
+            chunk.set_encoding(self.column, self.encoding)
+            db.executor.buffer_pool.invalidate((self.table, chunk.chunk_id))
+            reverted.setdefault(old, []).append(chunk.chunk_id)
+        return [
+            SetEncodingAction(self.table, self.column, old, tuple(ids))
+            for old, ids in reverted.items()
+        ]
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        table = db.table(self.table)
+        chunks = (
+            table.chunks()
+            if self.chunk_ids is None
+            else [table.chunk(cid) for cid in self.chunk_ids]
+        )
+        cost = 0.0
+        for chunk in chunks:
+            if chunk.encoding_of(self.column) is self.encoding:
+                continue
+            cost += db.hardware.encode_ms(chunk.row_count, self.encoding, chunk.tier)
+            for key in chunk.index_keys():
+                if self.column in key:
+                    cost += db.hardware.index_build_ms(
+                        chunk.row_count, len(key), chunk.tier
+                    )
+        return cost
+
+    def describe(self) -> str:
+        scope = "all chunks" if self.chunk_ids is None else f"chunks {list(self.chunk_ids)}"
+        return (
+            f"SET ENCODING {self.table}.{self.column} = "
+            f"{self.encoding.value} [{scope}]"
+        )
+
+
+@dataclass(frozen=True)
+class MoveChunkAction(Action):
+    table: str
+    chunk_id: int
+    tier: StorageTier
+
+    def apply(self, db: Database) -> float:
+        return db.move_chunk(self.table, self.chunk_id, self.tier)
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        chunk = db.table(self.table).chunk(self.chunk_id)
+        old = chunk.tier
+        if old is self.tier:
+            return []
+        chunk.tier = self.tier
+        db.executor.buffer_pool.invalidate((self.table, self.chunk_id))
+        return [MoveChunkAction(self.table, self.chunk_id, old)]
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        chunk = db.table(self.table).chunk(self.chunk_id)
+        return migration_cost_ms(chunk.memory_bytes(), chunk.tier, self.tier)
+
+    def describe(self) -> str:
+        return (
+            f"MOVE CHUNK {self.table}[{self.chunk_id}] -> {self.tier.value}"
+        )
+
+
+@dataclass(frozen=True)
+class SortChunkAction(Action):
+    """Physically sort chunks by one column (intra-chunk row reordering)."""
+
+    table: str
+    column: str
+    chunk_ids: tuple[int, ...] | None = None
+
+    def _chunks(self, db: Database):
+        table = db.table(self.table)
+        if self.chunk_ids is None:
+            return list(table.chunks())
+        return [table.chunk(cid) for cid in self.chunk_ids]
+
+    def apply(self, db: Database) -> float:
+        cost = 0.0
+        for chunk in self._chunks(db):
+            cost += db.sort_chunk(self.table, chunk.chunk_id, self.column)
+        return cost
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        inverse: list[Action] = []
+        for chunk in self._chunks(db):
+            if chunk.sort_column == self.column:
+                continue
+            previous_sort = chunk.sort_column
+            permutation, _rebuilt = chunk.sort_by(self.column)
+            db.executor.buffer_pool.invalidate((self.table, chunk.chunk_id))
+            inverse.append(
+                PermuteChunkAction(
+                    self.table, chunk.chunk_id, permutation, previous_sort
+                )
+            )
+        return inverse
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        table = db.table(self.table)
+        cost = 0.0
+        for chunk in self._chunks(db):
+            if chunk.sort_column == self.column:
+                continue
+            cost += db.hardware.sort_rows_ms(
+                chunk.row_count, len(table.schema.columns), chunk.tier
+            )
+            for key in chunk.index_keys():
+                cost += db.hardware.index_build_ms(
+                    chunk.row_count, len(key), chunk.tier
+                )
+        return cost
+
+    def describe(self) -> str:
+        scope = "all chunks" if self.chunk_ids is None else f"chunks {list(self.chunk_ids)}"
+        return f"SORT {self.table} BY {self.column} [{scope}]"
+
+
+@dataclass(eq=False)
+class PermuteChunkAction(Action):
+    """Restore a specific row order (the inverse of a raw sort).
+
+    Only produced as the rollback token of :meth:`SortChunkAction.apply_raw`
+    — it carries the concrete permutation, so it is process-local and not
+    part of any configuration instance.
+    """
+
+    table: str
+    chunk_id: int
+    permutation: object  # numpy array; eq=False keeps dataclass semantics sane
+    sort_column: str | None
+
+    def apply(self, db: Database) -> float:
+        self.apply_raw(db)
+        return db._record_reconfiguration(0.0)
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        chunk = db.table(self.table).chunk(self.chunk_id)
+        chunk.apply_permutation(self.permutation, self.sort_column)
+        db.executor.buffer_pool.invalidate((self.table, self.chunk_id))
+        return []  # rollback tokens are one-shot
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        del db
+        return 0.0
+
+    def describe(self) -> str:
+        return f"RESTORE ORDER {self.table}[{self.chunk_id}]"
+
+
+@dataclass(frozen=True)
+class SetKnobAction(Action):
+    name: str
+    value: float
+
+    def apply(self, db: Database) -> float:
+        return db.set_knob(self.name, self.value)
+
+    def apply_raw(self, db: Database) -> list[Action]:
+        old = db.knobs.get(self.name)
+        if old == self.value:
+            return []
+        db.knobs.set(self.name, self.value)
+        if self.name == BUFFER_POOL_KNOB:
+            db.executor.sync_buffer_pool()
+        return [SetKnobAction(self.name, old)]
+
+    def estimate_cost_ms(self, db: Database) -> float:
+        del db
+        return 0.05
+
+    def describe(self) -> str:
+        return f"SET KNOB {self.name} = {self.value}"

@@ -1,0 +1,38 @@
+"""The framework core: driver, organizer, triggers, events, simulation."""
+
+from repro.core.component import ComponentRegistry, default_registry
+from repro.core.driver import Driver, DriverConfig
+from repro.core.events import Event, EventKind, EventLog
+from repro.core.organizer import Organizer, OrganizerConfig, OrganizerRunReport
+from repro.core.simulation import BinRecord, ClosedLoopSimulation
+from repro.core.triggers import (
+    ForecastDriftTrigger,
+    NeverTrigger,
+    PeriodicTrigger,
+    SlaViolationTrigger,
+    TriggerContext,
+    TriggerDecision,
+    TuningTrigger,
+)
+
+__all__ = [
+    "BinRecord",
+    "ClosedLoopSimulation",
+    "ComponentRegistry",
+    "Driver",
+    "DriverConfig",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "ForecastDriftTrigger",
+    "NeverTrigger",
+    "Organizer",
+    "OrganizerConfig",
+    "OrganizerRunReport",
+    "PeriodicTrigger",
+    "SlaViolationTrigger",
+    "TriggerContext",
+    "TriggerDecision",
+    "TuningTrigger",
+    "default_registry",
+]

@@ -1,0 +1,101 @@
+"""Component registry: named, exchangeable framework components.
+
+The framework's central promise is that components "can be exchanged
+effortlessly" (Section II-A). The registry makes that concrete: selectors,
+forecast models, feature tuners, and triggers are registered under string
+names, so experiments can swap implementations by configuration instead of
+code changes — and user-defined components plug in the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ReproError
+
+
+class ComponentRegistry:
+    """kind → name → factory registry."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, dict[str, Callable[..., object]]] = {}
+
+    def register(
+        self, kind: str, name: str, factory: Callable[..., object]
+    ) -> None:
+        bucket = self._factories.setdefault(kind, {})
+        if name in bucket:
+            raise ReproError(f"{kind} component {name!r} already registered")
+        bucket[name] = factory
+
+    def create(self, kind: str, name: str, **kwargs: object) -> object:
+        try:
+            factory = self._factories[kind][name]
+        except KeyError:
+            raise ReproError(
+                f"unknown {kind} component {name!r}; "
+                f"known: {sorted(self._factories.get(kind, {}))}"
+            ) from None
+        return factory(**kwargs)
+
+    def names(self, kind: str) -> tuple[str, ...]:
+        return tuple(sorted(self._factories.get(kind, {})))
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+
+def default_registry() -> ComponentRegistry:
+    """A registry pre-populated with every built-in component."""
+    # imports are local so this module stays import-cycle free
+    from repro.forecasting.models import (
+        AutoRegressive,
+        HistoricalMean,
+        HoltLinear,
+        LinearTrend,
+        NaiveLastValue,
+        SeasonalNaive,
+        SimpleExponentialSmoothing,
+    )
+    from repro.tuning.features import (
+        BufferPoolFeature,
+        CompressionFeature,
+        DataPlacementFeature,
+        IndexSelectionFeature,
+        SortOrderFeature,
+    )
+    from repro.tuning.selectors import (
+        GeneticSelector,
+        GreedySelector,
+        OptimalSelector,
+        RobustSelector,
+    )
+
+    registry = ComponentRegistry()
+
+    registry.register("selector", "greedy", GreedySelector)
+    registry.register("selector", "optimal", OptimalSelector)
+    registry.register("selector", "genetic", GeneticSelector)
+    registry.register(
+        "selector",
+        "robust",
+        lambda base=None, **kw: RobustSelector(base or GreedySelector(), **kw),
+    )
+
+    registry.register("forecast_model", "naive-last", NaiveLastValue)
+    registry.register("forecast_model", "historical-mean", HistoricalMean)
+    registry.register(
+        "forecast_model", "seasonal-naive", lambda period=24: SeasonalNaive(period)
+    )
+    registry.register("forecast_model", "linear-trend", LinearTrend)
+    registry.register("forecast_model", "ses", SimpleExponentialSmoothing)
+    registry.register("forecast_model", "holt", HoltLinear)
+    registry.register("forecast_model", "ar", AutoRegressive)
+
+    registry.register("feature", "index_selection", IndexSelectionFeature)
+    registry.register("feature", "compression", CompressionFeature)
+    registry.register("feature", "data_placement", DataPlacementFeature)
+    registry.register("feature", "buffer_pool", BufferPoolFeature)
+    registry.register("feature", "sort_order", SortOrderFeature)
+
+    return registry

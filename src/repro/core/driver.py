@@ -1,0 +1,176 @@
+"""The Driver: the framework's top-level facade, attached as a plugin.
+
+"The driver is the central entity encapsulating all the other components
+that are responsible for adding self-management capabilities" (Section
+II-A). Following the paper's implementation strategy (Section II-B), the
+driver integrates through the database's plugin infrastructure: it gets
+direct access to internals without the core knowing about self-management,
+and detaching it leaves the database fully functional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configuration.constraints import ConstraintSet
+from repro.configuration.store import ConfigurationInstanceStorage
+from repro.core.events import EventKind, EventLog
+from repro.core.organizer import Organizer, OrganizerConfig, OrganizerRunReport
+from repro.core.triggers import TuningTrigger
+from repro.cost.calibration import run_design_exploration
+from repro.cost.maintenance import AdaptiveCostMaintenancePlugin
+from repro.cost.what_if import WhatIfOptimizer
+from repro.dbms.database import Database
+from repro.dbms.plugin import Plugin
+from repro.errors import PluginError
+from repro.forecasting.analyzer import AnalyzerConfig, WorkloadAnalyzer
+from repro.forecasting.models.ensemble import ModelFactory
+from repro.forecasting.models.seasonal import SeasonalNaive
+from repro.forecasting.predictor import WorkloadPredictor
+from repro.kpi.monitor import RuntimeKPIMonitor
+from repro.tuning.features.base import FeatureTuner
+from repro.tuning.selectors.base import Selector
+from repro.tuning.tuner import Tuner
+
+
+@dataclass
+class DriverConfig:
+    """Construction parameters of the driver and its components."""
+
+    #: duration of one observation bin (predictor time resolution)
+    bin_duration_ms: float = 60_000.0
+    #: evaluate triggers every N ticks (observation happens every tick)
+    check_every_ticks: int = 1
+    organizer: OrganizerConfig = field(default_factory=OrganizerConfig)
+    analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+    #: seasonal period (bins) for the default forecast model
+    default_seasonal_period: int = 24
+    #: price candidates with a continuously-maintained learned cost model
+    #: instead of measured what-if execution (the low-overhead production
+    #: mode of §II-A.d / §V); runs startup calibration on attach
+    fast_assessment: bool = False
+
+
+class Driver(Plugin):
+    """Encapsulates predictor, tuners, and organizer; attaches as a plugin."""
+
+    def __init__(
+        self,
+        features: list[FeatureTuner],
+        constraints: ConstraintSet | None = None,
+        model_factory: ModelFactory | None = None,
+        selector: Selector | None = None,
+        triggers: list[TuningTrigger] | None = None,
+        config: DriverConfig | None = None,
+        reconfiguration_weight: float = 0.0,
+    ) -> None:
+        if not features:
+            raise PluginError("the driver needs at least one feature tuner")
+        self._features = features
+        self._constraints = constraints or ConstraintSet()
+        self._config = config or DriverConfig()
+        self._model_factory = model_factory or (
+            lambda: SeasonalNaive(self._config.default_seasonal_period)
+        )
+        self._selector = selector
+        self._triggers = triggers
+        self._reconfiguration_weight = reconfiguration_weight
+        self._db: Database | None = None
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    # plugin lifecycle
+
+    @property
+    def name(self) -> str:
+        return "self-driving"
+
+    def on_attach(self, database: Database) -> None:
+        self._db = database
+        self.events = EventLog()
+        self.store = ConfigurationInstanceStorage()
+        self.monitor = RuntimeKPIMonitor(database)
+        analyzer = WorkloadAnalyzer(self._model_factory, self._config.analyzer)
+        self.predictor = WorkloadPredictor(
+            database, analyzer, bin_duration_ms=self._config.bin_duration_ms
+        )
+        self.cost_maintenance: AdaptiveCostMaintenancePlugin | None = None
+        if self._config.fast_assessment:
+            # the driver owns the maintenance plugin directly (composition,
+            # not host registration) and ticks it from its own loop
+            self.cost_maintenance = AdaptiveCostMaintenancePlugin()
+            self.cost_maintenance.on_attach(database)
+            run_design_exploration(database, self.cost_maintenance.model)
+        self.tuners = []
+        for feature in self._features:
+            assessor = None
+            if self.cost_maintenance is not None:
+                assessor = feature.make_fast_assessor(
+                    database, self.cost_maintenance.model
+                )
+            self.tuners.append(
+                Tuner(
+                    feature,
+                    database,
+                    assessor=assessor,
+                    selector=self._selector,
+                    reconfiguration_weight=self._reconfiguration_weight,
+                )
+            )
+        self.optimizer = WhatIfOptimizer(database)
+        self.organizer = Organizer(
+            database,
+            self.predictor,
+            self.tuners,
+            constraints=self._constraints,
+            monitor=self.monitor,
+            store=self.store,
+            events=self.events,
+            triggers=self._triggers,
+            config=self._config.organizer,
+            optimizer=self.optimizer,
+        )
+        self.events.log(
+            database.clock.now_ms,
+            EventKind.OBSERVE,
+            f"driver attached with features "
+            f"{[f.name for f in self._features]}",
+        )
+
+    def on_detach(self) -> None:
+        # configuration changes persist; only the loop stops
+        if self._db is not None:
+            self.events.log(
+                self._db.clock.now_ms, EventKind.OBSERVE, "driver detached"
+            )
+        self._db = None
+
+    # ------------------------------------------------------------------
+    # the self-management loop
+
+    @property
+    def database(self) -> Database:
+        if self._db is None:
+            raise PluginError("driver is not attached to a database")
+        return self._db
+
+    def on_tick(self, now_ms: float) -> None:
+        """One loop iteration: observe, monitor, maybe tune."""
+        db = self.database
+        self.predictor.observe()
+        self.monitor.sample()
+        if self.cost_maintenance is not None:
+            self.cost_maintenance.on_tick(now_ms)
+        self._ticks += 1
+        if self._ticks % self._config.check_every_ticks == 0:
+            report = self.organizer.tick()
+            if report is not None:
+                self.events.log(
+                    db.clock.now_ms,
+                    EventKind.APPLY,
+                    f"applied tuning pass over {report.order}",
+                )
+
+    def tune_now(self) -> OrganizerRunReport:
+        """Force a tuning pass immediately (manual mode)."""
+        return self.organizer.run_tuning()

@@ -1,0 +1,66 @@
+"""Event log of self-management decisions and actions.
+
+Everything the driver and organizer do is recorded here, so experiments can
+explain *why* a configuration changed (which trigger fired, what was
+forecast, what was applied) — the observability layer a self-managing
+system needs to be debuggable.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    OBSERVE = "observe"
+    TRIGGER = "trigger"
+    SKIP = "skip"
+    TUNING_STARTED = "tuning_started"
+    TUNING_FINISHED = "tuning_finished"
+    ORDER_PLANNED = "order_planned"
+    APPLY = "apply"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One logged self-management event."""
+
+    at_ms: float
+    kind: EventKind
+    message: str
+    data: dict[str, object] = field(default_factory=dict)
+
+
+class EventLog:
+    """Bounded in-memory event history."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._events: deque[Event] = deque(maxlen=capacity)
+
+    def log(
+        self,
+        at_ms: float,
+        kind: EventKind,
+        message: str,
+        **data: object,
+    ) -> Event:
+        event = Event(at_ms=at_ms, kind=kind, message=message, data=data)
+        self._events.append(event)
+        return event
+
+    def events(self, kind: EventKind | None = None) -> tuple[Event, ...]:
+        if kind is None:
+            return tuple(self._events)
+        return tuple(e for e in self._events if e.kind is kind)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def latest(self, kind: EventKind | None = None) -> Event | None:
+        events = self.events(kind)
+        return events[-1] if events else None

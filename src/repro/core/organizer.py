@@ -1,0 +1,293 @@
+"""The Organizer (Section II-E).
+
+Orchestrates the self-management loop: evaluates triggers against KPIs and
+forecasts, gates expensive tunings to idle windows, decides the tuning
+order for multiple features (Section III, cached and refreshed
+periodically), optionally restricts tuning to the features with the best
+impact per cost, runs the recursive tuning, and stores the resulting
+configuration instance with its predicted and measured benefit — closing
+the feedback loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.configuration.config import ConfigurationInstance
+from repro.configuration.constraints import ConstraintSet
+from repro.configuration.store import (
+    ConfigurationInstanceStorage,
+    ConfigurationRecord,
+)
+from repro.cost.what_if import WhatIfOptimizer
+from repro.core.events import EventKind, EventLog
+from repro.core.triggers import (
+    ForecastDriftTrigger,
+    SlaViolationTrigger,
+    TriggerContext,
+    TriggerDecision,
+    TuningTrigger,
+)
+from repro.dbms.database import Database
+from repro.forecasting.predictor import WorkloadPredictor
+from repro.kpi.monitor import RuntimeKPIMonitor
+from repro.ordering.heuristics import top_features_by_impact_per_cost
+from repro.ordering.lp import LPOrderOptimizer
+from repro.ordering.recursive import (
+    RecursiveTuningPlanner,
+    RecursiveTuningReport,
+)
+from repro.tuning.executors.base import TuningExecutor
+from repro.tuning.tuner import Tuner
+
+
+@dataclass(frozen=True)
+class OrganizerConfig:
+    """Policy parameters of the organizer."""
+
+    #: forecast horizon, in observation bins
+    horizon_bins: int = 6
+    #: bins of history required before any tuning
+    min_history_bins: int = 4
+    #: re-measure dependencies and re-solve the ordering LP every N runs
+    order_refresh_every: int = 5
+    #: simulated ms that must pass between autonomous tuning runs
+    cooldown_ms: float = 0.0
+    #: defer non-urgent tunings until a low-utilization window
+    require_idle: bool = False
+    idle_utilization_threshold: float = 0.5
+    #: skip applying a pass whose predicted benefit is below this
+    min_predicted_benefit_ms: float = 0.0
+    #: when set, tune only the features whose single-tuning one-time costs
+    #: fit this budget, ranked by impact per cost (Section III-A)
+    tuning_time_budget_ms: float | None = None
+
+
+@dataclass
+class OrganizerRunReport:
+    """What one organizer-initiated tuning pass did."""
+
+    decision: TriggerDecision
+    order: tuple[str, ...]
+    tuning: RecursiveTuningReport
+    record_id: int | None = None
+    tuned_features: tuple[str, ...] = ()
+    skipped_features: tuple[str, ...] = field(default_factory=tuple)
+
+
+class Organizer:
+    """Orchestrates triggers, ordering, recursive tuning, and feedback."""
+
+    def __init__(
+        self,
+        db: Database,
+        predictor: WorkloadPredictor,
+        tuners: list[Tuner],
+        constraints: ConstraintSet | None = None,
+        monitor: RuntimeKPIMonitor | None = None,
+        store: ConfigurationInstanceStorage | None = None,
+        events: EventLog | None = None,
+        triggers: list[TuningTrigger] | None = None,
+        config: OrganizerConfig | None = None,
+        optimizer: WhatIfOptimizer | None = None,
+        executor: TuningExecutor | None = None,
+    ) -> None:
+        self._db = db
+        self._predictor = predictor
+        self._tuners = tuners
+        self._constraints = constraints or ConstraintSet()
+        self._monitor = monitor if monitor is not None else RuntimeKPIMonitor(db)
+        # explicit None checks: EventLog and the instance storage define
+        # __len__, so freshly created (empty) ones are falsy
+        self._store = store if store is not None else ConfigurationInstanceStorage()
+        self._events = events if events is not None else EventLog()
+        self._triggers = triggers or [
+            SlaViolationTrigger(),
+            ForecastDriftTrigger(),
+        ]
+        self._config = config or OrganizerConfig()
+        self._optimizer = optimizer or WhatIfOptimizer(db)
+        self._executor = executor
+        self._planner = RecursiveTuningPlanner(
+            db,
+            tuners,
+            self._constraints,
+            order_optimizer=LPOrderOptimizer(),
+            optimizer=self._optimizer,
+        )
+        self._last_tuning_ms: float | None = None
+        self._cached_order: tuple[str, ...] | None = None
+        self._runs_since_refresh = 0
+        self._last_matrix = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> EventLog:
+        return self._events
+
+    @property
+    def store(self) -> ConfigurationInstanceStorage:
+        return self._store
+
+    @property
+    def monitor(self) -> RuntimeKPIMonitor:
+        return self._monitor
+
+    @property
+    def last_tuning_ms(self) -> float | None:
+        return self._last_tuning_ms
+
+    @property
+    def cached_order(self) -> tuple[str, ...] | None:
+        return self._cached_order
+
+    def _context(self) -> TriggerContext:
+        return TriggerContext(
+            predictor=self._predictor,
+            monitor=self._monitor,
+            optimizer=self._optimizer,
+            constraints=self._constraints,
+            now_ms=self._db.clock.now_ms,
+            horizon_bins=self._config.horizon_bins,
+            last_tuning_ms=self._last_tuning_ms,
+        )
+
+    def evaluate_triggers(self) -> TriggerDecision:
+        """First firing trigger wins; otherwise the last negative decision."""
+        context = self._context()
+        decision = TriggerDecision(False, "none", "no triggers configured")
+        for trigger in self._triggers:
+            decision = trigger.evaluate(context)
+            if decision.should_tune:
+                return decision
+        return decision
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> OrganizerRunReport | None:
+        """One organizer step: decide, gate, and possibly tune."""
+        now = self._db.clock.now_ms
+        config = self._config
+        if not self._predictor.has_enough_history(config.min_history_bins):
+            return None
+        if (
+            self._last_tuning_ms is not None
+            and now - self._last_tuning_ms < config.cooldown_ms
+        ):
+            return None
+        decision = self.evaluate_triggers()
+        self._events.log(
+            now,
+            EventKind.TRIGGER,
+            f"{decision.trigger}: {decision.reason}",
+            should_tune=decision.should_tune,
+            **decision.details,
+        )
+        if not decision.should_tune:
+            return None
+        urgent = decision.trigger == SlaViolationTrigger.name
+        if config.require_idle and not urgent:
+            if not self._monitor.is_idle(config.idle_utilization_threshold):
+                self._events.log(
+                    now,
+                    EventKind.SKIP,
+                    "tuning deferred: waiting for a low-utilization window",
+                )
+                return None
+        return self.run_tuning(decision)
+
+    def _feature_subset(self, order: tuple[str, ...]) -> tuple[str, ...]:
+        budget = self._config.tuning_time_budget_ms
+        if budget is None or self._last_matrix is None:
+            return order
+        allowed = set(
+            top_features_by_impact_per_cost(self._last_matrix, budget)
+        )
+        return tuple(name for name in order if name in allowed)
+
+    def run_tuning(
+        self, decision: TriggerDecision | None = None
+    ) -> OrganizerRunReport:
+        """Run one full tuning pass (also callable manually)."""
+        now = self._db.clock.now_ms
+        decision = decision or TriggerDecision(True, "manual", "manual request")
+        forecast = self._predictor.forecast(self._config.horizon_bins)
+        self._events.log(
+            now,
+            EventKind.TUNING_STARTED,
+            f"tuning pass triggered by {decision.trigger}",
+        )
+
+        refresh = (
+            self._cached_order is None
+            or self._runs_since_refresh >= self._config.order_refresh_every
+        )
+        if refresh and len(self._tuners) >= 2:
+            matrix, solution = self._planner.plan_order(forecast)
+            self._cached_order = solution.order
+            self._last_matrix = matrix
+            self._runs_since_refresh = 0
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.ORDER_PLANNED,
+                f"tuning order: {' -> '.join(solution.order)}",
+                objective=solution.objective,
+                solve_seconds=solution.solve_seconds,
+            )
+        order = self._cached_order or self._planner.feature_names
+        subset = self._feature_subset(order)
+        skipped = tuple(name for name in order if name not in subset)
+        self._runs_since_refresh += 1
+
+        report = self._planner.run(forecast, order=subset, executor=self._executor)
+        self._last_tuning_ms = self._db.clock.now_ms
+
+        predicted = sum(r.result.predicted_benefit_ms for r in report.runs)
+        measured = report.initial_cost_ms - report.final_cost_ms
+        record = ConfigurationRecord(
+            instance=ConfigurationInstance.capture(self._db),
+            applied_at_ms=self._db.clock.now_ms,
+            trigger=decision.trigger,
+            feature=None,
+            action_summaries=[
+                summary
+                for r in report.runs
+                for summary in r.report.action_summaries
+            ],
+            predicted_benefit_ms=predicted,
+            reconfiguration_cost_ms=report.total_reconfiguration_ms,
+            measured_benefit_ms=measured,
+        )
+        record_id = self._store.append(record)
+        # also store one record per feature so per-feature feedback learning
+        # (LearnedFeedbackAssessor) has training pairs
+        for r in report.runs:
+            self._store.append(
+                ConfigurationRecord(
+                    instance=record.instance,
+                    applied_at_ms=record.applied_at_ms,
+                    trigger=decision.trigger,
+                    feature=r.feature,
+                    action_summaries=list(r.report.action_summaries),
+                    predicted_benefit_ms=r.result.predicted_benefit_ms,
+                    reconfiguration_cost_ms=r.report.total_work_ms,
+                    measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
+                )
+            )
+        self._events.log(
+            self._db.clock.now_ms,
+            EventKind.TUNING_FINISHED,
+            f"workload cost {report.initial_cost_ms:.2f} -> "
+            f"{report.final_cost_ms:.2f} ms",
+            improvement=report.improvement,
+            reconfiguration_ms=report.total_reconfiguration_ms,
+        )
+        return OrganizerRunReport(
+            decision=decision,
+            order=subset,
+            tuning=report,
+            record_id=record_id,
+            tuned_features=subset,
+            skipped_features=skipped,
+        )

@@ -1,0 +1,85 @@
+"""Closed-loop simulation: replay a workload trace against a live database
+with the self-management loop ticking at bin boundaries.
+
+This is the harness behind the end-to-end experiments (F1, E4, E6, E8):
+trace bins drive query executions, the simulated clock idles through the
+rest of each bin, and attached plugins (the driver) get their tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.database import Database
+from repro.util.rng import derive_rng
+from repro.workload.trace import WorkloadTrace
+
+
+@dataclass
+class BinRecord:
+    """Measured outcome of one replayed trace bin."""
+
+    index: int
+    queries_executed: int
+    workload_ms: float
+    reconfiguration_ms: float
+    mean_query_ms: float
+    now_ms: float
+    #: whether any reconfiguration happened in this bin
+    reconfigured: bool = False
+
+
+class ClosedLoopSimulation:
+    """Replays a trace, bin by bin, ticking plugins at bin boundaries."""
+
+    def __init__(self, db: Database, trace: WorkloadTrace, seed: int = 0) -> None:
+        self._db = db
+        self._trace = trace
+        self._seed = seed
+
+    def run_bin(self, bin_index: int) -> BinRecord:
+        """Execute the queries of one bin and tick the plugin host."""
+        db = self._db
+        trace_bin = self._trace.bins[bin_index]
+        rng = derive_rng(self._seed, f"sim-bin-{trace_bin.index}")
+        families = self._trace.families
+
+        # interleave families fairly: expand, then shuffle
+        schedule: list[str] = []
+        for name, count in trace_bin.counts.items():
+            schedule.extend([name] * count)
+        rng.shuffle(schedule)
+
+        start_queries = db.counters.queries_executed
+        start_query_ms = db.counters.total_query_ms
+        start_reconf_ms = db.counters.total_reconfiguration_ms
+        bin_started = db.clock.now_ms
+
+        for name in schedule:
+            query = families[name].sample(rng)
+            db.execute(query)
+
+        # idle through the remainder of the bin
+        busy = db.clock.now_ms - bin_started
+        if busy < trace_bin.duration_ms:
+            db.clock.advance(trace_bin.duration_ms - busy)
+
+        db.plugin_host.tick(db.clock.now_ms)
+
+        queries = db.counters.queries_executed - start_queries
+        workload_ms = db.counters.total_query_ms - start_query_ms
+        reconf_ms = db.counters.total_reconfiguration_ms - start_reconf_ms
+        return BinRecord(
+            index=trace_bin.index,
+            queries_executed=queries,
+            workload_ms=workload_ms,
+            reconfiguration_ms=reconf_ms,
+            mean_query_ms=workload_ms / queries if queries else 0.0,
+            now_ms=db.clock.now_ms,
+            reconfigured=reconf_ms > 0,
+        )
+
+    def run(self, start: int = 0, stop: int | None = None) -> list[BinRecord]:
+        """Replay bins ``[start, stop)``; returns one record per bin."""
+        stop = len(self._trace) if stop is None else stop
+        return [self.run_bin(i) for i in range(start, stop)]

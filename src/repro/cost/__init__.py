@@ -1,0 +1,39 @@
+"""Cost estimators: logical, physical, learned, and the what-if optimizer."""
+
+from repro.cost.base import CostEstimator
+from repro.cost.calibration import (
+    calibration_queries,
+    run_design_exploration,
+    run_startup_calibration,
+)
+from repro.cost.learned import LearnedCostModel
+from repro.cost.logical import LogicalCostModel
+from repro.cost.maintenance import AdaptiveCostMaintenancePlugin
+from repro.cost.physical import PhysicalCostModel
+from repro.cost.what_if import WhatIfOptimizer
+from repro.cost.workload_cost import (
+    QueryCostFn,
+    estimator_cost_fn,
+    expected_cost_ms,
+    forecast_costs,
+    scenario_cost_ms,
+    worst_scenario_cost_ms,
+)
+
+__all__ = [
+    "AdaptiveCostMaintenancePlugin",
+    "CostEstimator",
+    "LearnedCostModel",
+    "LogicalCostModel",
+    "PhysicalCostModel",
+    "QueryCostFn",
+    "WhatIfOptimizer",
+    "calibration_queries",
+    "estimator_cost_fn",
+    "expected_cost_ms",
+    "forecast_costs",
+    "run_design_exploration",
+    "run_startup_calibration",
+    "scenario_cost_ms",
+    "worst_scenario_cost_ms",
+]

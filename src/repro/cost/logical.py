@@ -1,0 +1,48 @@
+"""The simple logical cost model.
+
+It knows row counts and statistics-based selectivities but is blind to
+encodings, indexes, tiers, and knobs — the model class the paper argues is
+"not capable of representing the interplay of, e.g., data types, encodings,
+and coprocessors". It exists as the fast-and-crude assessor option and as
+the baseline the calibration experiment compares learned models against.
+"""
+
+from __future__ import annotations
+
+from repro.cost.base import CostEstimator
+from repro.dbms.database import Database
+from repro.workload.query import Query
+
+#: assumed time per row visited / produced, in milliseconds
+_MS_PER_ROW_SCANNED = 1.0e-6
+_MS_PER_ROW_OUTPUT = 0.5e-6
+_FIXED_OVERHEAD_MS = 0.002
+
+
+class LogicalCostModel(CostEstimator):
+    """Selectivity × row-count estimation, physical-design-agnostic."""
+
+    name = "logical"
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+
+    def estimate_query_ms(self, query: Query) -> float:
+        table = self._db.table(query.table)
+        rows = table.row_count
+        # Every conjunct is assumed to scan the rows surviving its
+        # predecessors (independence assumption).
+        live = float(rows)
+        scanned = 0.0
+        for predicate in query.predicates:
+            scanned += live
+            stats = table.statistics(predicate.column)
+            live *= stats.selectivity(predicate.op, predicate.value)
+        if not query.predicates:
+            scanned = float(rows)
+        matched = live
+        return (
+            _FIXED_OVERHEAD_MS
+            + scanned * _MS_PER_ROW_SCANNED
+            + matched * _MS_PER_ROW_OUTPUT
+        )

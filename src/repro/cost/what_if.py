@@ -1,0 +1,105 @@
+"""The what-if optimizer: costs under hypothetical configurations.
+
+Classic what-if optimization [Chaudhuri & Narasayya, VLDB'97] prices a
+query as if a candidate structure existed. Here the hypothetical
+configuration is *actually built* (cheaply, in the simulator) through the
+raw/unaccounted action path, costs are taken with zero side effects
+(probe-mode execution or an analytic estimator), and the inverse delta
+restores the previous state — the simulated clock, counters, plan cache,
+and buffer pool never notice.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.configuration.delta import ConfigurationDelta
+from repro.cost.base import CostEstimator
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.workload.query import Query
+
+
+class WhatIfOptimizer:
+    """Prices queries and workloads under hypothetical configurations."""
+
+    def __init__(
+        self, database: Database, estimator: CostEstimator | None = None
+    ) -> None:
+        """With ``estimator=None`` costs are *measured* by probe-mode
+        execution against real data (exact in the simulator); otherwise the
+        given analytic estimator prices queries (faster, approximate)."""
+        self._db = database
+        self._estimator = estimator
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    @property
+    def is_measured(self) -> bool:
+        """True when costs come from probe-mode execution, not a model."""
+        return self._estimator is None
+
+    def query_cost_ms(self, query: Query) -> float:
+        if self._estimator is not None:
+            return self._estimator.estimate_query_ms(query)
+        table = self._db.table(query.table)
+        result = self._db.executor.execute(query, table, probe=True)
+        return result.report.elapsed_ms
+
+    def scenario_cost_ms(
+        self, scenario: WorkloadScenario, sample_queries: dict[str, Query]
+    ) -> float:
+        """Frequency-weighted workload cost of one scenario."""
+        total = 0.0
+        for key, frequency in scenario.frequencies.items():
+            if frequency <= 0:
+                continue
+            query = sample_queries.get(key)
+            if query is None:
+                continue
+            total += frequency * self.query_cost_ms(query)
+        return total
+
+    def forecast_costs(self, forecast: Forecast) -> dict[str, float]:
+        """Workload cost per scenario of the forecast."""
+        return {
+            scenario.name: self.scenario_cost_ms(
+                scenario, dict(forecast.sample_queries)
+            )
+            for scenario in forecast.scenarios
+        }
+
+    def expected_forecast_cost(self, forecast: Forecast) -> float:
+        """Probability-weighted cost across all scenarios."""
+        costs = self.forecast_costs(forecast)
+        return sum(
+            scenario.probability * costs[scenario.name]
+            for scenario in forecast.scenarios
+        )
+
+    # ------------------------------------------------------------------
+    # hypothetical configurations
+
+    @contextmanager
+    def hypothetical(
+        self, delta: ConfigurationDelta
+    ) -> Iterator["WhatIfOptimizer"]:
+        """Apply ``delta`` raw, yield, then roll back. Nestable."""
+        inverse = delta.apply_raw(self._db)
+        try:
+            yield self
+        finally:
+            inverse.apply_raw(self._db)
+
+    def cost_with(
+        self,
+        delta: ConfigurationDelta,
+        scenario: WorkloadScenario,
+        sample_queries: dict[str, Query],
+    ) -> float:
+        """Scenario cost as if ``delta`` were applied."""
+        with self.hypothetical(delta):
+            return self.scenario_cost_ms(scenario, sample_queries)

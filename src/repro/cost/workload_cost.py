@@ -1,0 +1,59 @@
+"""Workload-level cost aggregation helpers.
+
+These small functions implement the quantities Section III computes with:
+``W_∅`` (workload cost without optimization), ``W_A`` (after tuning feature
+A), robust cost summaries across scenarios, and the per-query adapter that
+lets any pricing callable be used uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.cost.base import CostEstimator
+from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.workload.query import Query
+
+#: Anything that prices one query in simulated milliseconds.
+QueryCostFn = Callable[[Query], float]
+
+
+def estimator_cost_fn(estimator: CostEstimator) -> QueryCostFn:
+    return estimator.estimate_query_ms
+
+
+def scenario_cost_ms(
+    cost_fn: QueryCostFn,
+    scenario: WorkloadScenario,
+    sample_queries: Mapping[str, Query],
+) -> float:
+    """Frequency-weighted cost of one scenario."""
+    total = 0.0
+    for key, frequency in scenario.frequencies.items():
+        query = sample_queries.get(key)
+        if query is None or frequency <= 0:
+            continue
+        total += frequency * cost_fn(query)
+    return total
+
+
+def forecast_costs(cost_fn: QueryCostFn, forecast: Forecast) -> dict[str, float]:
+    """Scenario name → workload cost for every scenario of a forecast."""
+    return {
+        scenario.name: scenario_cost_ms(
+            cost_fn, scenario, forecast.sample_queries
+        )
+        for scenario in forecast.scenarios
+    }
+
+
+def expected_cost_ms(cost_fn: QueryCostFn, forecast: Forecast) -> float:
+    """Probability-weighted cost over all scenarios."""
+    costs = forecast_costs(cost_fn, forecast)
+    return sum(s.probability * costs[s.name] for s in forecast.scenarios)
+
+
+def worst_scenario_cost_ms(cost_fn: QueryCostFn, forecast: Forecast) -> float:
+    """The maximum scenario cost (robust worst-case criterion)."""
+    costs = forecast_costs(cost_fn, forecast)
+    return max(costs.values())

@@ -1,0 +1,67 @@
+"""The DBMS substrate: a Hyrise-like chunked, columnar, in-memory engine.
+
+This package is everything "below" the self-management framework: tables
+split into chunks, segment encodings, per-chunk indexes, storage tiers,
+knobs, a query executor with simulated timing, a plan cache, and the plugin
+host the framework integrates through.
+"""
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.chunk import Chunk
+from repro.dbms.database import Database
+from repro.dbms.executor import BufferPool, ExecutionReport, QueryExecutor, QueryResult
+from repro.dbms.hardware import DEFAULT_HARDWARE, HardwareProfile
+from repro.dbms.index import SortedCompositeIndex
+from repro.dbms.knobs import (
+    BUFFER_POOL_KNOB,
+    SCAN_THREADS_KNOB,
+    Knob,
+    KnobRegistry,
+    standard_knobs,
+)
+from repro.dbms.plan_cache import PlanCacheEntry, QueryPlanCache
+from repro.dbms.plugin import Plugin, PluginHost
+from repro.dbms.schema import ColumnDefinition, TableSchema
+from repro.dbms.segments import (
+    EncodingType,
+    Segment,
+    encode_segment,
+    supported_encodings,
+)
+from repro.dbms.statistics import ColumnStatistics
+from repro.dbms.storage_tiers import StorageTier, migration_cost_ms
+from repro.dbms.table import Table
+from repro.dbms.types import DataType
+
+__all__ = [
+    "BUFFER_POOL_KNOB",
+    "BufferPool",
+    "Catalog",
+    "Chunk",
+    "ColumnDefinition",
+    "ColumnStatistics",
+    "DEFAULT_HARDWARE",
+    "Database",
+    "DataType",
+    "EncodingType",
+    "ExecutionReport",
+    "HardwareProfile",
+    "Knob",
+    "KnobRegistry",
+    "PlanCacheEntry",
+    "Plugin",
+    "PluginHost",
+    "QueryExecutor",
+    "QueryPlanCache",
+    "QueryResult",
+    "SCAN_THREADS_KNOB",
+    "Segment",
+    "SortedCompositeIndex",
+    "StorageTier",
+    "Table",
+    "TableSchema",
+    "encode_segment",
+    "migration_cost_ms",
+    "standard_knobs",
+    "supported_encodings",
+]

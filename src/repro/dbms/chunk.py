@@ -1,0 +1,221 @@
+"""Chunks: immutable horizontal partitions holding one segment per column.
+
+Hyrise implicitly partitions every table into chunks; all physical-design
+decisions (encoding, indexes, placement tier) are taken per chunk
+(Section II-B). Chunk *data* is immutable once created — appends create new
+chunks — which lets per-column statistics be computed once and cached, while
+the physical representation (encodings, indexes, tier) remains mutable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.dbms.index import SortedCompositeIndex
+from repro.dbms.schema import TableSchema
+from repro.dbms.segments import (
+    EncodingType,
+    Segment,
+    encode_segment,
+)
+from repro.dbms.statistics import ColumnStatistics
+from repro.dbms.storage_tiers import StorageTier
+from repro.errors import EncodingError, IndexError_, SchemaError
+
+
+class Chunk:
+    """One horizontal partition of a table."""
+
+    def __init__(
+        self,
+        chunk_id: int,
+        schema: TableSchema,
+        columns: Mapping[str, np.ndarray],
+        default_encoding: EncodingType = EncodingType.UNENCODED,
+    ) -> None:
+        self._chunk_id = chunk_id
+        self._schema = schema
+        lengths = {name: len(arr) for name, arr in columns.items()}
+        if set(lengths) != set(schema.column_names):
+            raise SchemaError(
+                f"chunk columns {sorted(lengths)} do not match schema "
+                f"{sorted(schema.column_names)}"
+            )
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged chunk column lengths: {lengths}")
+        self._row_count = next(iter(lengths.values())) if lengths else 0
+        self._segments: dict[str, Segment] = {
+            name: encode_segment(columns[name], schema.data_type(name), default_encoding)
+            for name in schema.column_names
+        }
+        self._indexes: dict[tuple[str, ...], SortedCompositeIndex] = {}
+        self._statistics: dict[str, ColumnStatistics] = {}
+        self.tier: StorageTier = StorageTier.DRAM
+        self._sort_column: str | None = None
+
+    # ------------------------------------------------------------------
+    # identity and data access
+
+    @property
+    def chunk_id(self) -> int:
+        return self._chunk_id
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    def segment(self, column: str) -> Segment:
+        try:
+            return self._segments[column]
+        except KeyError:
+            raise SchemaError(
+                f"chunk {self._chunk_id} has no column {column!r}"
+            ) from None
+
+    def segments(self) -> Mapping[str, Segment]:
+        return dict(self._segments)
+
+    def encoding_of(self, column: str) -> EncodingType:
+        return self.segment(column).encoding
+
+    def statistics(self, column: str) -> ColumnStatistics:
+        """Cached column statistics (chunk data is immutable)."""
+        if column not in self._statistics:
+            segment = self.segment(column)
+            self._statistics[column] = ColumnStatistics.from_values(
+                segment.values(), segment.data_type
+            )
+        return self._statistics[column]
+
+    @property
+    def sort_column(self) -> str | None:
+        """The column this chunk's rows are physically ordered by, if the
+        order was established by an explicit sort (ingest order otherwise)."""
+        return self._sort_column
+
+    # ------------------------------------------------------------------
+    # physical design mutations
+
+    def apply_permutation(
+        self, permutation: "np.ndarray", sort_column: str | None
+    ) -> list[tuple[str, ...]]:
+        """Physically reorder the chunk's rows.
+
+        Every segment is rebuilt (same encoding, new order — run-length
+        segments shrink dramatically when the order groups equal values)
+        and every index is rebuilt. Column statistics are order-independent
+        and stay cached. Returns the rebuilt index keys for cost accounting.
+        """
+        if len(permutation) != self._row_count:
+            raise SchemaError(
+                f"permutation of length {len(permutation)} does not match "
+                f"{self._row_count} rows"
+            )
+        for name, segment in list(self._segments.items()):
+            values = segment.values()[permutation]
+            self._segments[name] = encode_segment(
+                values, segment.data_type, segment.encoding
+            )
+        rebuilt = list(self._indexes)
+        for key in rebuilt:
+            self._indexes[key] = SortedCompositeIndex.build(key, self._segments)
+        self._sort_column = sort_column
+        return rebuilt
+
+    def sort_by(self, column: str) -> tuple["np.ndarray", list[tuple[str, ...]]]:
+        """Sort the chunk's rows by ``column`` (stable).
+
+        Returns the inverse permutation (which restores the previous order
+        when passed to :meth:`apply_permutation`) and the rebuilt index
+        keys. Sorting an already-sorted chunk is a no-op returning the
+        identity permutation.
+        """
+        if not self._schema.has_column(column):
+            raise SchemaError(f"cannot sort by unknown column {column!r}")
+        if self._sort_column == column:
+            identity = np.arange(self._row_count, dtype=np.int64)
+            return identity, []
+        order = np.argsort(self.segment(column).values(), kind="stable")
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(self._row_count, dtype=np.int64)
+        rebuilt = self.apply_permutation(order, column)
+        return inverse, rebuilt
+
+    def set_encoding(self, column: str, encoding: EncodingType) -> list[tuple[str, ...]]:
+        """Re-encode one column; rebuilds every index whose key contains it.
+
+        Returns the key tuples of the rebuilt indexes so the caller can
+        account for the rebuild cost (re-encoding an indexed column is a
+        heavier reconfiguration — a real feature interaction).
+        """
+        old_segment = self.segment(column)
+        if old_segment.encoding is encoding:
+            return []
+        try:
+            new_segment = encode_segment(
+                old_segment.values(), old_segment.data_type, encoding
+            )
+        except EncodingError:
+            raise
+        self._segments[column] = new_segment
+        rebuilt = [key for key in self._indexes if column in key]
+        for key in rebuilt:
+            self._indexes[key] = SortedCompositeIndex.build(key, self._segments)
+        return rebuilt
+
+    def create_index(self, columns: Sequence[str]) -> SortedCompositeIndex:
+        key = tuple(columns)
+        if key in self._indexes:
+            raise IndexError_(
+                f"chunk {self._chunk_id} already has an index on {key}"
+            )
+        for name in key:
+            if not self._schema.has_column(name):
+                raise IndexError_(f"unknown index column {name!r}")
+        index = SortedCompositeIndex.build(key, self._segments)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, columns: Sequence[str]) -> None:
+        key = tuple(columns)
+        if key not in self._indexes:
+            raise IndexError_(f"chunk {self._chunk_id} has no index on {key}")
+        del self._indexes[key]
+
+    def has_index(self, columns: Sequence[str]) -> bool:
+        return tuple(columns) in self._indexes
+
+    def index(self, columns: Sequence[str]) -> SortedCompositeIndex:
+        try:
+            return self._indexes[tuple(columns)]
+        except KeyError:
+            raise IndexError_(
+                f"chunk {self._chunk_id} has no index on {tuple(columns)}"
+            ) from None
+
+    def index_keys(self) -> tuple[tuple[str, ...], ...]:
+        return tuple(self._indexes)
+
+    # ------------------------------------------------------------------
+    # memory accounting
+
+    def data_bytes(self) -> int:
+        return sum(seg.memory_bytes() for seg in self._segments.values())
+
+    def index_bytes(self) -> int:
+        return sum(idx.memory_bytes() for idx in self._indexes.values())
+
+    def memory_bytes(self) -> int:
+        return self.data_bytes() + self.index_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"Chunk(id={self._chunk_id}, rows={self._row_count}, "
+            f"tier={self.tier.value}, indexes={len(self._indexes)})"
+        )

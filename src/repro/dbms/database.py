@@ -1,0 +1,252 @@
+"""The database facade: catalog, execution, knobs, plan cache, plugins.
+
+This is the "Hyrise" of the reproduction. Everything the framework touches
+goes through this class: query execution (which feeds the plan cache),
+configuration primitives (create/drop index, re-encode, move chunk, set
+knob — each returning its simulated one-time cost), memory accounting, and
+the plugin host the driver attaches through.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.executor import QueryExecutor, QueryResult
+from repro.dbms.hardware import DEFAULT_HARDWARE, HardwareProfile
+from repro.dbms.knobs import BUFFER_POOL_KNOB, KnobRegistry, standard_knobs
+from repro.dbms.plan_cache import QueryPlanCache
+from repro.dbms.plugin import PluginHost
+from repro.dbms.schema import TableSchema
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier, migration_cost_ms
+from repro.dbms.table import DEFAULT_TARGET_CHUNK_SIZE, Table
+from repro.errors import PlacementError
+from repro.util.timer import SimulatedClock
+from repro.workload.query import Query
+from repro.workload.sql import parse_sql
+
+#: Simulated cost of flipping a knob (a latch plus a config write).
+_KNOB_APPLY_MS = 0.05
+#: Simulated cost of dropping an index (unlink + deallocate).
+_INDEX_DROP_MS = 0.02
+
+
+@dataclass
+class RuntimeCounters:
+    """Cumulative counters backing the DBMS-side runtime KPIs."""
+
+    queries_executed: int = 0
+    total_query_ms: float = 0.0
+    rows_matched: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    reconfigurations: int = 0
+    total_reconfiguration_ms: float = 0.0
+    recent_query_ms: list[float] = field(default_factory=list, repr=False)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "queries_executed": float(self.queries_executed),
+            "total_query_ms": self.total_query_ms,
+            "rows_matched": float(self.rows_matched),
+            "buffer_hits": float(self.buffer_hits),
+            "buffer_misses": float(self.buffer_misses),
+            "reconfigurations": float(self.reconfigurations),
+            "total_reconfiguration_ms": self.total_reconfiguration_ms,
+        }
+
+
+class Database:
+    """An in-memory columnar database with simulated timing."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        hardware: HardwareProfile | None = None,
+        clock: SimulatedClock | None = None,
+        default_encoding: EncodingType = EncodingType.UNENCODED,
+        plan_cache_capacity: int = 1024,
+    ) -> None:
+        self.name = name
+        self.hardware = hardware or DEFAULT_HARDWARE
+        self.clock = clock or SimulatedClock()
+        self.catalog = Catalog()
+        self.knobs = KnobRegistry(standard_knobs())
+        self.plan_cache = QueryPlanCache(plan_cache_capacity)
+        self.executor = QueryExecutor(self.hardware, self.knobs)
+        self.plugin_host = PluginHost(self)
+        self.counters = RuntimeCounters()
+        self._default_encoding = default_encoding
+
+    # ------------------------------------------------------------------
+    # schema and data
+
+    def create_table(
+        self,
+        schema: TableSchema,
+        target_chunk_size: int = DEFAULT_TARGET_CHUNK_SIZE,
+    ) -> Table:
+        table = Table(
+            schema,
+            target_chunk_size=target_chunk_size,
+            default_encoding=self._default_encoding,
+        )
+        self.catalog.register(table)
+        return table
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def execute(
+        self, query: Query | str, materialize: bool = False
+    ) -> QueryResult:
+        """Execute a query (or SQL string), advancing the simulated clock and
+        recording the execution in the plan cache."""
+        if isinstance(query, str):
+            query = parse_sql(query)
+        table = self.catalog.table(query.table)
+        result = self.executor.execute(query, table, materialize=materialize)
+        elapsed = result.report.elapsed_ms
+        self.clock.advance(elapsed)
+        self.plan_cache.record(query, elapsed, self.clock.now_ms)
+        counters = self.counters
+        counters.queries_executed += 1
+        counters.total_query_ms += elapsed
+        counters.rows_matched += result.row_count
+        counters.buffer_hits += result.report.work.buffer_hits
+        counters.buffer_misses += result.report.work.buffer_misses
+        counters.recent_query_ms.append(elapsed)
+        if len(counters.recent_query_ms) > 4096:
+            del counters.recent_query_ms[:2048]
+        return result
+
+    # ------------------------------------------------------------------
+    # configuration primitives (each returns its simulated one-time cost)
+
+    def _record_reconfiguration(self, cost_ms: float) -> float:
+        self.clock.advance(cost_ms)
+        self.counters.reconfigurations += 1
+        self.counters.total_reconfiguration_ms += cost_ms
+        return cost_ms
+
+    def create_index(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        chunk_ids: Sequence[int] | None = None,
+    ) -> float:
+        table = self.catalog.table(table_name)
+        touched = table.create_index(columns, chunk_ids)
+        cost = sum(
+            self.hardware.index_build_ms(c.row_count, len(columns), c.tier)
+            for c in touched
+        )
+        return self._record_reconfiguration(cost)
+
+    def drop_index(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        chunk_ids: Sequence[int] | None = None,
+    ) -> float:
+        table = self.catalog.table(table_name)
+        touched = table.drop_index(columns, chunk_ids)
+        return self._record_reconfiguration(_INDEX_DROP_MS * len(touched))
+
+    def set_encoding(
+        self,
+        table_name: str,
+        column: str,
+        encoding: EncodingType,
+        chunk_ids: Sequence[int] | None = None,
+    ) -> float:
+        table = self.catalog.table(table_name)
+        results = table.set_encoding(column, encoding, chunk_ids)
+        cost = 0.0
+        for chunk, rebuilt_keys in results:
+            cost += self.hardware.encode_ms(chunk.row_count, encoding, chunk.tier)
+            for key in rebuilt_keys:
+                cost += self.hardware.index_build_ms(
+                    chunk.row_count, len(key), chunk.tier
+                )
+            self.executor.buffer_pool.invalidate((table_name, chunk.chunk_id))
+        return self._record_reconfiguration(cost)
+
+    def move_chunk(
+        self, table_name: str, chunk_id: int, tier: StorageTier
+    ) -> float:
+        table = self.catalog.table(table_name)
+        chunk = table.chunk(chunk_id)
+        if not isinstance(tier, StorageTier):
+            raise PlacementError(f"unknown storage tier {tier!r}")
+        cost = migration_cost_ms(chunk.memory_bytes(), chunk.tier, tier)
+        chunk.tier = tier
+        self.executor.buffer_pool.invalidate((table_name, chunk_id))
+        return self._record_reconfiguration(cost)
+
+    def sort_chunk(self, table_name: str, chunk_id: int, column: str) -> float:
+        """Sort one chunk's rows by ``column`` (accounted)."""
+        table = self.catalog.table(table_name)
+        chunk = table.chunk(chunk_id)
+        if chunk.sort_column == column:
+            return self._record_reconfiguration(0.0)
+        _inverse, rebuilt = chunk.sort_by(column)
+        cost = self.hardware.sort_rows_ms(
+            chunk.row_count, len(table.schema.columns), chunk.tier
+        )
+        for key in rebuilt:
+            cost += self.hardware.index_build_ms(
+                chunk.row_count, len(key), chunk.tier
+            )
+        self.executor.buffer_pool.invalidate((table_name, chunk_id))
+        return self._record_reconfiguration(cost)
+
+    def set_knob(self, name: str, value: float) -> float:
+        self.knobs.set(name, value)
+        if name == BUFFER_POOL_KNOB:
+            self.executor.sync_buffer_pool()
+        return self._record_reconfiguration(_KNOB_APPLY_MS)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def data_bytes(self) -> int:
+        return sum(t.data_bytes() for t in self.catalog.tables())
+
+    def index_bytes(self) -> int:
+        return sum(t.index_bytes() for t in self.catalog.tables())
+
+    def memory_bytes(self) -> int:
+        return self.data_bytes() + self.index_bytes()
+
+    def tier_usage(self) -> dict[StorageTier, int]:
+        """Bytes of chunk data (incl. their indexes) resident per tier."""
+        usage = {tier: 0 for tier in StorageTier}
+        for table in self.catalog.tables():
+            for chunk in table.chunks():
+                usage[chunk.tier] += chunk.memory_bytes()
+        return usage
+
+    def runtime_snapshot(self) -> dict[str, float]:
+        """KPI source: counters plus current memory/tier state."""
+        snap = self.counters.snapshot()
+        snap["memory_bytes"] = float(self.memory_bytes())
+        snap["index_bytes"] = float(self.index_bytes())
+        snap["now_ms"] = self.clock.now_ms
+        for tier, used in self.tier_usage().items():
+            snap[f"tier_{tier.value}_bytes"] = float(used)
+        snap["buffer_pool_used_bytes"] = float(
+            self.executor.buffer_pool.used_bytes
+        )
+        return snap
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(name={self.name!r}, tables={len(self.catalog)}, "
+            f"now_ms={self.clock.now_ms:.1f})"
+        )

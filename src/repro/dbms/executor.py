@@ -1,0 +1,273 @@
+"""Query execution with simulated timing.
+
+The executor runs queries against real chunk data (so results, match counts,
+and selectivities are genuine) and prices the work via the
+:class:`~repro.dbms.hardware.HardwareProfile`: encoding-weighted scan units,
+index probe units, tier multipliers (softened by buffer pool hits), thread
+parallelism from the ``scan_threads`` knob, and output materialisation.
+
+The reported :class:`ExecutionReport` is the "observed runtime" that the
+plan cache records and the adaptive cost models learn from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbms.hardware import HardwareProfile
+from repro.dbms.knobs import BUFFER_POOL_KNOB, SCAN_THREADS_KNOB, KnobRegistry
+from repro.dbms.operators import (
+    AggregateSpec,
+    WorkSummary,
+    compute_aggregate,
+    evaluate_chunk,
+)
+from repro.dbms.storage_tiers import StorageTier
+from repro.dbms.table import Table
+from repro.errors import ExecutionError
+from repro.workload.query import Query
+
+
+class BufferPool:
+    """An LRU cache of non-DRAM chunks, sized by the buffer-pool knob.
+
+    A hit makes the chunk behave as if DRAM-resident for this access. The
+    pool is the mechanism through which the buffer-pool knob interacts with
+    the data-placement feature: a big pool hides bad placements, a small
+    pool exposes them.
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        self._capacity = float(capacity_bytes)
+        self._entries: OrderedDict[tuple[str, int], int] = OrderedDict()
+        self._used = 0
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def set_capacity(self, capacity_bytes: float) -> None:
+        self._capacity = float(capacity_bytes)
+        self._evict_to_fit()
+
+    def _evict_to_fit(self) -> None:
+        while self._used > self._capacity and self._entries:
+            _key, size = self._entries.popitem(last=False)
+            self._used -= size
+
+    def access(self, key: tuple[str, int], size_bytes: int) -> bool:
+        """Touch a chunk; returns True on hit. Misses admit the chunk."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        if size_bytes <= self._capacity:
+            self._entries[key] = size_bytes
+            self._used += size_bytes
+            self._evict_to_fit()
+        return False
+
+    def peek(self, key: tuple[str, int]) -> bool:
+        """Hit test without admission or LRU movement (what-if probing)."""
+        return key in self._entries
+
+    def invalidate(self, key: tuple[str, int]) -> None:
+        size = self._entries.pop(key, None)
+        if size is not None:
+            self._used -= size
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+
+@dataclass
+class ExecutionReport:
+    """Timing breakdown and work counters of one query execution."""
+
+    elapsed_ms: float
+    scan_ms: float
+    probe_ms: float
+    output_ms: float
+    aggregate_ms: float
+    overhead_ms: float
+    work: WorkSummary = field(repr=False, default_factory=WorkSummary)
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one query."""
+
+    row_count: int
+    aggregate_value: float | str | None
+    report: ExecutionReport
+    #: materialised output columns; only populated when requested
+    rows: dict[str, np.ndarray] | None = None
+
+
+class QueryExecutor:
+    """Executes queries against a set of tables with simulated timing."""
+
+    def __init__(
+        self,
+        hardware: HardwareProfile,
+        knobs: KnobRegistry,
+    ) -> None:
+        self._hardware = hardware
+        self._knobs = knobs
+        self._buffer_pool = BufferPool(knobs.get(BUFFER_POOL_KNOB))
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        return self._buffer_pool
+
+    def sync_buffer_pool(self) -> None:
+        """Re-read the buffer-pool knob (called after knob changes)."""
+        self._buffer_pool.set_capacity(self._knobs.get(BUFFER_POOL_KNOB))
+
+    def swap_buffer_pool(self, pool: BufferPool) -> BufferPool:
+        """Install a different pool, returning the previous one.
+
+        Used by the buffer-pool assessor to measure a candidate capacity on
+        a scratch pool without disturbing the production pool's contents.
+        """
+        previous = self._buffer_pool
+        self._buffer_pool = pool
+        return previous
+
+    def _validate(self, query: Query, table: Table) -> None:
+        schema = table.schema
+        for pred in query.predicates:
+            if not schema.has_column(pred.column):
+                raise ExecutionError(
+                    f"query references unknown column {pred.column!r} "
+                    f"of table {table.name!r}"
+                )
+        if query.projection:
+            for name in query.projection:
+                if not schema.has_column(name):
+                    raise ExecutionError(
+                        f"projection references unknown column {name!r}"
+                    )
+        if query.aggregate_column and not schema.has_column(query.aggregate_column):
+            raise ExecutionError(
+                f"aggregate references unknown column {query.aggregate_column!r}"
+            )
+
+    def execute(
+        self,
+        query: Query,
+        table: Table,
+        materialize: bool = False,
+        probe: bool = False,
+    ) -> QueryResult:
+        """Run ``query`` against ``table`` and price the work performed.
+
+        With ``probe=True`` the buffer pool is only peeked, never mutated —
+        used by the what-if optimizer so estimation leaves no trace.
+        """
+        self._validate(query, table)
+        hardware = self._hardware
+        threads = int(self._knobs.get(SCAN_THREADS_KNOB))
+        work = WorkSummary()
+        scan_ms = 0.0
+        probe_ms = 0.0
+
+        agg_spec: AggregateSpec | None = None
+        if query.aggregate:
+            agg_spec = AggregateSpec(query.aggregate, query.aggregate_column)
+
+        projected = (
+            list(query.projection)
+            if query.projection is not None
+            else list(table.schema.column_names)
+        )
+        agg_values: list[np.ndarray] = []
+        out_columns: dict[str, list[np.ndarray]] = {name: [] for name in projected}
+
+        for chunk in table.chunks():
+            result = evaluate_chunk(chunk, list(query.predicates))
+            work.chunks_visited += 1
+            if result.used_index:
+                work.chunks_via_index += 1
+            work.per_chunk.append((chunk.chunk_id, result.used_index))
+
+            tier = chunk.tier
+            if tier is not StorageTier.DRAM:
+                key = (table.name, chunk.chunk_id)
+                if probe:
+                    hit = self._buffer_pool.peek(key)
+                else:
+                    hit = self._buffer_pool.access(key, chunk.data_bytes())
+                if hit:
+                    work.buffer_hits += 1
+                    tier = StorageTier.DRAM
+                else:
+                    work.buffer_misses += 1
+
+            work.scan_units += result.scan_units
+            work.probe_units += result.probe_units
+            scan_ms += hardware.scan_ms(result.scan_units, tier, threads)
+            probe_ms += hardware.probe_ms(result.probe_units, tier)
+
+            matched = result.positions
+            work.rows_matched += len(matched)
+            if len(matched) == 0:
+                continue
+            if agg_spec is not None:
+                if agg_spec.column is not None:
+                    agg_values.append(
+                        chunk.segment(agg_spec.column).take(matched)
+                    )
+            else:
+                for name in projected:
+                    values = chunk.segment(name).take(matched)
+                    work.output_bytes += float(values.nbytes)
+                    if materialize:
+                        out_columns[name].append(values)
+
+        aggregate_value: float | str | None = None
+        aggregate_ms = 0.0
+        if agg_spec is not None:
+            aggregate_value = compute_aggregate(
+                agg_values, agg_spec, work.rows_matched
+            )
+            work.aggregate_rows = work.rows_matched
+            work.output_bytes += 8.0
+            aggregate_ms = hardware.aggregate_ms(work.aggregate_rows)
+
+        output_ms = hardware.output_ms(work.output_bytes)
+        overhead_ms = hardware.overhead_ms()
+        elapsed = scan_ms + probe_ms + output_ms + aggregate_ms + overhead_ms
+
+        report = ExecutionReport(
+            elapsed_ms=elapsed,
+            scan_ms=scan_ms,
+            probe_ms=probe_ms,
+            output_ms=output_ms,
+            aggregate_ms=aggregate_ms,
+            overhead_ms=overhead_ms,
+            work=work,
+        )
+        rows = None
+        if materialize and agg_spec is None:
+            rows = {
+                name: (
+                    np.concatenate(parts)
+                    if parts
+                    else np.zeros(0, dtype=np.int64)
+                )
+                for name, parts in out_columns.items()
+            }
+        return QueryResult(
+            row_count=work.rows_matched,
+            aggregate_value=aggregate_value,
+            report=report,
+            rows=rows,
+        )

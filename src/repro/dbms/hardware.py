@@ -1,0 +1,124 @@
+"""The simulated hardware: coefficients that turn work counters into time.
+
+The executor counts *work units* (rows scanned weighted by encoding, index
+probe units, bytes materialised) while running queries against real numpy
+data; the :class:`HardwareProfile` converts those counters into simulated
+milliseconds. This is "the ground truth hardware" of the reproduction — the
+adaptive cost models in :mod:`repro.cost` have to *learn* an approximation
+of it from observed runtimes, exactly as the paper's adaptive cost
+estimation learns real hardware behaviour (Section II-A.d and Section V).
+
+All coefficients are in nanoseconds per unit so defaults read like the
+per-tuple costs database papers usually report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import (
+    TIER_LATENCY_MULTIPLIER,
+    StorageTier,
+)
+
+NS_PER_MS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Cost coefficients of the simulated machine."""
+
+    #: time per scan work unit (one unencoded row == one unit)
+    ns_per_scan_unit: float = 1.0
+    #: time per index-probe work unit
+    ns_per_probe_unit: float = 25.0
+    #: time per byte materialised into the query result
+    ns_per_output_byte: float = 0.05
+    #: time per matched row consumed by an aggregate
+    ns_per_aggregate_row: float = 0.8
+    #: fixed per-query overhead (parsing, plan-cache lookup, dispatch)
+    query_overhead_ns: float = 2_000.0
+    #: exponent of parallel scan speed-up: ``threads ** exponent``
+    parallel_efficiency_exponent: float = 0.75
+    #: time per row*log2(rows) when building a sorted index
+    index_build_ns_per_row_log: float = 1.5
+    #: one-time re-encode cost per row, by target encoding
+    encode_ns_per_row: dict[EncodingType, float] = field(
+        default_factory=lambda: {
+            EncodingType.UNENCODED: 0.3,
+            EncodingType.DICTIONARY: 6.0,
+            EncodingType.RUN_LENGTH: 1.5,
+            EncodingType.FRAME_OF_REFERENCE: 1.0,
+        }
+    )
+    #: access-latency multiplier per storage tier
+    tier_multiplier: dict[StorageTier, float] = field(
+        default_factory=lambda: dict(TIER_LATENCY_MULTIPLIER)
+    )
+    #: DRAM capacity of the machine (hardware resource constraint)
+    dram_capacity_bytes: int = 8 * 1024**3
+    nvm_capacity_bytes: int = 32 * 1024**3
+    ssd_capacity_bytes: int = 512 * 1024**3
+
+    def scan_ms(self, scan_units: float, tier: StorageTier, threads: int = 1) -> float:
+        """Simulated time for ``scan_units`` of scan work on ``tier``."""
+        speedup = max(1.0, float(threads)) ** self.parallel_efficiency_exponent
+        ns = scan_units * self.ns_per_scan_unit * self.tier_multiplier[tier]
+        return ns / speedup / NS_PER_MS
+
+    def probe_ms(self, probe_units: float, tier: StorageTier) -> float:
+        ns = probe_units * self.ns_per_probe_unit * self.tier_multiplier[tier]
+        return ns / NS_PER_MS
+
+    def output_ms(self, output_bytes: float) -> float:
+        return output_bytes * self.ns_per_output_byte / NS_PER_MS
+
+    def aggregate_ms(self, rows: float) -> float:
+        return rows * self.ns_per_aggregate_row / NS_PER_MS
+
+    def overhead_ms(self) -> float:
+        return self.query_overhead_ns / NS_PER_MS
+
+    def index_build_ms(self, rows: int, key_columns: int, tier: StorageTier) -> float:
+        """One-time cost of sorting ``rows`` rows on ``key_columns`` keys."""
+        import math
+
+        if rows <= 1:
+            return 0.001
+        ns = (
+            self.index_build_ns_per_row_log
+            * rows
+            * math.log2(rows)
+            * key_columns
+            * self.tier_multiplier[tier]
+        )
+        return ns / NS_PER_MS
+
+    def encode_ms(self, rows: int, encoding: EncodingType, tier: StorageTier) -> float:
+        """One-time cost of re-encoding ``rows`` rows into ``encoding``."""
+        ns = self.encode_ns_per_row[encoding] * rows * self.tier_multiplier[tier]
+        return ns / NS_PER_MS
+
+    def sort_rows_ms(self, rows: int, n_columns: int, tier: StorageTier) -> float:
+        """One-time cost of sorting a chunk: an n·log n key sort plus one
+        gather-and-rebuild pass per column."""
+        import math
+
+        if rows <= 1:
+            return 0.001
+        sort_ns = self.index_build_ns_per_row_log * rows * math.log2(rows)
+        gather_ns = 2.0 * rows * n_columns
+        return (
+            (sort_ns + gather_ns) * self.tier_multiplier[tier] / NS_PER_MS
+        )
+
+    def tier_capacity_bytes(self, tier: StorageTier) -> int:
+        if tier is StorageTier.DRAM:
+            return self.dram_capacity_bytes
+        if tier is StorageTier.NVM:
+            return self.nvm_capacity_bytes
+        return self.ssd_capacity_bytes
+
+
+DEFAULT_HARDWARE = HardwareProfile()

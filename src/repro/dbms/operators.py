@@ -1,0 +1,292 @@
+"""Per-chunk physical operators: plan choice and predicate evaluation.
+
+For every chunk the executor either scans segments (work weighted by their
+encoding) or probes an index covering a prefix of the predicates and
+evaluates the rest on the index result. Plan choice is selectivity-aware:
+an index probe expected to return a large fraction of the chunk is worse
+than a scan, so the planner estimates the covered predicates' selectivity
+from chunk statistics and falls back to scanning above a cutoff.
+
+The chosen path and its work counts are returned to the executor, which
+applies tier multipliers, buffer pool effects, and thread parallelism before
+converting work into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbms.chunk import Chunk
+from repro.dbms.index import SortedCompositeIndex
+from repro.dbms.segments import _compare_array
+from repro.workload.predicate import Predicate
+
+#: An index probe expected to match more than this fraction of the chunk is
+#: rejected in favour of a scan.
+INDEX_SELECTIVITY_CUTOFF = 0.15
+
+
+@dataclass
+class IndexPlan:
+    """An index probe covering part of the predicates, plus residuals."""
+
+    index: SortedCompositeIndex
+    equal_values: list[object]
+    range_predicates: list[tuple[str, object]]
+    covered: list[Predicate]
+    residual: list[Predicate]
+    #: estimated fraction of chunk rows the probe returns
+    estimated_selectivity: float
+
+    @property
+    def probed_columns(self) -> int:
+        return len(self.equal_values) + (1 if self.range_predicates else 0)
+
+
+def _covered_selectivity(chunk: Chunk, covered: list[Predicate]) -> float:
+    """Estimated joint selectivity of the covered predicates.
+
+    Independence across columns (textbook assumption), but two-sided ranges
+    on the *same* column are estimated jointly from the histogram — the
+    independence product would grossly overestimate ``BETWEEN``.
+    """
+    by_column: dict[str, list[Predicate]] = {}
+    for pred in covered:
+        by_column.setdefault(pred.column, []).append(pred)
+    selectivity = 1.0
+    for column, preds in by_column.items():
+        stats = chunk.statistics(column)
+        lower = [p.value for p in preds if p.op in (">", ">=")]
+        upper = [p.value for p in preds if p.op in ("<", "<=")]
+        others = [p for p in preds if p.op not in (">", ">=", "<", "<=")]
+        if lower and upper and stats.data_type.is_numeric:
+            selectivity *= stats.between_selectivity(
+                float(max(lower)), float(min(upper))
+            )
+        else:
+            for p in preds:
+                if p not in others:
+                    selectivity *= stats.selectivity(p.op, p.value)
+        for p in others:
+            selectivity *= stats.selectivity(p.op, p.value)
+    return selectivity
+
+
+def choose_index_plan(chunk: Chunk, predicates: list[Predicate]) -> IndexPlan | None:
+    """Pick the best applicable index on ``chunk`` for the predicates.
+
+    An index is applicable when an equality predicate exists for a prefix of
+    its key columns, optionally extended by range predicates (at most one
+    lower and one upper bound) on the next key column; a pure range probe on
+    the first column also qualifies. Among applicable indexes the longest
+    equality prefix wins, then the lower estimated selectivity, then the
+    narrower index. Plans above :data:`INDEX_SELECTIVITY_CUTOFF` are
+    rejected.
+    """
+    by_column: dict[str, list[Predicate]] = {}
+    for pred in predicates:
+        by_column.setdefault(pred.column, []).append(pred)
+
+    best: tuple[tuple[float, ...], IndexPlan] | None = None
+    for key in chunk.index_keys():
+        equal_values: list[object] = []
+        covered: list[Predicate] = []
+        for column in key:
+            eq = next((p for p in by_column.get(column, []) if p.op == "="), None)
+            if eq is None:
+                break
+            equal_values.append(eq.value)
+            covered.append(eq)
+        range_predicates: list[tuple[str, object]] = []
+        next_col_idx = len(equal_values)
+        if next_col_idx < len(key):
+            column = key[next_col_idx]
+            lower = next(
+                (p for p in by_column.get(column, []) if p.op in (">", ">=")),
+                None,
+            )
+            upper = next(
+                (p for p in by_column.get(column, []) if p.op in ("<", "<=")),
+                None,
+            )
+            for pred in (lower, upper):
+                if pred is not None:
+                    range_predicates.append((pred.op, pred.value))
+                    covered.append(pred)
+        if not covered:
+            continue
+        selectivity = _covered_selectivity(chunk, covered)
+        if selectivity > INDEX_SELECTIVITY_CUTOFF:
+            continue
+        residual = [p for p in predicates if p not in covered]
+        plan = IndexPlan(
+            index=chunk.index(key),
+            equal_values=equal_values,
+            range_predicates=range_predicates,
+            covered=covered,
+            residual=residual,
+            estimated_selectivity=selectivity,
+        )
+        score = (float(len(equal_values)), -selectivity, -float(len(key)))
+        if best is None or score > best[0]:
+            best = (score, plan)
+    return best[1] if best else None
+
+
+@dataclass
+class ChunkScanResult:
+    """Matched positions in one chunk plus the work it took to find them."""
+
+    positions: np.ndarray
+    scan_units: float = 0.0
+    probe_units: float = 0.0
+    used_index: bool = False
+    #: predicates evaluated (for diagnostics)
+    predicates_evaluated: int = 0
+
+
+def _evaluate_residual(
+    chunk: Chunk,
+    positions: np.ndarray,
+    predicates: list[Predicate],
+    result: ChunkScanResult,
+) -> np.ndarray:
+    """Filter ``positions`` by the residual predicates, counting scan work."""
+    for pred in predicates:
+        if len(positions) == 0:
+            break
+        segment = chunk.segment(pred.column)
+        result.scan_units += segment.scan_units(len(positions))
+        result.scan_units += segment.scan_overhead_units()
+        values = segment.take(positions)
+        mask = _compare_array(values, pred.op, pred.value)
+        positions = positions[mask]
+        result.predicates_evaluated += 1
+    return positions
+
+
+#: metadata work charged for consulting chunk min/max statistics
+_PRUNE_CHECK_UNITS = 0.5
+
+
+def chunk_can_be_pruned(chunk: Chunk, predicates: list[Predicate]) -> bool:
+    """Zone-map pruning: chunk min/max statistics prove a predicate matches
+    nothing here, so the chunk is skipped without touching data. This is
+    what makes cold chunks nearly free to filter — and what concentrates
+    index benefit on the hot chunks (Section II-B's chunk argument)."""
+    for pred in predicates:
+        stats = chunk.statistics(pred.column)
+        if stats.row_count == 0:
+            return True
+        lo, hi = stats.min_value, stats.max_value
+        value = pred.value
+        try:
+            if pred.op == "=" and (value < lo or value > hi):
+                return True
+            if pred.op == "<" and not (lo < value):
+                return True
+            if pred.op == "<=" and not (lo <= value):
+                return True
+            if pred.op == ">" and not (hi > value):
+                return True
+            if pred.op == ">=" and not (hi >= value):
+                return True
+        except TypeError:
+            # incomparable literal/bounds (mixed types): no pruning
+            continue
+    return False
+
+
+def evaluate_chunk(chunk: Chunk, predicates: list[Predicate]) -> ChunkScanResult:
+    """Find matching row positions in one chunk, via index probe if possible.
+    Chunks whose statistics disprove any predicate are pruned outright."""
+    result = ChunkScanResult(positions=np.arange(chunk.row_count, dtype=np.int64))
+    if not predicates:
+        return result
+
+    if chunk_can_be_pruned(chunk, predicates):
+        result.positions = result.positions[:0]
+        result.scan_units = _PRUNE_CHECK_UNITS * len(predicates)
+        return result
+
+    plan = choose_index_plan(chunk, predicates)
+    if plan is not None:
+        positions = plan.index.lookup(
+            plan.equal_values, plan.range_predicates
+        ).astype(np.int64)
+        result.used_index = True
+        result.probe_units = plan.index.probe_cost_units(
+            plan.probed_columns, len(positions)
+        )
+        result.predicates_evaluated = len(plan.covered)
+        result.positions = _evaluate_residual(
+            chunk, positions, plan.residual, result
+        )
+        return result
+
+    # Sequential scan: evaluate each predicate on the still-live rows.
+    mask = np.ones(chunk.row_count, dtype=bool)
+    live = chunk.row_count
+    for pred in predicates:
+        segment = chunk.segment(pred.column)
+        result.scan_units += segment.scan_units(live)
+        result.scan_units += segment.scan_overhead_units()
+        mask &= segment.compare(pred.op, pred.value)
+        live = int(mask.sum())
+        result.predicates_evaluated += 1
+        if live == 0:
+            break
+    result.positions = np.flatnonzero(mask)
+    return result
+
+
+@dataclass
+class AggregateSpec:
+    """A resolved aggregate: function name and (optional) input column."""
+
+    function: str
+    column: str | None = None
+
+
+def compute_aggregate(
+    chunk_values: list[np.ndarray], spec: AggregateSpec, total_rows: int
+) -> float | str | None:
+    """Combine per-chunk value arrays into one aggregate result."""
+    if spec.function == "count":
+        return float(total_rows)
+    values = (
+        np.concatenate(chunk_values)
+        if chunk_values
+        else np.zeros(0, dtype=np.float64)
+    )
+    if values.size == 0:
+        return None
+    if spec.function == "sum":
+        return float(values.sum())
+    if spec.function == "avg":
+        return float(values.mean())
+    if spec.function in ("min", "max"):
+        if values.dtype.kind == "U":
+            # numpy 2.x lacks min/max reductions on unicode arrays
+            ordered = np.sort(values)
+            return str(ordered[0] if spec.function == "min" else ordered[-1])
+        return float(values.min() if spec.function == "min" else values.max())
+    raise ValueError(f"unknown aggregate {spec.function!r}")
+
+
+@dataclass
+class WorkSummary:
+    """Aggregated work counters across all chunks of one query execution."""
+
+    scan_units: float = 0.0
+    probe_units: float = 0.0
+    output_bytes: float = 0.0
+    aggregate_rows: int = 0
+    rows_matched: int = 0
+    chunks_visited: int = 0
+    chunks_via_index: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    per_chunk: list[tuple[int, bool]] = field(default_factory=list)

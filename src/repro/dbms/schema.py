@@ -1,0 +1,64 @@
+"""Table schemas: ordered column definitions with logical types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbms.types import DataType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """A single column: name and logical type."""
+
+    name: str
+    data_type: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered, immutable set of column definitions for one table."""
+
+    name: str
+    columns: tuple[ColumnDefinition, ...]
+    _by_name: dict[str, ColumnDefinition] = field(
+        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid table name: {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        by_name: dict[str, ColumnDefinition] = {}
+        for col in self.columns:
+            if col.name in by_name:
+                raise SchemaError(f"duplicate column {col.name!r} in table {self.name!r}")
+            by_name[col.name] = col
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def build(cls, name: str, columns: list[tuple[str, DataType]]) -> "TableSchema":
+        """Convenience constructor from ``[(name, type), ...]`` pairs."""
+        return cls(name, tuple(ColumnDefinition(n, t) for n, t in columns))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def column(self, name: str) -> ColumnDefinition:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def data_type(self, name: str) -> DataType:
+        return self.column(name).data_type

@@ -1,0 +1,350 @@
+"""Column segments and their encodings.
+
+A *segment* is the physical storage of one column within one chunk
+(Hyrise terminology). Four encodings are implemented, mirroring the classic
+in-memory columnar toolbox the paper's compression tuner chooses between:
+
+- ``UNENCODED`` — plain numpy array.
+- ``DICTIONARY`` — sorted dictionary + per-row codes in the narrowest
+  unsigned dtype that fits. Predicates are evaluated on codes after a single
+  binary search of the dictionary, so scans are cheaper per row but pay a
+  fixed probe overhead.
+- ``RUN_LENGTH`` — (value, run length) pairs; scan work scales with the
+  number of runs rather than rows, so it excels on sorted/low-cardinality
+  data and degrades to worse-than-unencoded on random data.
+- ``FRAME_OF_REFERENCE`` — integer-only; stores ``min`` plus small offsets.
+
+Every segment answers three questions the rest of the system needs:
+decoded ``values()``, exact ``memory_bytes()``, and the *work units* a
+predicate scan over it costs (``scan_units`` / ``scan_overhead_units``),
+which the hardware profile converts into simulated time. Encodings thereby
+interact with indexing and placement decisions — the interaction Section III
+of the paper measures via dependence ratios.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import ClassVar
+
+import numpy as np
+
+from repro.dbms.types import DataType
+from repro.errors import EncodingError
+
+#: Comparison operators supported by predicate evaluation.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class EncodingType(enum.Enum):
+    """Physical encoding of a column segment."""
+
+    UNENCODED = "unencoded"
+    DICTIONARY = "dictionary"
+    RUN_LENGTH = "run_length"
+    FRAME_OF_REFERENCE = "frame_of_reference"
+
+
+def narrowest_uint_dtype(max_value: int) -> np.dtype:
+    """The smallest unsigned dtype that can hold ``max_value``."""
+    if max_value < 2**8:
+        return np.dtype(np.uint8)
+    if max_value < 2**16:
+        return np.dtype(np.uint16)
+    if max_value < 2**32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+def _compare_array(arr: np.ndarray, op: str, value: object) -> np.ndarray:
+    if op == "=":
+        return arr == value
+    if op == "!=":
+        return arr != value
+    if op == "<":
+        return arr < value
+    if op == "<=":
+        return arr <= value
+    if op == ">":
+        return arr > value
+    if op == ">=":
+        return arr >= value
+    raise EncodingError(f"unsupported comparison operator {op!r}")
+
+
+class Segment(ABC):
+    """Abstract physical storage of one column within one chunk."""
+
+    encoding: ClassVar[EncodingType]
+
+    def __init__(self, data_type: DataType, length: int) -> None:
+        self._data_type = data_type
+        self._length = length
+
+    @property
+    def data_type(self) -> DataType:
+        return self._data_type
+
+    def __len__(self) -> int:
+        return self._length
+
+    @abstractmethod
+    def values(self) -> np.ndarray:
+        """Decoded values for the whole segment."""
+
+    @abstractmethod
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Decoded values at the given row positions."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Exact bytes of the physical representation."""
+
+    @abstractmethod
+    def compare(self, op: str, value: object) -> np.ndarray:
+        """Boolean mask of rows satisfying ``row <op> value``."""
+
+    @abstractmethod
+    def scan_units(self, candidate_count: int) -> float:
+        """Abstract work units for evaluating one predicate over
+        ``candidate_count`` still-live rows of this segment."""
+
+    def scan_overhead_units(self) -> float:
+        """Fixed per-scan work (e.g. a dictionary probe). Zero by default."""
+        return 0.0
+
+    def sort_key_array(self) -> np.ndarray:
+        """Array usable as index keys. Encodings that store order-preserving
+        codes (dictionary) return the codes so indexes built on top are
+        smaller and cheaper to compare — the encoding/index interaction."""
+        return self.values()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(len={len(self)}, "
+            f"bytes={self.memory_bytes()})"
+        )
+
+
+class UnencodedSegment(Segment):
+    """Plain array storage; the baseline every other encoding is judged against."""
+
+    encoding = EncodingType.UNENCODED
+
+    def __init__(self, values: np.ndarray, data_type: DataType) -> None:
+        super().__init__(data_type, len(values))
+        self._values = values
+
+    def values(self) -> np.ndarray:
+        return self._values
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        return self._values[positions]
+
+    def memory_bytes(self) -> int:
+        return int(self._values.nbytes)
+
+    def compare(self, op: str, value: object) -> np.ndarray:
+        return _compare_array(self._values, op, value)
+
+    def scan_units(self, candidate_count: int) -> float:
+        return float(candidate_count)
+
+
+class DictionarySegment(Segment):
+    """Sorted dictionary plus narrow codes.
+
+    Codes are order-preserving, so all comparison operators translate into
+    integer comparisons against a code bound found by one binary search.
+    """
+
+    #: work per candidate row relative to an unencoded scan
+    SCAN_FACTOR = 0.55
+
+    encoding = EncodingType.DICTIONARY
+
+    def __init__(self, values: np.ndarray, data_type: DataType) -> None:
+        super().__init__(data_type, len(values))
+        self._dictionary, self._codes = np.unique(values, return_inverse=True)
+        code_dtype = narrowest_uint_dtype(max(len(self._dictionary) - 1, 0))
+        self._codes = self._codes.astype(code_dtype)
+
+    @property
+    def dictionary(self) -> np.ndarray:
+        return self._dictionary
+
+    @property
+    def codes(self) -> np.ndarray:
+        return self._codes
+
+    def values(self) -> np.ndarray:
+        return self._dictionary[self._codes]
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        return self._dictionary[self._codes[positions]]
+
+    def memory_bytes(self) -> int:
+        return int(self._codes.nbytes + self._dictionary.nbytes)
+
+    def sort_key_array(self) -> np.ndarray:
+        return self._codes
+
+    def _bound_code(self, value: object, side: str) -> int:
+        return int(np.searchsorted(self._dictionary, value, side=side))
+
+    def compare(self, op: str, value: object) -> np.ndarray:
+        if op in ("=", "!="):
+            pos = self._bound_code(value, "left")
+            found = pos < len(self._dictionary) and self._dictionary[pos] == value
+            if found:
+                mask = self._codes == pos
+            else:
+                mask = np.zeros(len(self), dtype=bool)
+            return ~mask if op == "!=" else mask
+        if op == "<":
+            return self._codes < self._bound_code(value, "left")
+        if op == "<=":
+            return self._codes < self._bound_code(value, "right")
+        if op == ">":
+            return self._codes >= self._bound_code(value, "right")
+        if op == ">=":
+            return self._codes >= self._bound_code(value, "left")
+        raise EncodingError(f"unsupported comparison operator {op!r}")
+
+    def scan_units(self, candidate_count: int) -> float:
+        return self.SCAN_FACTOR * candidate_count
+
+    def scan_overhead_units(self) -> float:
+        # One binary search of the dictionary per predicate evaluation.
+        return 2.0 * float(np.log2(len(self._dictionary) + 2.0))
+
+
+class RunLengthSegment(Segment):
+    """Run-length encoding: consecutive equal values collapse into runs."""
+
+    #: work per *run* relative to an unencoded per-row scan
+    RUN_FACTOR = 1.3
+
+    encoding = EncodingType.RUN_LENGTH
+
+    def __init__(self, values: np.ndarray, data_type: DataType) -> None:
+        super().__init__(data_type, len(values))
+        if len(values) == 0:
+            self._run_values = values[:0]
+            self._run_lengths = np.zeros(0, dtype=np.int64)
+        else:
+            change = np.flatnonzero(values[1:] != values[:-1]) + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [len(values)]))
+            self._run_values = values[starts]
+            self._run_lengths = (ends - starts).astype(np.int64)
+        self._decoded: np.ndarray | None = None
+
+    @property
+    def run_count(self) -> int:
+        return len(self._run_values)
+
+    def values(self) -> np.ndarray:
+        if self._decoded is None:
+            self._decoded = np.repeat(self._run_values, self._run_lengths)
+        return self._decoded
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        return self.values()[positions]
+
+    def memory_bytes(self) -> int:
+        # Run lengths are stored as 4-byte counts in a real system.
+        return int(self._run_values.nbytes + 4 * len(self._run_lengths))
+
+    def compare(self, op: str, value: object) -> np.ndarray:
+        run_mask = _compare_array(self._run_values, op, value)
+        return np.repeat(run_mask, self._run_lengths)
+
+    def scan_units(self, candidate_count: int) -> float:
+        if len(self) == 0:
+            return 0.0
+        live_fraction = candidate_count / len(self)
+        return self.RUN_FACTOR * self.run_count * live_fraction
+
+
+class FrameOfReferenceSegment(Segment):
+    """Integer values stored as narrow offsets from the segment minimum."""
+
+    SCAN_FACTOR = 0.8
+
+    encoding = EncodingType.FRAME_OF_REFERENCE
+
+    def __init__(self, values: np.ndarray, data_type: DataType) -> None:
+        if data_type is not DataType.INT:
+            raise EncodingError(
+                "frame-of-reference encoding requires an INT column, got "
+                f"{data_type.value}"
+            )
+        super().__init__(data_type, len(values))
+        if len(values) == 0:
+            self._reference = 0
+            self._offsets = np.zeros(0, dtype=np.uint8)
+        else:
+            self._reference = int(values.min())
+            span = int(values.max()) - self._reference
+            self._offsets = (values - self._reference).astype(
+                narrowest_uint_dtype(span)
+            )
+
+    @property
+    def reference(self) -> int:
+        return self._reference
+
+    def values(self) -> np.ndarray:
+        return self._offsets.astype(np.int64) + self._reference
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        return self._offsets[positions].astype(np.int64) + self._reference
+
+    def memory_bytes(self) -> int:
+        return int(self._offsets.nbytes + 8)
+
+    def compare(self, op: str, value: object) -> np.ndarray:
+        # Compare in the offset domain when the literal is in range;
+        # otherwise the answer is constant.
+        shifted = np.float64(value) - self._reference
+        return _compare_array(self._offsets.astype(np.float64), op, shifted)
+
+    def scan_units(self, candidate_count: int) -> float:
+        return self.SCAN_FACTOR * candidate_count
+
+
+_SEGMENT_CLASSES: dict[EncodingType, type[Segment]] = {
+    EncodingType.UNENCODED: UnencodedSegment,
+    EncodingType.DICTIONARY: DictionarySegment,
+    EncodingType.RUN_LENGTH: RunLengthSegment,
+    EncodingType.FRAME_OF_REFERENCE: FrameOfReferenceSegment,
+}
+
+
+def encode_segment(
+    values: np.ndarray, data_type: DataType, encoding: EncodingType
+) -> Segment:
+    """Build a segment of the requested encoding from decoded values."""
+    try:
+        cls = _SEGMENT_CLASSES[encoding]
+    except KeyError:
+        raise EncodingError(f"unknown encoding {encoding!r}") from None
+    return cls(values, data_type)
+
+
+def supported_encodings(data_type: DataType) -> tuple[EncodingType, ...]:
+    """Encodings applicable to a column of the given logical type."""
+    if data_type is DataType.INT:
+        return (
+            EncodingType.UNENCODED,
+            EncodingType.DICTIONARY,
+            EncodingType.RUN_LENGTH,
+            EncodingType.FRAME_OF_REFERENCE,
+        )
+    return (
+        EncodingType.UNENCODED,
+        EncodingType.DICTIONARY,
+        EncodingType.RUN_LENGTH,
+    )

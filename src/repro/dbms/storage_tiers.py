@@ -1,0 +1,59 @@
+"""Storage tiers for data placement decisions.
+
+The data-placement feature tuner moves chunks between three tiers with
+different access-latency multipliers and migration bandwidths. Placement is
+recorded per chunk (Section II-B of the paper: "data distribution in NUMA
+systems … taken on a per-chunk basis"); the executor multiplies
+data-touching costs by the tier of the chunk being scanned, unless the
+buffer pool currently caches it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StorageTier(enum.Enum):
+    """A storage medium with distinct latency and bandwidth behaviour."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+    SSD = "ssd"
+
+
+#: Multiplier applied to data-touching work on a chunk resident in the tier.
+TIER_LATENCY_MULTIPLIER: dict[StorageTier, float] = {
+    StorageTier.DRAM: 1.0,
+    StorageTier.NVM: 3.0,
+    StorageTier.SSD: 25.0,
+}
+
+#: Sustained migration bandwidth in bytes per simulated millisecond.
+TIER_BANDWIDTH_BYTES_PER_MS: dict[StorageTier, float] = {
+    StorageTier.DRAM: 20_000_000.0,
+    StorageTier.NVM: 8_000_000.0,
+    StorageTier.SSD: 2_000_000.0,
+}
+
+#: Relative cost of keeping a byte resident (used by placement assessors to
+#: express that DRAM is the scarce resource worth freeing).
+TIER_STORAGE_PRESSURE: dict[StorageTier, float] = {
+    StorageTier.DRAM: 1.0,
+    StorageTier.NVM: 0.25,
+    StorageTier.SSD: 0.02,
+}
+
+
+def migration_cost_ms(num_bytes: int, source: StorageTier, destination: StorageTier) -> float:
+    """Simulated one-time cost of moving ``num_bytes`` between tiers.
+
+    The move is bounded by the slower of the two media, plus a small fixed
+    setup cost; moving within the same tier is free.
+    """
+    if source is destination:
+        return 0.0
+    bandwidth = min(
+        TIER_BANDWIDTH_BYTES_PER_MS[source],
+        TIER_BANDWIDTH_BYTES_PER_MS[destination],
+    )
+    return 0.05 + num_bytes / bandwidth

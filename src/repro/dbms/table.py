@@ -1,0 +1,180 @@
+"""Chunked columnar tables.
+
+A table is an append-only sequence of :class:`~repro.dbms.chunk.Chunk`
+objects of bounded size. All physical-design operations accept an optional
+chunk-id list so tuners can act on fractions of a column's data — the paper's
+argument for chunking (Section II-B): index only the hot chunks, compress
+only the cold ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.dbms.chunk import Chunk
+from repro.dbms.schema import TableSchema
+from repro.dbms.segments import EncodingType
+from repro.dbms.statistics import ColumnStatistics
+from repro.dbms.types import coerce_array
+from repro.errors import SchemaError
+
+DEFAULT_TARGET_CHUNK_SIZE = 65_536
+
+
+class Table:
+    """A chunked, columnar, append-only table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        target_chunk_size: int = DEFAULT_TARGET_CHUNK_SIZE,
+        default_encoding: EncodingType = EncodingType.UNENCODED,
+    ) -> None:
+        if target_chunk_size <= 0:
+            raise SchemaError("target_chunk_size must be positive")
+        self._schema = schema
+        self._target_chunk_size = target_chunk_size
+        self._default_encoding = default_encoding
+        self._chunks: list[Chunk] = []
+        self._next_chunk_id = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def target_chunk_size(self) -> int:
+        return self._target_chunk_size
+
+    @property
+    def row_count(self) -> int:
+        return sum(chunk.row_count for chunk in self._chunks)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def chunks(self) -> tuple[Chunk, ...]:
+        return tuple(self._chunks)
+
+    def chunk(self, chunk_id: int) -> Chunk:
+        for c in self._chunks:
+            if c.chunk_id == chunk_id:
+                return c
+        raise SchemaError(f"table {self.name!r} has no chunk {chunk_id}")
+
+    def chunk_ids(self) -> tuple[int, ...]:
+        return tuple(c.chunk_id for c in self._chunks)
+
+    def _resolve_chunks(self, chunk_ids: Sequence[int] | None) -> list[Chunk]:
+        if chunk_ids is None:
+            return list(self._chunks)
+        return [self.chunk(cid) for cid in chunk_ids]
+
+    # ------------------------------------------------------------------
+    # ingestion
+
+    def append(self, columns: Mapping[str, Sequence | np.ndarray]) -> list[int]:
+        """Append rows given as column arrays; returns new chunk ids."""
+        if set(columns) != set(self._schema.column_names):
+            raise SchemaError(
+                f"append columns {sorted(columns)} do not match schema "
+                f"{sorted(self._schema.column_names)}"
+            )
+        coerced = {
+            name: coerce_array(values, self._schema.data_type(name))
+            for name, values in columns.items()
+        }
+        lengths = {len(arr) for arr in coerced.values()}
+        if len(lengths) != 1:
+            raise SchemaError("ragged column lengths in append")
+        total = lengths.pop()
+        new_ids: list[int] = []
+        for start in range(0, total, self._target_chunk_size):
+            stop = min(start + self._target_chunk_size, total)
+            chunk = Chunk(
+                self._next_chunk_id,
+                self._schema,
+                {name: arr[start:stop] for name, arr in coerced.items()},
+                default_encoding=self._default_encoding,
+            )
+            self._chunks.append(chunk)
+            new_ids.append(self._next_chunk_id)
+            self._next_chunk_id += 1
+        return new_ids
+
+    # ------------------------------------------------------------------
+    # physical design, applied per chunk
+
+    def create_index(
+        self, columns: Sequence[str], chunk_ids: Sequence[int] | None = None
+    ) -> list[Chunk]:
+        """Create an index on the given chunks; returns the chunks touched."""
+        touched = []
+        for chunk in self._resolve_chunks(chunk_ids):
+            if not chunk.has_index(columns):
+                chunk.create_index(columns)
+                touched.append(chunk)
+        return touched
+
+    def drop_index(
+        self, columns: Sequence[str], chunk_ids: Sequence[int] | None = None
+    ) -> list[Chunk]:
+        touched = []
+        for chunk in self._resolve_chunks(chunk_ids):
+            if chunk.has_index(columns):
+                chunk.drop_index(columns)
+                touched.append(chunk)
+        return touched
+
+    def set_encoding(
+        self,
+        column: str,
+        encoding: EncodingType,
+        chunk_ids: Sequence[int] | None = None,
+    ) -> list[tuple[Chunk, list[tuple[str, ...]]]]:
+        """Re-encode a column on the given chunks.
+
+        Returns ``(chunk, rebuilt_index_keys)`` pairs for cost accounting.
+        """
+        results = []
+        for chunk in self._resolve_chunks(chunk_ids):
+            if chunk.encoding_of(column) is not encoding:
+                rebuilt = chunk.set_encoding(column, encoding)
+                results.append((chunk, rebuilt))
+        return results
+
+    # ------------------------------------------------------------------
+    # statistics and accounting
+
+    def statistics(self, column: str) -> ColumnStatistics:
+        """Column statistics merged across all chunks."""
+        stats = ColumnStatistics.from_values(
+            np.zeros(0, dtype=np.int64), self._schema.data_type(column)
+        )
+        for chunk in self._chunks:
+            stats = stats.merge(chunk.statistics(column))
+        return stats
+
+    def data_bytes(self) -> int:
+        return sum(chunk.data_bytes() for chunk in self._chunks)
+
+    def index_bytes(self) -> int:
+        return sum(chunk.index_bytes() for chunk in self._chunks)
+
+    def memory_bytes(self) -> int:
+        return self.data_bytes() + self.index_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, rows={self.row_count}, "
+            f"chunks={self.chunk_count})"
+        )

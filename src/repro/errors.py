@@ -1,0 +1,85 @@
+"""Exception hierarchy for the self-managing database framework.
+
+Every error raised by this library derives from :class:`ReproError` so
+applications can catch framework failures with a single ``except`` clause
+while still distinguishing substrate problems (schema, execution) from
+self-management problems (tuning, ordering).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table/column definition is invalid or referenced incorrectly."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed (unknown table, duplicate registration)."""
+
+
+class ExecutionError(ReproError):
+    """A query could not be executed against the database."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL-subset parser rejected a statement."""
+
+
+class EncodingError(ReproError):
+    """A segment encoding could not be applied or decoded."""
+
+
+class IndexError_(ReproError):
+    """An index operation failed (name chosen to avoid shadowing builtins)."""
+
+
+class KnobError(ReproError):
+    """A knob was set outside its domain or does not exist."""
+
+
+class PlacementError(ReproError):
+    """A chunk placement request referenced an unknown tier or chunk."""
+
+
+class ConstraintError(ReproError):
+    """A constraint definition is invalid or cannot be evaluated."""
+
+
+class ConstraintViolation(ReproError):
+    """A selection or configuration violates an enforced constraint."""
+
+
+class CostModelError(ReproError):
+    """A cost model could not produce an estimate."""
+
+
+class CalibrationError(CostModelError):
+    """Cost model calibration failed (insufficient or degenerate data)."""
+
+
+class ForecastError(ReproError):
+    """A forecast model could not be fitted or evaluated."""
+
+
+class TuningError(ReproError):
+    """A tuner pipeline stage failed."""
+
+
+class SelectionError(TuningError):
+    """A selector could not produce a feasible selection."""
+
+
+class OrderingError(ReproError):
+    """The tuning-order optimization failed (infeasible LP, bad input)."""
+
+
+class PluginError(ReproError):
+    """A plugin could not be attached, started, or stopped."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration instance or delta is inconsistent."""

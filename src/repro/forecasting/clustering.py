@@ -1,0 +1,108 @@
+"""Query clustering (the optional step 2 of the prediction pipeline).
+
+"Similar queries can be combined to reduce the number of queries that have
+to be processed … and, in the end, reduce the time necessary for
+predictions and tunings" (Section II-C). We cluster template feature
+vectors with a seeded k-means (k-means++ initialisation, pure numpy) and
+offer the series-level operation the predictor actually needs: merge the
+per-template series of one cluster, forecast once, and redistribute the
+prediction by each member's historical share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ForecastError
+from repro.forecasting.features import feature_matrix
+from repro.util.rng import derive_rng
+from repro.workload.query import QueryTemplate
+
+
+def kmeans(
+    points: np.ndarray, k: int, seed: int = 0, max_iterations: int = 100
+) -> np.ndarray:
+    """Seeded k-means with k-means++ init; returns a label per point."""
+    n = len(points)
+    if k <= 0:
+        raise ForecastError("k must be positive")
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    k = min(k, n)
+    rng = derive_rng(seed, "kmeans")
+
+    # k-means++ seeding
+    centers = [points[int(rng.integers(n))]]
+    while len(centers) < k:
+        distances = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centers.append(points[int(rng.integers(n))])
+            continue
+        centers.append(points[int(rng.choice(n, p=distances / total))])
+    center_matrix = np.array(centers)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(
+            points[:, None, :] - center_matrix[None, :, :], axis=2
+        )
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                center_matrix[j] = members.mean(axis=0)
+    return labels
+
+
+@dataclass(frozen=True)
+class TemplateCluster:
+    """A group of query templates treated as one forecasting unit."""
+
+    cluster_id: int
+    member_keys: tuple[str, ...]
+
+
+def cluster_templates(
+    templates: list[QueryTemplate], k: int, seed: int = 0
+) -> list[TemplateCluster]:
+    """Group templates into at most ``k`` shape-based clusters."""
+    if not templates:
+        return []
+    matrix, _tables = feature_matrix(templates)
+    # normalise features so no dimension dominates
+    scale = matrix.std(axis=0)
+    scale[scale == 0] = 1.0
+    labels = kmeans(matrix / scale, k, seed=seed)
+    clusters: dict[int, list[str]] = {}
+    for template, label in zip(templates, labels):
+        clusters.setdefault(int(label), []).append(template.key)
+    return [
+        TemplateCluster(cluster_id, tuple(sorted(members)))
+        for cluster_id, members in sorted(clusters.items())
+    ]
+
+
+def merge_cluster_series(
+    series: dict[str, np.ndarray], cluster: TemplateCluster
+) -> tuple[np.ndarray, dict[str, float]]:
+    """Sum member series; returns the merged series and each member's share
+    of the total (used to redistribute the cluster-level forecast)."""
+    members = [key for key in cluster.member_keys if key in series]
+    if not members:
+        raise ForecastError(f"cluster {cluster.cluster_id} has no known series")
+    merged = np.sum([series[key] for key in members], axis=0)
+    totals = {key: float(series[key].sum()) for key in members}
+    grand_total = sum(totals.values())
+    if grand_total <= 0:
+        shares = {key: 1.0 / len(members) for key in members}
+    else:
+        shares = {key: totals[key] / grand_total for key in members}
+    return merged, shares

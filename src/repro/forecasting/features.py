@@ -1,0 +1,56 @@
+"""Feature vectors for query templates, used by query clustering.
+
+Templates are embedded into a small numeric space describing their shape:
+predicate structure, aggregation, projection width, and which table they
+touch. Similar shapes land close together, so clustering them (Section
+II-C's optional step) merges queries the physical design treats alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.query import AGGREGATES, QueryTemplate
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def template_features(
+    template: QueryTemplate, table_order: dict[str, int]
+) -> np.ndarray:
+    """Embed one template; ``table_order`` maps table names to feature slots."""
+    n_tables = max(len(table_order), 1)
+    table_onehot = np.zeros(n_tables)
+    slot = table_order.get(template.table)
+    if slot is not None:
+        table_onehot[slot] = 1.0
+
+    n_eq = sum(1 for _c, op in template.predicate_signature if op == "=")
+    n_range = sum(1 for _c, op in template.predicate_signature if op in _RANGE_OPS)
+    n_other = len(template.predicate_signature) - n_eq - n_range
+
+    agg_onehot = np.zeros(len(AGGREGATES) + 1)
+    if template.aggregate is None:
+        agg_onehot[-1] = 1.0
+    else:
+        agg_onehot[AGGREGATES.index(template.aggregate)] = 1.0
+
+    projection_width = (
+        -1.0 if template.projection is None else float(len(template.projection))
+    )
+    shape = np.array(
+        [float(n_eq), float(n_range), float(n_other), projection_width]
+    )
+    return np.concatenate([table_onehot, shape, agg_onehot])
+
+
+def feature_matrix(
+    templates: list[QueryTemplate],
+) -> tuple[np.ndarray, dict[str, int]]:
+    """Stack features for all templates; returns the matrix and table slots."""
+    tables = sorted({t.table for t in templates})
+    table_order = {name: i for i, name in enumerate(tables)}
+    if not templates:
+        return np.zeros((0, 0)), table_order
+    rows = [template_features(t, table_order) for t in templates]
+    return np.vstack(rows), table_order

@@ -1,0 +1,22 @@
+"""Forecast models for workload time series."""
+
+from repro.forecasting.models.autoregressive import AutoRegressive
+from repro.forecasting.models.base import ForecastModel
+from repro.forecasting.models.ensemble import Ensemble, ModelFactory
+from repro.forecasting.models.linear import LinearTrend
+from repro.forecasting.models.naive import HistoricalMean, NaiveLastValue
+from repro.forecasting.models.seasonal import SeasonalNaive
+from repro.forecasting.models.smoothing import HoltLinear, SimpleExponentialSmoothing
+
+__all__ = [
+    "AutoRegressive",
+    "Ensemble",
+    "ForecastModel",
+    "HistoricalMean",
+    "HoltLinear",
+    "LinearTrend",
+    "ModelFactory",
+    "NaiveLastValue",
+    "SeasonalNaive",
+    "SimpleExponentialSmoothing",
+]

@@ -1,0 +1,67 @@
+"""Autoregressive forecasting: AR(p) fitted with least squares.
+
+This is the "time series analysis (cf. ARIMA)" option of Section II-C,
+implemented without external statistics packages: an AR(p) model with an
+intercept, fitted on the lag matrix by ``numpy.linalg.lstsq`` and applied
+recursively for multi-step prediction. Differencing (the "I" of ARIMA) is
+available via ``difference=1`` for trending series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.models.base import ForecastModel
+
+
+class AutoRegressive(ForecastModel):
+    """AR(p) with intercept; optional first-order differencing."""
+
+    name = "ar"
+
+    def __init__(self, order: int = 4, difference: int = 0) -> None:
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        if difference not in (0, 1):
+            raise ValueError("only difference 0 or 1 is supported")
+        self._order = order
+        self._difference = difference
+
+    def _fit(self, series: np.ndarray) -> None:
+        self._last_level = float(series[-1])
+        working = np.diff(series) if self._difference else series
+        p = self._order
+        if working.size <= p + 1:
+            # Not enough data for the lag matrix: degrade to a mean model.
+            self._coeffs = None
+            self._mean = float(working.mean()) if working.size else 0.0
+            self._history = working.copy()
+            return
+        rows = working.size - p
+        lags = np.column_stack(
+            [working[p - k - 1 : p - k - 1 + rows] for k in range(p)]
+        )
+        design = np.column_stack([np.ones(rows), lags])
+        target = working[p:]
+        coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+        self._coeffs = coeffs
+        self._history = working[-p:].copy()
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        if self._coeffs is None:
+            steps = np.full(horizon, self._mean)
+        else:
+            history = list(self._history)
+            steps = np.empty(horizon)
+            for i in range(horizon):
+                lags = history[::-1][: self._order]
+                value = float(self._coeffs[0])
+                for k, lag in enumerate(lags):
+                    value += float(self._coeffs[k + 1]) * lag
+                steps[i] = value
+                history.append(value)
+                history = history[-self._order :]
+        if self._difference:
+            return self._last_level + np.cumsum(steps)
+        return steps

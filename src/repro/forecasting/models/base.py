@@ -1,0 +1,53 @@
+"""Forecast model interface.
+
+A forecast model fits a single numeric series (executions of one query
+template per time bin) and predicts the next ``horizon`` bins. The analyzer
+(Section II-C) can host "multiple workload analyzer instances that each
+employ different methods" — anything implementing this interface plugs in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ForecastError
+
+
+class ForecastModel(ABC):
+    """Fits one series, predicts its continuation."""
+
+    #: short identifier used in reports and ensemble weighting
+    name: str = "model"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abstractmethod
+    def _fit(self, series: np.ndarray) -> None:
+        """Model-specific fitting; ``series`` is 1-D, non-empty, float."""
+
+    @abstractmethod
+    def _predict(self, horizon: int) -> np.ndarray:
+        """Model-specific prediction of the next ``horizon`` values."""
+
+    def fit(self, series: np.ndarray) -> "ForecastModel":
+        series = np.asarray(series, dtype=float).ravel()
+        if series.size == 0:
+            raise ForecastError(f"{self.name}: cannot fit an empty series")
+        self._fit(series)
+        self._fitted = True
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if not self._fitted:
+            raise ForecastError(f"{self.name}: predict() before fit()")
+        if horizon <= 0:
+            raise ForecastError(f"{self.name}: horizon must be positive")
+        prediction = np.asarray(self._predict(horizon), dtype=float)
+        # Negative execution counts are meaningless.
+        return np.clip(prediction, 0.0, None)
+
+    def fit_predict(self, series: np.ndarray, horizon: int) -> np.ndarray:
+        return self.fit(series).predict(horizon)

@@ -1,0 +1,75 @@
+"""Ensemble forecasting: combine member models, optionally weighted by
+their holdout accuracy on the series being forecast."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.forecasting.models.base import ForecastModel
+
+#: Factory producing a fresh, unfitted model (models are stateful).
+ModelFactory = Callable[[], ForecastModel]
+
+
+class Ensemble(ForecastModel):
+    """Weighted average of member model predictions.
+
+    With ``holdout > 0`` each member is scored on the last ``holdout``
+    observations (fit on the prefix, predict the holdout) and weighted by
+    inverse RMSE, so the ensemble adapts to whichever structure the series
+    actually has — the paper's motivation for running "multiple workload
+    analyzer instances" side by side.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self, factories: Sequence[ModelFactory], holdout: int = 0
+    ) -> None:
+        super().__init__()
+        if not factories:
+            raise ValueError("ensemble needs at least one member factory")
+        if holdout < 0:
+            raise ValueError("holdout must be non-negative")
+        self._factories = list(factories)
+        self._holdout = holdout
+
+    def _member_weights(self, series: np.ndarray) -> np.ndarray:
+        k = len(self._factories)
+        if self._holdout == 0 or series.size <= self._holdout + 1:
+            return np.full(k, 1.0 / k)
+        train = series[: -self._holdout]
+        actual = series[-self._holdout :]
+        errors = np.empty(k)
+        for i, factory in enumerate(self._factories):
+            try:
+                predicted = factory().fit_predict(train, self._holdout)
+                errors[i] = float(np.sqrt(np.mean((predicted - actual) ** 2)))
+            except Exception:
+                errors[i] = np.inf
+        weights = 1.0 / (errors + 1e-9)
+        if not np.isfinite(weights).any():
+            return np.full(k, 1.0 / k)
+        weights[~np.isfinite(weights)] = 0.0
+        return weights / weights.sum()
+
+    def _fit(self, series: np.ndarray) -> None:
+        self._weights = self._member_weights(series)
+        self._members = []
+        for factory in self._factories:
+            model = factory()
+            model.fit(series)
+            self._members.append(model)
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        combined = np.zeros(horizon)
+        for weight, member in zip(self._weights, self._members):
+            if weight > 0:
+                combined += weight * member.predict(horizon)
+        return combined
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()

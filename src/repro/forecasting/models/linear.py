@@ -1,0 +1,43 @@
+"""Linear-trend forecasting via least squares.
+
+The "simple linear regressions" option of Section II-C: fit
+``y = a + b*t`` on a trailing window and extrapolate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.models.base import ForecastModel
+
+
+class LinearTrend(ForecastModel):
+    """Ordinary least squares on time; extrapolates the fitted line."""
+
+    name = "linear-trend"
+
+    def __init__(self, window: int | None = None) -> None:
+        super().__init__()
+        if window is not None and window < 2:
+            raise ValueError("window must be at least 2")
+        self._window = window
+
+    def _fit(self, series: np.ndarray) -> None:
+        if self._window is not None:
+            series = series[-self._window:]
+        n = series.size
+        if n == 1:
+            self._intercept = float(series[0])
+            self._slope = 0.0
+            self._origin = 1
+            return
+        t = np.arange(n, dtype=float)
+        design = np.column_stack([np.ones(n), t])
+        coeffs, *_ = np.linalg.lstsq(design, series, rcond=None)
+        self._intercept = float(coeffs[0])
+        self._slope = float(coeffs[1])
+        self._origin = n
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        t = np.arange(self._origin, self._origin + horizon, dtype=float)
+        return self._intercept + self._slope * t

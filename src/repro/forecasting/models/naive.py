@@ -1,0 +1,43 @@
+"""Naive forecasters: last value and historical mean.
+
+These are the "latest scenarios" baselines of Section II-C and the floor
+every other model is benchmarked against in experiment E5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.models.base import ForecastModel
+
+
+class NaiveLastValue(ForecastModel):
+    """Predicts the last observed value forever."""
+
+    name = "naive-last"
+
+    def _fit(self, series: np.ndarray) -> None:
+        self._last = float(series[-1])
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._last)
+
+
+class HistoricalMean(ForecastModel):
+    """Predicts the mean of a trailing window."""
+
+    name = "historical-mean"
+
+    def __init__(self, window: int | None = None) -> None:
+        super().__init__()
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive")
+        self._window = window
+
+    def _fit(self, series: np.ndarray) -> None:
+        if self._window is not None:
+            series = series[-self._window:]
+        self._mean = float(series.mean())
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._mean)

@@ -1,0 +1,36 @@
+"""Seasonal-naive forecasting: repeat the last full season."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.models.base import ForecastModel
+
+
+class SeasonalNaive(ForecastModel):
+    """Predicts ``series[t - period]``; the right model for workloads whose
+    dominant structure is a daily/weekly cycle ("seasonal time intervals",
+    Section II-C). Falls back to last-value when history is shorter than
+    one period."""
+
+    name = "seasonal-naive"
+
+    def __init__(self, period: int) -> None:
+        super().__init__()
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._period = period
+
+    @property
+    def period(self) -> int:
+        return self._period
+
+    def _fit(self, series: np.ndarray) -> None:
+        if series.size >= self._period:
+            self._season = series[-self._period:].copy()
+        else:
+            self._season = np.full(self._period, float(series[-1]))
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        reps = int(np.ceil(horizon / self._period))
+        return np.tile(self._season, reps)[:horizon]

@@ -1,0 +1,59 @@
+"""Exponential smoothing forecasters (simple and Holt's linear)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.models.base import ForecastModel
+
+
+class SimpleExponentialSmoothing(ForecastModel):
+    """Level-only smoothing: robust to noise, blind to trend and season."""
+
+    name = "ses"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+
+    def _fit(self, series: np.ndarray) -> None:
+        level = float(series[0])
+        for value in series[1:]:
+            level = self._alpha * float(value) + (1.0 - self._alpha) * level
+        self._level = level
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        return np.full(horizon, self._level)
+
+
+class HoltLinear(ForecastModel):
+    """Holt's linear method: smoothed level plus smoothed trend."""
+
+    name = "holt"
+
+    def __init__(self, alpha: float = 0.3, beta: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < beta <= 1.0:
+            raise ValueError("beta must be in (0, 1]")
+        self._alpha = alpha
+        self._beta = beta
+
+    def _fit(self, series: np.ndarray) -> None:
+        level = float(series[0])
+        trend = float(series[1] - series[0]) if series.size > 1 else 0.0
+        for value in series[1:]:
+            previous_level = level
+            level = self._alpha * float(value) + (1.0 - self._alpha) * (
+                level + trend
+            )
+            trend = self._beta * (level - previous_level) + (1.0 - self._beta) * trend
+        self._level = level
+        self._trend = trend
+
+    def _predict(self, horizon: int) -> np.ndarray:
+        steps = np.arange(1, horizon + 1, dtype=float)
+        return self._level + self._trend * steps

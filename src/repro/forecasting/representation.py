@@ -1,0 +1,42 @@
+"""Step 1 of the prediction pipeline: plan cache → logical workload.
+
+"Depending on how the query plan cache stores information about past
+queries, these are transformed into an abstract logical representation of
+query templates to remove unnecessary information" (Section II-C). The plan
+cache already aggregates per template; this module extracts a clean,
+self-contained view the rest of the predictor works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.plan_cache import QueryPlanCache
+from repro.workload.query import Query, QueryTemplate
+
+
+@dataclass(frozen=True)
+class LogicalQuery:
+    """One query template with its aggregated execution history."""
+
+    template: QueryTemplate
+    sample_query: Query
+    execution_count: int
+    mean_ms: float
+
+    @property
+    def key(self) -> str:
+        return self.template.key
+
+
+def logical_workload(plan_cache: QueryPlanCache) -> dict[str, LogicalQuery]:
+    """Extract the logical workload currently visible in the plan cache."""
+    workload: dict[str, LogicalQuery] = {}
+    for entry in plan_cache.entries():
+        workload[entry.template.key] = LogicalQuery(
+            template=entry.template,
+            sample_query=entry.sample_query,
+            execution_count=entry.execution_count,
+            mean_ms=entry.mean_ms,
+        )
+    return workload

@@ -1,0 +1,47 @@
+"""Runtime KPI definitions.
+
+"We classify runtime KPIs as DBMS or system specific. Examples for typical
+DBMS KPIs are query response times … system KPIs are mostly comprised of
+hardware metrics: CPU utilization, memory usage, or cache misses"
+(Section II-A.e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# DBMS-specific KPIs
+MEAN_QUERY_MS = "mean_query_ms"
+THROUGHPUT_QPS = "throughput_qps"
+TOTAL_QUERY_MS = "total_query_ms"
+QUERIES_EXECUTED = "queries_executed"
+RECONFIGURATION_MS = "reconfiguration_ms"
+INDEX_MEMORY_BYTES = "index_memory_bytes"
+MEMORY_BYTES = "memory_bytes"
+
+# system-specific KPIs (simulated hardware view)
+CPU_UTILIZATION = "cpu_utilization"
+MEMORY_UTILIZATION = "memory_utilization"
+CACHE_MISS_RATE = "cache_miss_rate"
+
+DBMS_KPIS = (
+    MEAN_QUERY_MS,
+    THROUGHPUT_QPS,
+    TOTAL_QUERY_MS,
+    QUERIES_EXECUTED,
+    RECONFIGURATION_MS,
+    INDEX_MEMORY_BYTES,
+    MEMORY_BYTES,
+)
+SYSTEM_KPIS = (CPU_UTILIZATION, MEMORY_UTILIZATION, CACHE_MISS_RATE)
+
+
+@dataclass(frozen=True)
+class KPISample:
+    """All KPI values at one sampling instant."""
+
+    at_ms: float
+    values: dict[str, float] = field(default_factory=dict)
+
+    def get(self, metric: str, default: float = 0.0) -> float:
+        return self.values.get(metric, default)

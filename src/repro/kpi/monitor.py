@@ -1,0 +1,122 @@
+"""The runtime KPI monitor.
+
+"The use cases of runtime KPIs are manifold. First, they are necessary for
+determining the impact of adjusted configurations … Second, runtime KPIs
+can disclose when the configuration should be adjusted … Furthermore, these
+KPIs can help to identify phases of low resource utilization that can be
+used to run resource-intensive tunings" (Section II-A.e). All three uses
+hang off this monitor: interval-derived KPI samples, SLA breach tracking,
+and idle detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.configuration.constraints import SlaConstraint
+from repro.dbms.database import Database
+from repro.kpi.metrics import (
+    CPU_UTILIZATION,
+    INDEX_MEMORY_BYTES,
+    MEAN_QUERY_MS,
+    MEMORY_BYTES,
+    QUERIES_EXECUTED,
+    RECONFIGURATION_MS,
+    THROUGHPUT_QPS,
+    TOTAL_QUERY_MS,
+    KPISample,
+)
+from repro.kpi.system import derive_system_kpis
+
+
+class RuntimeKPIMonitor:
+    """Samples KPIs from database counters on demand."""
+
+    def __init__(self, db: Database, window: int = 64) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self._db = db
+        self._samples: deque[KPISample] = deque(maxlen=window)
+        self._last_snapshot = db.runtime_snapshot()
+        self._sla_streaks: dict[str, int] = {}
+
+    def sample(self) -> KPISample:
+        """Close one monitoring interval and derive its KPIs."""
+        current = self._db.runtime_snapshot()
+        previous = self._last_snapshot
+        self._last_snapshot = current
+
+        elapsed_ms = current["now_ms"] - previous["now_ms"]
+        queries = current["queries_executed"] - previous["queries_executed"]
+        query_ms = current["total_query_ms"] - previous["total_query_ms"]
+        values = {
+            QUERIES_EXECUTED: queries,
+            TOTAL_QUERY_MS: query_ms,
+            MEAN_QUERY_MS: query_ms / queries if queries > 0 else 0.0,
+            THROUGHPUT_QPS: (
+                1000.0 * queries / elapsed_ms if elapsed_ms > 0 else 0.0
+            ),
+            RECONFIGURATION_MS: current["total_reconfiguration_ms"]
+            - previous["total_reconfiguration_ms"],
+            INDEX_MEMORY_BYTES: current["index_bytes"],
+            MEMORY_BYTES: current["memory_bytes"],
+        }
+        values.update(
+            derive_system_kpis(previous, current, self._db.hardware)
+        )
+        sample = KPISample(at_ms=current["now_ms"], values=values)
+        self._samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    # history access
+
+    @property
+    def latest(self) -> KPISample | None:
+        return self._samples[-1] if self._samples else None
+
+    def history(self) -> tuple[KPISample, ...]:
+        return tuple(self._samples)
+
+    def mean(self, metric: str, last_n: int | None = None) -> float:
+        samples = list(self._samples)
+        if last_n is not None:
+            samples = samples[-last_n:]
+        if not samples:
+            return 0.0
+        return sum(s.get(metric) for s in samples) / len(samples)
+
+    # ------------------------------------------------------------------
+    # SLA tracking and idle detection
+
+    def update_sla_streaks(self, slas: tuple[SlaConstraint, ...]) -> dict[str, int]:
+        """Refresh per-SLA consecutive-violation streaks from the latest
+        sample; returns metric → streak length."""
+        latest = self.latest
+        if latest is None:
+            return dict(self._sla_streaks)
+        for sla in slas:
+            if latest.get(sla.metric) > sla.threshold:
+                self._sla_streaks[sla.metric] = (
+                    self._sla_streaks.get(sla.metric, 0) + 1
+                )
+            else:
+                self._sla_streaks[sla.metric] = 0
+        return dict(self._sla_streaks)
+
+    def breached_slas(
+        self, slas: tuple[SlaConstraint, ...]
+    ) -> list[SlaConstraint]:
+        """SLAs whose violation streak has reached their patience."""
+        return [
+            sla
+            for sla in slas
+            if self._sla_streaks.get(sla.metric, 0) >= sla.patience
+        ]
+
+    def is_idle(self, threshold: float = 0.3, samples: int = 2) -> bool:
+        """Low-utilization window suitable for resource-intensive tunings."""
+        recent = list(self._samples)[-samples:]
+        if len(recent) < samples:
+            return False
+        return all(s.get(CPU_UTILIZATION) <= threshold for s in recent)

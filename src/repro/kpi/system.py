@@ -1,0 +1,55 @@
+"""Simulated system KPIs derived from database counters.
+
+Real deployments read these from the OS / perf counters; the simulator
+derives equivalent signals: CPU utilization is the fraction of simulated
+wall time spent executing queries and reconfigurations, memory utilization
+relates resident bytes to DRAM capacity, and the cache-miss rate proxies
+hardware cache misses with buffer pool misses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.dbms.hardware import HardwareProfile
+from repro.dbms.storage_tiers import StorageTier
+from repro.kpi.metrics import (
+    CACHE_MISS_RATE,
+    CPU_UTILIZATION,
+    MEMORY_UTILIZATION,
+)
+
+
+def derive_system_kpis(
+    previous: Mapping[str, float],
+    current: Mapping[str, float],
+    hardware: HardwareProfile,
+) -> dict[str, float]:
+    """System KPIs for the interval between two runtime snapshots."""
+    elapsed = current.get("now_ms", 0.0) - previous.get("now_ms", 0.0)
+    busy = (
+        current.get("total_query_ms", 0.0)
+        - previous.get("total_query_ms", 0.0)
+        + current.get("total_reconfiguration_ms", 0.0)
+        - previous.get("total_reconfiguration_ms", 0.0)
+    )
+    utilization = min(max(busy / elapsed, 0.0), 1.0) if elapsed > 0 else 0.0
+
+    dram_capacity = float(hardware.tier_capacity_bytes(StorageTier.DRAM))
+    resident = current.get("tier_dram_bytes", 0.0) + current.get(
+        "buffer_pool_used_bytes", 0.0
+    )
+    memory_utilization = min(resident / dram_capacity, 1.0) if dram_capacity else 0.0
+
+    hits = current.get("buffer_hits", 0.0) - previous.get("buffer_hits", 0.0)
+    misses = current.get("buffer_misses", 0.0) - previous.get(
+        "buffer_misses", 0.0
+    )
+    accesses = hits + misses
+    miss_rate = misses / accesses if accesses > 0 else 0.0
+
+    return {
+        CPU_UTILIZATION: utilization,
+        MEMORY_UTILIZATION: memory_utilization,
+        CACHE_MISS_RATE: miss_rate,
+    }

@@ -1,0 +1,41 @@
+"""Section III: dependence measurement and LP-based tuning-order optimization."""
+
+from repro.ordering.branch_bound import BranchAndBoundOrderOptimizer
+from repro.ordering.brute_force import BruteForceOrderOptimizer
+from repro.ordering.dependence import (
+    DependenceAnalyzer,
+    DependenceMatrix,
+    ordering_objective,
+)
+from repro.ordering.heuristics import (
+    impact_order,
+    impact_per_cost_ranking,
+    pairwise_heuristic_order,
+    random_order,
+    top_features_by_impact_per_cost,
+)
+from repro.ordering.lp import LPOrderOptimizer, OrderingSolution, model_statistics
+from repro.ordering.recursive import (
+    FeatureRunRecord,
+    RecursiveTuningPlanner,
+    RecursiveTuningReport,
+)
+
+__all__ = [
+    "BranchAndBoundOrderOptimizer",
+    "BruteForceOrderOptimizer",
+    "DependenceAnalyzer",
+    "DependenceMatrix",
+    "FeatureRunRecord",
+    "LPOrderOptimizer",
+    "OrderingSolution",
+    "RecursiveTuningPlanner",
+    "RecursiveTuningReport",
+    "impact_order",
+    "impact_per_cost_ranking",
+    "model_statistics",
+    "ordering_objective",
+    "pairwise_heuristic_order",
+    "random_order",
+    "top_features_by_impact_per_cost",
+]

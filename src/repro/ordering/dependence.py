@@ -1,0 +1,180 @@
+"""Dependence measurement between tuning features (Section III-A).
+
+The quantities the paper defines:
+
+- ``W_∅`` — cost of the expected workload *without any optimization*;
+- ``W_A`` — cost after a tuning run for single feature A;
+- ``W_{A,B}`` — cost after tuning A first, then B (B's tuning sees the
+  state A left behind — that is where dependence comes from);
+- ``d_{A,B} = W_{B,A} / W_{A,B}`` — the dependence ratio: values > 1 mean
+  "tune A before B", ≈ 1 means the order barely matters;
+- impact ratios ``W_∅ / W_A`` and tuning costs for the impact-per-cost
+  ranking used when resources do not suffice to tune everything.
+
+All measurement happens in a what-if sandbox on top of the all-features
+reset baseline, so "without any optimization" is taken literally and the
+database is bit-identical afterwards. The dependencies are *determined
+automatically* — no manual specification as in Zilio et al. [23].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.configuration.constraints import ConstraintSet
+from repro.configuration.delta import ConfigurationDelta
+from repro.cost.what_if import WhatIfOptimizer
+from repro.dbms.database import Database
+from repro.errors import OrderingError
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.tuner import Tuner
+
+
+@dataclass(frozen=True)
+class DependenceMatrix:
+    """Measured workload costs for single and pairwise feature tunings."""
+
+    features: tuple[str, ...]
+    w_empty: float
+    #: feature → W_A
+    w_single: dict[str, float] = field(default_factory=dict)
+    #: (A, B) → W_{A,B}, cost after tuning A then B
+    w_pair: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: feature → one-time cost of its single tuning run
+    tuning_cost_ms: dict[str, float] = field(default_factory=dict)
+
+    def d(self, a: str, b: str) -> float:
+        """Dependence ratio d_{A,B} = W_{B,A} / W_{A,B} (>1 ⇒ A first).
+
+        A zero pair cost means the workload is empty (or fully optimized
+        away); the order is then indifferent and the ratio is 1.
+        """
+        w_ab = self.w_pair[(a, b)]
+        w_ba = self.w_pair[(b, a)]
+        if w_ab <= 0:
+            return 1.0
+        return w_ba / w_ab
+
+    def impact(self, a: str) -> float:
+        """Impact ratio W_∅ / W_A of tuning feature A alone; 1 when the
+        workload cost vanishes (nothing to improve)."""
+        if self.w_single[a] <= 0:
+            return 1.0
+        return self.w_empty / self.w_single[a]
+
+    def objective_coefficient(self, a: str, b: str) -> float:
+        """The LP objective weight of y_{A,B}: d_{A,B} · W_∅ / W_{A,B};
+        zero when the pair cost vanishes (no gain to order for)."""
+        w_ab = self.w_pair[(a, b)]
+        if w_ab <= 0:
+            return 0.0
+        return self.d(a, b) * self.w_empty / w_ab
+
+    def ordered_pairs(self) -> list[tuple[str, str]]:
+        return [
+            (a, b)
+            for a in self.features
+            for b in self.features
+            if a != b
+        ]
+
+
+def ordering_objective(matrix: DependenceMatrix, order: tuple[str, ...]) -> float:
+    """Section III-B objective value of a concrete permutation: the sum of
+    coefficients of all pairs (A, B) where A precedes B in ``order``."""
+    if sorted(order) != sorted(matrix.features):
+        raise OrderingError(
+            f"order {order} is not a permutation of {matrix.features}"
+        )
+    position = {name: i for i, name in enumerate(order)}
+    return sum(
+        matrix.objective_coefficient(a, b)
+        for a, b in matrix.ordered_pairs()
+        if position[a] < position[b]
+    )
+
+
+class DependenceAnalyzer:
+    """Measures W_∅, W_A, W_{A,B} via sandboxed tuning runs."""
+
+    def __init__(
+        self,
+        db: Database,
+        tuners: list[Tuner],
+        constraints: ConstraintSet | None = None,
+        optimizer: WhatIfOptimizer | None = None,
+        max_templates: int | None = None,
+    ) -> None:
+        """``max_templates`` caps the workload the |S|² measurement runs
+        see — the paper's workload-reduction lever for keeping dependence
+        measurement affordable on large workloads (Section III-A)."""
+        if len(tuners) < 2:
+            raise OrderingError("dependence needs at least two features")
+        names = [t.feature_name for t in tuners]
+        if len(set(names)) != len(names):
+            raise OrderingError(f"duplicate feature names: {names}")
+        self._db = db
+        self._tuners = {t.feature_name: t for t in tuners}
+        self._constraints = constraints or ConstraintSet()
+        self._optimizer = optimizer or WhatIfOptimizer(db)
+        self._max_templates = max_templates
+
+    def _full_reset(self, forecast: Forecast) -> ConfigurationDelta:
+        reset = ConfigurationDelta([])
+        for tuner in self._tuners.values():
+            reset.extend(tuner.feature.reset_delta(self._db, forecast))
+        return reset
+
+    def _expected_cost(self, forecast: Forecast) -> float:
+        return self._optimizer.scenario_cost_ms(
+            forecast.expected, dict(forecast.sample_queries)
+        )
+
+    def _apply_tuning(self, name: str, forecast: Forecast) -> tuple[
+        ConfigurationDelta, float
+    ]:
+        """Propose and raw-apply one feature's tuning on the current
+        (sandboxed) state; returns (inverse delta, one-time cost estimate)."""
+        tuner = self._tuners[name]
+        result = tuner.propose(forecast, self._constraints)
+        cost = result.reconfiguration_cost_ms
+        inverse = result.delta.apply_raw(self._db)
+        return inverse, cost
+
+    def measure(self, forecast: Forecast) -> DependenceMatrix:
+        """Run the full single + pairwise measurement campaign."""
+        if self._max_templates is not None:
+            from repro.forecasting.scenarios import reduce_templates
+
+            forecast = reduce_templates(forecast, self._max_templates)
+        names = tuple(sorted(self._tuners))
+        w_single: dict[str, float] = {}
+        w_pair: dict[tuple[str, str], float] = {}
+        tuning_cost: dict[str, float] = {}
+
+        reset = self._full_reset(forecast)
+        undo_reset = reset.apply_raw(self._db)
+        try:
+            w_empty = self._expected_cost(forecast)
+            for name in names:
+                inverse, cost = self._apply_tuning(name, forecast)
+                w_single[name] = self._expected_cost(forecast)
+                tuning_cost[name] = cost
+                inverse.apply_raw(self._db)
+            for a, b in itertools.permutations(names, 2):
+                inverse_a, _ = self._apply_tuning(a, forecast)
+                inverse_b, _ = self._apply_tuning(b, forecast)
+                w_pair[(a, b)] = self._expected_cost(forecast)
+                inverse_b.apply_raw(self._db)
+                inverse_a.apply_raw(self._db)
+        finally:
+            undo_reset.apply_raw(self._db)
+
+        return DependenceMatrix(
+            features=names,
+            w_empty=w_empty,
+            w_single=w_single,
+            w_pair=w_pair,
+            tuning_cost_ms=tuning_cost,
+        )

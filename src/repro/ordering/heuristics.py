@@ -1,0 +1,72 @@
+"""Baseline ordering heuristics the LP order is benchmarked against.
+
+- random / reversed orders (the naive baselines);
+- impact ordering by W_∅ / W_A (tune the biggest lever first);
+- impact-per-cost ranking (Section III-A: "a heuristic-based ranking of
+  impact per cost which can be utilized when resources do not suffice for
+  tuning all features");
+- a Zilio-style pairwise heuristic: rank each feature by the summed
+  objective coefficients of putting it before everyone else (a local view
+  of pairwise dependence, without the LP's global consistency).
+"""
+
+from __future__ import annotations
+
+from repro.ordering.dependence import DependenceMatrix
+from repro.util.rng import derive_rng
+
+
+def random_order(matrix: DependenceMatrix, seed: int = 0) -> tuple[str, ...]:
+    rng = derive_rng(seed, "random-order")
+    names = list(matrix.features)
+    rng.shuffle(names)
+    return tuple(names)
+
+
+def impact_order(matrix: DependenceMatrix) -> tuple[str, ...]:
+    """Features sorted by single-feature impact W_∅ / W_A, best first."""
+    return tuple(
+        sorted(matrix.features, key=matrix.impact, reverse=True)
+    )
+
+
+def impact_per_cost_ranking(
+    matrix: DependenceMatrix,
+) -> list[tuple[str, float]]:
+    """(feature, impact-per-cost) pairs, best first.
+
+    Used to pick the subset of features worth tuning when resources do not
+    suffice for all of them.
+    """
+    ranking = []
+    for name in matrix.features:
+        cost = max(matrix.tuning_cost_ms.get(name, 0.0), 1e-9)
+        ranking.append((name, matrix.impact(name) / cost))
+    ranking.sort(key=lambda pair: pair[1], reverse=True)
+    return ranking
+
+
+def top_features_by_impact_per_cost(
+    matrix: DependenceMatrix, budget_ms: float
+) -> list[str]:
+    """Greedy subset of features whose tuning costs fit ``budget_ms``."""
+    chosen = []
+    remaining = budget_ms
+    for name, _score in impact_per_cost_ranking(matrix):
+        cost = matrix.tuning_cost_ms.get(name, 0.0)
+        if cost <= remaining:
+            chosen.append(name)
+            remaining -= cost
+    return chosen
+
+
+def pairwise_heuristic_order(matrix: DependenceMatrix) -> tuple[str, ...]:
+    """Rank by summed before-everyone coefficients (local pairwise view)."""
+    def score(a: str) -> float:
+        return sum(
+            matrix.objective_coefficient(a, b)
+            for b in matrix.features
+            if b != a
+        )
+
+    return tuple(sorted(matrix.features, key=score, reverse=True))

@@ -1,0 +1,75 @@
+"""Assessments: the assessor's verdict on one candidate.
+
+"Each candidate is assigned a positive or negative desirability indicating
+its impact … for a forecast scenario. The system assigns different
+desirabilities to the same candidate for different forecast scenarios …
+Besides, the assessor assigns an associated confidence … and a cost to each
+assessment. The cost component is twofold: permanent costs (e.g., the
+memory consumption of an index) and one-time costs for applying the
+configuration" (Section II-D.b).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.tuning.candidate import Candidate
+
+
+@dataclass
+class Assessment:
+    """Desirability per scenario, confidence, and costs for one candidate."""
+
+    candidate: Candidate
+    #: scenario name → benefit in ms of workload cost over the forecast
+    #: horizon (positive = improvement, negative = regression)
+    desirability: dict[str, float]
+    #: certainty of the assessment, in [0, 1]
+    confidence: float = 1.0
+    #: resource → amount permanently consumed while the candidate is active
+    #: (e.g. index memory bytes); negative amounts free the resource
+    permanent_costs: dict[str, float] = field(default_factory=dict)
+    #: one-time reconfiguration cost of applying the candidate now
+    one_time_cost_ms: float = 0.0
+
+    def expected(self, probabilities: Mapping[str, float]) -> float:
+        """Probability-weighted desirability."""
+        return sum(
+            probabilities.get(name, 0.0) * value
+            for name, value in self.desirability.items()
+        )
+
+    def worst_case(self) -> float:
+        """Minimum desirability over all scenarios."""
+        return min(self.desirability.values()) if self.desirability else 0.0
+
+    def std(self, probabilities: Mapping[str, float]) -> float:
+        """Probability-weighted standard deviation of desirability."""
+        mean = self.expected(probabilities)
+        variance = sum(
+            probabilities.get(name, 0.0) * (value - mean) ** 2
+            for name, value in self.desirability.items()
+        )
+        return math.sqrt(max(variance, 0.0))
+
+    def net_benefit(
+        self,
+        probabilities: Mapping[str, float],
+        reconfiguration_weight: float = 0.0,
+    ) -> float:
+        """Expected desirability minus weighted reconfiguration cost.
+
+        The weight expresses how heavily one-time costs count against the
+        recurring benefit; 0 ignores them, 1 treats one application as
+        costly as one forecast horizon of benefit (Section II-D.b's
+        mechanism for finding minimally invasive changes).
+        """
+        return (
+            self.expected(probabilities)
+            - reconfiguration_weight * self.one_time_cost_ms
+        )
+
+    def permanent_cost(self, resource: str) -> float:
+        return self.permanent_costs.get(resource, 0.0)

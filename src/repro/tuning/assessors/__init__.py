@@ -1,0 +1,15 @@
+"""Assessors: cost-model based, buffer-pool specific, feedback-calibrated."""
+
+from repro.tuning.assessors.base import Assessor
+from repro.tuning.assessors.buffer_pool import BufferPoolAssessor
+from repro.tuning.assessors.cost_model import CostModelAssessor
+from repro.tuning.assessors.learned_feedback import LearnedFeedbackAssessor
+from repro.tuning.assessors.sort_benefit import SortBenefitAssessor
+
+__all__ = [
+    "Assessor",
+    "BufferPoolAssessor",
+    "CostModelAssessor",
+    "LearnedFeedbackAssessor",
+    "SortBenefitAssessor",
+]

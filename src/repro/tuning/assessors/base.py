@@ -1,0 +1,38 @@
+"""Assessor interface.
+
+"This component provides an assessment of the previously generated
+candidates … Choosing an assessor is a trade-off between accuracy and
+runtime" (Section II-D.b). Assessors price candidates against a *feature
+reset baseline* (e.g. "no indexes", "all unencoded") supplied by the
+feature tuner, so selection-from-scratch semantics hold: every candidate's
+desirability and permanent cost is measured from the same clean slate while
+the rest of the configuration stays as it currently is.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.configuration.delta import ConfigurationDelta
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.assessment import Assessment
+from repro.tuning.candidate import Candidate
+
+
+class Assessor(ABC):
+    """Assigns desirability, confidence, and costs to candidates."""
+
+    #: whether selectors may call :meth:`assess` again mid-selection to
+    #: reflect interactions with already-chosen candidates
+    supports_reassessment: bool = False
+
+    @abstractmethod
+    def assess(
+        self,
+        candidates: list[Candidate],
+        db: Database,
+        forecast: Forecast,
+        reset_delta: ConfigurationDelta | None = None,
+    ) -> list[Assessment]:
+        """Assess all candidates; order matches the input order."""

@@ -1,0 +1,107 @@
+"""Specialised assessor for the buffer-pool-size knob.
+
+Probe-mode what-if execution cannot see buffer-pool benefits: probing never
+admits chunks, so a larger pool looks worthless. This assessor instead
+installs a *scratch* pool of the candidate capacity, replays the expected
+workload once to warm it (accesses admit and evict normally), then measures
+a second pass — a steady-state estimate of the candidate — and finally
+restores the production pool untouched.
+"""
+
+from __future__ import annotations
+
+from repro.configuration.constraints import DRAM_BYTES
+from repro.configuration.delta import ConfigurationDelta
+from repro.dbms.database import Database
+from repro.dbms.executor import BufferPool
+from repro.dbms.knobs import BUFFER_POOL_KNOB
+from repro.errors import TuningError
+from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.tuning.assessment import Assessment
+from repro.tuning.assessors.base import Assessor
+from repro.tuning.candidate import Candidate, KnobCandidate
+
+
+class BufferPoolAssessor(Assessor):
+    """Measures buffer-pool capacities with warmed scratch pools."""
+
+    supports_reassessment = False
+
+    def __init__(self, confidence: float = 0.85) -> None:
+        self._confidence = confidence
+
+    def _scenario_cost_with_pool(
+        self,
+        db: Database,
+        scenario: WorkloadScenario,
+        forecast: Forecast,
+        capacity: float,
+    ) -> float:
+        scratch = BufferPool(capacity)
+        previous = db.executor.swap_buffer_pool(scratch)
+        try:
+            # pass 1: warm the scratch pool (results discarded)
+            for key, frequency in scenario.frequencies.items():
+                query = forecast.sample_queries.get(key)
+                if query is None or frequency <= 0:
+                    continue
+                db.executor.execute(query, db.table(query.table))
+            # pass 2: steady-state measurement
+            total = 0.0
+            for key, frequency in scenario.frequencies.items():
+                query = forecast.sample_queries.get(key)
+                if query is None or frequency <= 0:
+                    continue
+                result = db.executor.execute(query, db.table(query.table))
+                total += frequency * result.report.elapsed_ms
+            return total
+        finally:
+            db.executor.swap_buffer_pool(previous)
+
+    def assess(
+        self,
+        candidates: list[Candidate],
+        db: Database,
+        forecast: Forecast,
+        reset_delta: ConfigurationDelta | None = None,
+    ) -> list[Assessment]:
+        for candidate in candidates:
+            if not (
+                isinstance(candidate, KnobCandidate)
+                and candidate.name == BUFFER_POOL_KNOB
+            ):
+                raise TuningError(
+                    "BufferPoolAssessor only assesses buffer_pool_bytes "
+                    f"candidates, got {candidate.describe()}"
+                )
+        del reset_delta  # the scratch pool itself is the reset baseline
+
+        default_capacity = db.knobs.definition(BUFFER_POOL_KNOB).default
+        baseline = {
+            scenario.name: self._scenario_cost_with_pool(
+                db, scenario, forecast, default_capacity
+            )
+            for scenario in forecast.scenarios
+        }
+
+        assessments = []
+        for candidate in candidates:
+            desirability = {}
+            for scenario in forecast.scenarios:
+                cost = self._scenario_cost_with_pool(
+                    db, scenario, forecast, candidate.value
+                )
+                desirability[scenario.name] = baseline[scenario.name] - cost
+            assessments.append(
+                Assessment(
+                    candidate=candidate,
+                    desirability=desirability,
+                    confidence=self._confidence,
+                    # the pool reserves DRAM for as long as the knob is set
+                    permanent_costs={DRAM_BYTES: float(candidate.value)},
+                    one_time_cost_ms=ConfigurationDelta(
+                        candidate.actions()
+                    ).estimate_cost_ms(db),
+                )
+            )
+        return assessments

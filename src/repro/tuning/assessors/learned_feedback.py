@@ -1,0 +1,82 @@
+"""Feedback-calibrated assessor.
+
+"Learnings from past decisions, i.e., the effect of specific configurations
+on runtime KPIs can be incorporated during this step" (Section II-D.b).
+This wrapper compares the benefits past tuning rounds *predicted* against
+what was later *measured* (both recorded in the configuration instance
+storage) and uses the ratio to rescale new desirabilities and shrink the
+reported confidence when history shows systematic error.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.configuration.delta import ConfigurationDelta
+from repro.configuration.store import ConfigurationInstanceStorage
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.assessment import Assessment
+from repro.tuning.assessors.base import Assessor
+from repro.tuning.candidate import Candidate
+
+#: calibration ratios are clipped to this range to keep one bad
+#: measurement from inverting assessments
+_RATIO_BOUNDS = (0.25, 4.0)
+_MIN_FEEDBACK_PAIRS = 3
+
+
+class LearnedFeedbackAssessor(Assessor):
+    """Rescales an inner assessor using stored prediction-vs-measurement pairs."""
+
+    def __init__(
+        self,
+        inner: Assessor,
+        store: ConfigurationInstanceStorage,
+        feature: str,
+    ) -> None:
+        self._inner = inner
+        self._store = store
+        self._feature = feature
+
+    @property
+    def supports_reassessment(self) -> bool:  # type: ignore[override]
+        return self._inner.supports_reassessment
+
+    def calibration(self) -> tuple[float, float]:
+        """(benefit ratio, confidence factor) learned from stored feedback."""
+        pairs = [
+            (predicted, measured)
+            for predicted, measured in self._store.feedback(self._feature)
+            if abs(predicted) > 1e-9
+        ]
+        if len(pairs) < _MIN_FEEDBACK_PAIRS:
+            return 1.0, 1.0
+        ratios = [measured / predicted for predicted, measured in pairs]
+        ratio = statistics.median(ratios)
+        ratio = min(max(ratio, _RATIO_BOUNDS[0]), _RATIO_BOUNDS[1])
+        relative_errors = [
+            abs(measured - predicted) / max(abs(measured), 1e-9)
+            for predicted, measured in pairs
+        ]
+        confidence_factor = 1.0 / (1.0 + statistics.mean(relative_errors))
+        return ratio, confidence_factor
+
+    def assess(
+        self,
+        candidates: list[Candidate],
+        db: Database,
+        forecast: Forecast,
+        reset_delta: ConfigurationDelta | None = None,
+    ) -> list[Assessment]:
+        assessments = self._inner.assess(candidates, db, forecast, reset_delta)
+        ratio, confidence_factor = self.calibration()
+        if ratio == 1.0 and confidence_factor == 1.0:
+            return assessments
+        for assessment in assessments:
+            assessment.desirability = {
+                name: value * ratio
+                for name, value in assessment.desirability.items()
+            }
+            assessment.confidence *= confidence_factor
+        return assessments

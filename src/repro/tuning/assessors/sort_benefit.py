@@ -1,0 +1,115 @@
+"""Anticipating assessor for sort-order candidates.
+
+Sorting a chunk changes nothing by itself — scanning an unencoded segment
+costs the same in any row order — so a purely myopic assessment would
+reject every sort and the joint sort+run-length win could never be
+discovered by recursive single-feature tuning, in any order.
+
+This assessor therefore prices a sort candidate by its *enabling* benefit:
+with the sort hypothetically applied, it tries every supported encoding on
+the sorted column and reports the best achievable workload cost. The
+benefit is delivered only if a later compression run actually picks that
+encoding, so the confidence is reduced accordingly — precisely the kind of
+cross-feature anticipation the paper's dependence discussion (Section III)
+motivates.
+"""
+
+from __future__ import annotations
+
+from repro.configuration.actions import SetEncodingAction
+from repro.configuration.delta import ConfigurationDelta
+from repro.cost.what_if import WhatIfOptimizer
+from repro.dbms.database import Database
+from repro.dbms.segments import supported_encodings
+from repro.errors import TuningError
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.assessment import Assessment
+from repro.tuning.assessors.base import Assessor
+from repro.tuning.candidate import Candidate, SortOrderCandidate
+
+
+class SortBenefitAssessor(Assessor):
+    """Measures each sort candidate at its best follow-up encoding."""
+
+    supports_reassessment = False
+
+    def __init__(
+        self, optimizer: WhatIfOptimizer, confidence: float = 0.7
+    ) -> None:
+        """Confidence defaults below the measuring assessor's because the
+        benefit depends on a subsequent compression tuning realising it."""
+        self._optimizer = optimizer
+        self._confidence = confidence
+
+    def _template_costs(self, forecast: Forecast, table: str) -> dict[str, float]:
+        return {
+            key: self._optimizer.query_cost_ms(query)
+            for key, query in forecast.sample_queries.items()
+            if query.table == table
+        }
+
+    def assess(
+        self,
+        candidates: list[Candidate],
+        db: Database,
+        forecast: Forecast,
+        reset_delta: ConfigurationDelta | None = None,
+    ) -> list[Assessment]:
+        del reset_delta  # sort order has no reset baseline (incremental)
+        for candidate in candidates:
+            if not isinstance(candidate, SortOrderCandidate):
+                raise TuningError(
+                    "SortBenefitAssessor only assesses sort-order "
+                    f"candidates, got {candidate.describe()}"
+                )
+        assessments: list[Assessment] = []
+        baseline_cache: dict[str, dict[str, float]] = {}
+        for candidate in candidates:
+            table = db.table(candidate.table)
+            if candidate.table not in baseline_cache:
+                baseline_cache[candidate.table] = self._template_costs(
+                    forecast, candidate.table
+                )
+            baseline = baseline_cache[candidate.table]
+            delta = ConfigurationDelta(candidate.actions())
+            one_time = delta.estimate_cost_ms(db)
+            data_type = table.schema.data_type(candidate.column)
+
+            best_costs: dict[str, float] | None = None
+            with self._optimizer.hypothetical(delta):
+                for encoding in supported_encodings(data_type):
+                    encode = ConfigurationDelta(
+                        [
+                            SetEncodingAction(
+                                candidate.table,
+                                candidate.column,
+                                encoding,
+                                candidate.chunk_ids,
+                            )
+                        ]
+                    )
+                    with self._optimizer.hypothetical(encode):
+                        costs = self._template_costs(forecast, candidate.table)
+                    total = sum(costs.values())
+                    if best_costs is None or total < sum(best_costs.values()):
+                        best_costs = costs
+            assert best_costs is not None
+
+            desirability = {}
+            for scenario in forecast.scenarios:
+                benefit = 0.0
+                for key, frequency in scenario.frequencies.items():
+                    if frequency <= 0 or key not in baseline:
+                        continue
+                    benefit += frequency * (baseline[key] - best_costs[key])
+                desirability[scenario.name] = benefit
+            assessments.append(
+                Assessment(
+                    candidate=candidate,
+                    desirability=desirability,
+                    confidence=self._confidence,
+                    permanent_costs={},  # sorting occupies no extra memory
+                    one_time_cost_ms=one_time,
+                )
+            )
+        return assessments

@@ -1,0 +1,33 @@
+"""Candidate enumerators for all tuning features."""
+
+from repro.tuning.enumerators.base import (
+    ColumnUsage,
+    Enumerator,
+    predicate_column_usage,
+    template_predicate_columns,
+    workload_tables,
+)
+from repro.tuning.enumerators.encoding_enum import EncodingEnumerator
+from repro.tuning.enumerators.heuristic import (
+    RestrictiveEnumerator,
+    frequency_score,
+)
+from repro.tuning.enumerators.index_enum import IndexEnumerator
+from repro.tuning.enumerators.knob_enum import KnobEnumerator
+from repro.tuning.enumerators.placement_enum import PlacementEnumerator
+from repro.tuning.enumerators.sort_enum import SortOrderEnumerator
+
+__all__ = [
+    "ColumnUsage",
+    "EncodingEnumerator",
+    "Enumerator",
+    "IndexEnumerator",
+    "KnobEnumerator",
+    "PlacementEnumerator",
+    "RestrictiveEnumerator",
+    "SortOrderEnumerator",
+    "frequency_score",
+    "predicate_column_usage",
+    "template_predicate_columns",
+    "workload_tables",
+]

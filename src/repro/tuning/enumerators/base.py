@@ -1,0 +1,91 @@
+"""Enumerator interface and workload-introspection helpers.
+
+"An enumerator is responsible for providing a list of Candidates to the
+tuning process. The size of the candidate set is typically a significant
+contributor to the execution time of optimization algorithms"
+(Section II-D.a). Enumerators derive candidates syntactically from the
+forecast workload; restrictive variants cap the set.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.candidate import Candidate
+
+
+class Enumerator(ABC):
+    """Produces the candidate set for one tuning run."""
+
+    @abstractmethod
+    def candidates(self, db: Database, forecast: Forecast) -> list[Candidate]:
+        """Candidates applicable to ``db`` for the forecast workload."""
+
+
+def workload_tables(forecast: Forecast) -> set[str]:
+    """Tables referenced by the forecast's sample queries."""
+    return {query.table for query in forecast.sample_queries.values()}
+
+
+@dataclass(frozen=True)
+class ColumnUsage:
+    """How a column is used by the forecast workload."""
+
+    table: str
+    column: str
+    #: expected executions (over the horizon) with an equality predicate
+    eq_frequency: float = 0.0
+    #: expected executions with a range predicate
+    range_frequency: float = 0.0
+
+    @property
+    def total_frequency(self) -> float:
+        return self.eq_frequency + self.range_frequency
+
+
+def predicate_column_usage(forecast: Forecast) -> dict[tuple[str, str], ColumnUsage]:
+    """Aggregate per-column predicate usage weighted by expected frequency."""
+    frequencies = forecast.expected.frequencies
+    usage: dict[tuple[str, str], ColumnUsage] = {}
+    for key, query in forecast.sample_queries.items():
+        frequency = float(frequencies.get(key, 0.0))
+        if frequency <= 0:
+            continue
+        for pred in query.predicates:
+            slot = (query.table, pred.column)
+            existing = usage.get(slot)
+            eq = frequency if pred.op == "=" else 0.0
+            rng = frequency if pred.op != "=" else 0.0
+            if existing is None:
+                usage[slot] = ColumnUsage(query.table, pred.column, eq, rng)
+            else:
+                usage[slot] = ColumnUsage(
+                    query.table,
+                    pred.column,
+                    existing.eq_frequency + eq,
+                    existing.range_frequency + rng,
+                )
+    return usage
+
+
+def template_predicate_columns(
+    forecast: Forecast,
+) -> list[tuple[float, str, list[str], list[str]]]:
+    """Per template: (frequency, table, eq columns, range columns)."""
+    frequencies = forecast.expected.frequencies
+    result = []
+    for key, query in forecast.sample_queries.items():
+        frequency = float(frequencies.get(key, 0.0))
+        if frequency <= 0:
+            continue
+        eq_cols: list[str] = []
+        range_cols: list[str] = []
+        for pred in query.predicates:
+            target = eq_cols if pred.op == "=" else range_cols
+            if pred.column not in target:
+                target.append(pred.column)
+        result.append((frequency, query.table, eq_cols, range_cols))
+    return result

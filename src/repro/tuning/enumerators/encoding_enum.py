@@ -1,0 +1,76 @@
+"""Encoding candidate enumeration.
+
+For every workload-relevant column, one candidate per supported encoding
+(including UNENCODED, the reset state) forms a required exclusion group:
+the selector must pick exactly one encoding per column (or per chunk group
+when chunk granularity is enabled).
+"""
+
+from __future__ import annotations
+
+from repro.dbms.database import Database
+from repro.dbms.segments import supported_encodings
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.candidate import Candidate, EncodingCandidate
+from repro.tuning.enumerators.base import (
+    Enumerator,
+    predicate_column_usage,
+    workload_tables,
+)
+
+
+class EncodingEnumerator(Enumerator):
+    """Per-column encoding alternatives as required exclusion groups."""
+
+    def __init__(self, all_columns: bool = False, per_chunk: bool = False) -> None:
+        """``all_columns`` enumerates every column of workload tables, not
+        just predicate/aggregate columns (more memory wins, more work)."""
+        self._all_columns = all_columns
+        self._per_chunk = per_chunk
+
+    def relevant_columns(
+        self, db: Database, forecast: Forecast
+    ) -> list[tuple[str, str]]:
+        tables = workload_tables(forecast)
+        if self._all_columns:
+            columns = []
+            for table_name in sorted(tables):
+                if not db.catalog.has_table(table_name):
+                    continue
+                for column in db.table(table_name).schema.column_names:
+                    columns.append((table_name, column))
+            return columns
+        usage = predicate_column_usage(forecast)
+        columns = sorted(usage)
+        # aggregate input columns are decoded in bulk, so they matter too
+        for query in forecast.sample_queries.values():
+            if query.aggregate_column is not None:
+                slot = (query.table, query.aggregate_column)
+                if slot not in columns:
+                    columns.append(slot)
+        return columns
+
+    def candidates(self, db: Database, forecast: Forecast) -> list[Candidate]:
+        candidates: list[Candidate] = []
+        for table_name, column in self.relevant_columns(db, forecast):
+            if not db.catalog.has_table(table_name):
+                continue
+            table = db.table(table_name)
+            if not table.schema.has_column(column):
+                continue
+            data_type = table.schema.data_type(column)
+            encodings = supported_encodings(data_type)
+            if self._per_chunk:
+                for chunk in table.chunks():
+                    for encoding in encodings:
+                        candidates.append(
+                            EncodingCandidate(
+                                table_name, column, encoding, (chunk.chunk_id,)
+                            )
+                        )
+            else:
+                for encoding in encodings:
+                    candidates.append(
+                        EncodingCandidate(table_name, column, encoding, None)
+                    )
+        return candidates

@@ -1,0 +1,66 @@
+"""Index candidate enumeration.
+
+Syntax-driven enumeration in the tradition of AutoAdmin [12]: candidates
+are single predicate columns plus two-column composites that co-occur in a
+template (equality column leading, since the index supports equality on a
+prefix plus a range on the next column). Existing indexes on workload
+tables are re-enumerated so selection-from-scratch semantics can decide to
+keep or drop them.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.candidate import Candidate, IndexCandidate
+from repro.tuning.enumerators.base import (
+    Enumerator,
+    template_predicate_columns,
+    workload_tables,
+)
+
+
+class IndexEnumerator(Enumerator):
+    """All syntactically relevant index candidates."""
+
+    def __init__(self, max_width: int = 2, per_chunk: bool = False) -> None:
+        if max_width < 1:
+            raise ValueError("max_width must be at least 1")
+        self._max_width = max_width
+        self._per_chunk = per_chunk
+
+    def candidates(self, db: Database, forecast: Forecast) -> list[Candidate]:
+        keys: set[tuple[str, tuple[str, ...]]] = set()
+        for _freq, table, eq_cols, range_cols in template_predicate_columns(
+            forecast
+        ):
+            for column in eq_cols + range_cols:
+                keys.add((table, (column,)))
+            if self._max_width >= 2:
+                # equality column leading, then another predicate column
+                for lead in eq_cols:
+                    for follow in eq_cols + range_cols:
+                        if follow != lead:
+                            keys.add((table, (lead, follow)))
+
+        # keep existing indexes selectable
+        for table_name in workload_tables(forecast):
+            if not db.catalog.has_table(table_name):
+                continue
+            for chunk in db.table(table_name).chunks():
+                for key in chunk.index_keys():
+                    if len(key) <= self._max_width:
+                        keys.add((table_name, key))
+
+        candidates: list[Candidate] = []
+        for table_name, columns in sorted(keys):
+            if not db.catalog.has_table(table_name):
+                continue
+            if self._per_chunk:
+                for chunk in db.table(table_name).chunks():
+                    candidates.append(
+                        IndexCandidate(table_name, columns, (chunk.chunk_id,))
+                    )
+            else:
+                candidates.append(IndexCandidate(table_name, columns, None))
+        return candidates

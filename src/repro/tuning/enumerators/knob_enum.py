@@ -1,0 +1,49 @@
+"""Knob candidate enumeration.
+
+Knob candidates realise the paper's range form: the knob definition carries
+start, end, and smallest interval; the enumerator samples at most
+``max_candidates`` evenly spaced settable values (always including the
+domain boundaries, the default, and the current value).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.candidate import Candidate, KnobCandidate
+from repro.tuning.enumerators.base import Enumerator
+
+
+class KnobEnumerator(Enumerator):
+    """Evenly spaced values from one knob's stepped range."""
+
+    def __init__(
+        self,
+        knob_name: str,
+        max_candidates: int = 9,
+        feature_name: str | None = None,
+    ) -> None:
+        if max_candidates < 2:
+            raise ValueError("max_candidates must be at least 2")
+        self._knob_name = knob_name
+        self._max_candidates = max_candidates
+        self._feature_name = feature_name or f"knob:{knob_name}"
+
+    def candidates(self, db: Database, forecast: Forecast) -> list[Candidate]:
+        del forecast  # knob candidates do not depend on the workload shape
+        knob = db.knobs.definition(self._knob_name)
+        domain = knob.domain_values()
+        if len(domain) > self._max_candidates:
+            picks = np.linspace(0, len(domain) - 1, self._max_candidates)
+            values = sorted({domain[int(round(i))] for i in picks})
+        else:
+            values = list(domain)
+        for must_have in (knob.default, db.knobs.get(self._knob_name)):
+            if must_have not in values:
+                values.append(must_have)
+        return [
+            KnobCandidate(self._knob_name, value, self._feature_name)
+            for value in sorted(values)
+        ]

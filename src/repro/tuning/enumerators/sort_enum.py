@@ -1,0 +1,55 @@
+"""Sort-order candidate enumeration.
+
+One candidate per (workload table, predicate column): sorting by a column
+groups equal values, which makes run-length encoding effective on it and
+shrinks dictionary/index structures — benefits that mostly materialise
+*through* the compression feature, making sort order the strongest
+dependence generator in the feature set.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.candidate import Candidate, SortOrderCandidate
+from repro.tuning.enumerators.base import Enumerator, predicate_column_usage
+
+
+class SortOrderEnumerator(Enumerator):
+    """Sort candidates from the workload's predicate columns."""
+
+    def __init__(self, per_chunk: bool = False, max_columns: int = 4) -> None:
+        if max_columns < 1:
+            raise ValueError("max_columns must be at least 1")
+        self._per_chunk = per_chunk
+        self._max_columns = max_columns
+
+    def candidates(self, db: Database, forecast: Forecast) -> list[Candidate]:
+        usage = predicate_column_usage(forecast)
+        by_table: dict[str, list[tuple[float, str]]] = {}
+        for (table, column), stats in usage.items():
+            by_table.setdefault(table, []).append(
+                (stats.total_frequency, column)
+            )
+        candidates: list[Candidate] = []
+        for table_name in sorted(by_table):
+            if not db.catalog.has_table(table_name):
+                continue
+            table = db.table(table_name)
+            ranked = sorted(by_table[table_name], reverse=True)
+            columns = [column for _freq, column in ranked[: self._max_columns]]
+            for column in sorted(columns):
+                if not table.schema.has_column(column):
+                    continue
+                if self._per_chunk:
+                    for chunk in table.chunks():
+                        candidates.append(
+                            SortOrderCandidate(
+                                table_name, column, (chunk.chunk_id,)
+                            )
+                        )
+                else:
+                    candidates.append(
+                        SortOrderCandidate(table_name, column, None)
+                    )
+        return candidates

@@ -1,0 +1,12 @@
+"""Tuning executors: sequential and (simulated) parallel application."""
+
+from repro.tuning.executors.base import ApplicationReport, TuningExecutor
+from repro.tuning.executors.parallel import ParallelExecutor
+from repro.tuning.executors.sequential import SequentialExecutor
+
+__all__ = [
+    "ApplicationReport",
+    "ParallelExecutor",
+    "SequentialExecutor",
+    "TuningExecutor",
+]

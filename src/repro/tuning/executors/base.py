@@ -1,0 +1,46 @@
+"""Tuning executor interface.
+
+"The executor takes care of applying the choices that were selected
+previously. There are different application strategies regarding order,
+point in time and sequential or parallel application" (Section II-D.d).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.configuration.delta import ConfigurationDelta
+from repro.dbms.database import Database
+
+
+@dataclass
+class ApplicationReport:
+    """What a tuning executor did and what it cost."""
+
+    strategy: str
+    action_summaries: list[str] = field(default_factory=list)
+    action_costs_ms: list[float] = field(default_factory=list)
+    #: simulated wall time the application occupied
+    elapsed_ms: float = 0.0
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+
+    @property
+    def total_work_ms(self) -> float:
+        """Sum of per-action costs (≥ elapsed for parallel strategies)."""
+        return sum(self.action_costs_ms)
+
+    @property
+    def action_count(self) -> int:
+        return len(self.action_summaries)
+
+
+class TuningExecutor(ABC):
+    """Applies a configuration delta to the database."""
+
+    name: str = "executor"
+
+    @abstractmethod
+    def execute(self, delta: ConfigurationDelta, db: Database) -> ApplicationReport:
+        """Apply all actions of ``delta``."""

@@ -1,0 +1,29 @@
+"""Sequential application: one action at a time, in delta order.
+
+The delta order is already cost-aware (drops before creates, encodings
+before index builds), so sequential application is the safe default.
+"""
+
+from __future__ import annotations
+
+from repro.configuration.delta import ConfigurationDelta
+from repro.dbms.database import Database
+from repro.tuning.executors.base import ApplicationReport, TuningExecutor
+
+
+class SequentialExecutor(TuningExecutor):
+    """Applies actions one after another through the accounted path."""
+
+    name = "sequential"
+
+    def execute(self, delta: ConfigurationDelta, db: Database) -> ApplicationReport:
+        report = ApplicationReport(
+            strategy=self.name, started_ms=db.clock.now_ms
+        )
+        for action in delta.actions:
+            cost = action.apply(db)
+            report.action_summaries.append(action.describe())
+            report.action_costs_ms.append(cost)
+        report.finished_ms = db.clock.now_ms
+        report.elapsed_ms = report.finished_ms - report.started_ms
+        return report

@@ -1,0 +1,30 @@
+"""Feature tuners: one per tunable feature, as the paper prescribes."""
+
+from repro.tuning.features.base import FeatureTuner
+from repro.tuning.features.buffer_pool import BufferPoolFeature
+from repro.tuning.features.compression import CompressionFeature
+from repro.tuning.features.data_placement import DataPlacementFeature
+from repro.tuning.features.index_selection import IndexSelectionFeature
+from repro.tuning.features.sort_order import SortOrderFeature
+
+__all__ = [
+    "BufferPoolFeature",
+    "CompressionFeature",
+    "DataPlacementFeature",
+    "FeatureTuner",
+    "IndexSelectionFeature",
+    "SortOrderFeature",
+]
+
+
+def standard_features(include_sort_order: bool = False) -> list[FeatureTuner]:
+    """The paper's four example features, optionally plus sort order."""
+    features: list[FeatureTuner] = [
+        IndexSelectionFeature(),
+        CompressionFeature(),
+        DataPlacementFeature(),
+        BufferPoolFeature(),
+    ]
+    if include_sort_order:
+        features.insert(0, SortOrderFeature())
+    return features

@@ -1,0 +1,79 @@
+"""The buffer-pool-size feature tuner (a continuous knob).
+
+Demonstrates the paper's range-candidate form: the knob definition carries
+``[start, end]`` and the smallest interval; the enumerator samples values;
+a specialised assessor measures each capacity on a warmed scratch pool.
+"""
+
+from __future__ import annotations
+
+from repro.configuration.constraints import DRAM_BYTES, ConstraintSet
+from repro.configuration.delta import ConfigurationDelta
+from repro.dbms.database import Database
+from repro.dbms.knobs import BUFFER_POOL_KNOB
+from repro.dbms.storage_tiers import StorageTier
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.assessors.base import Assessor
+from repro.tuning.assessors.buffer_pool import BufferPoolAssessor
+from repro.tuning.candidate import Candidate, KnobCandidate
+from repro.tuning.enumerators.knob_enum import KnobEnumerator
+from repro.tuning.features.base import FeatureTuner
+
+
+class BufferPoolFeature(FeatureTuner):
+    """Chooses the buffer-pool capacity from its stepped range."""
+
+    name = "buffer_pool"
+
+    def __init__(self, max_candidates: int = 7) -> None:
+        self._max_candidates = max_candidates
+
+    def make_enumerator(self) -> KnobEnumerator:
+        return KnobEnumerator(
+            BUFFER_POOL_KNOB,
+            max_candidates=self._max_candidates,
+            feature_name=self.name,
+        )
+
+    def make_assessor(self, db: Database) -> Assessor:
+        del db
+        return BufferPoolAssessor()
+
+    def make_fast_assessor(self, db: Database, estimator) -> Assessor | None:
+        # buffer-pool benefit is invisible to analytic estimators (it is a
+        # caching effect); keep the scratch-pool measurement
+        del db, estimator
+        return None
+
+    def reset_delta(self, db: Database, forecast: Forecast) -> ConfigurationDelta:
+        # The buffer-pool assessor measures against the knob default on a
+        # scratch pool; no state needs clearing on the real database.
+        del db, forecast
+        return ConfigurationDelta([])
+
+    def delta_for_choices(
+        self,
+        db: Database,
+        chosen: list[Candidate],
+        forecast: Forecast,
+    ) -> ConfigurationDelta:
+        del forecast
+        actions = []
+        for candidate in chosen:
+            if not isinstance(candidate, KnobCandidate):
+                continue
+            if db.knobs.get(candidate.name) != candidate.value:
+                actions.extend(candidate.actions())
+        return ConfigurationDelta(actions)
+
+    def budgets(
+        self, db: Database, constraints: ConstraintSet, forecast: Forecast
+    ) -> dict[str, float]:
+        del forecast
+        limit = constraints.effective_budget(DRAM_BYTES)
+        if limit is None:
+            return {}
+        # The buffer-pool assessor reports the *absolute* capacity as the
+        # DRAM cost, so the budget is the headroom next to chunk data.
+        chunk_dram = float(db.tier_usage()[StorageTier.DRAM])
+        return {DRAM_BYTES: limit - chunk_dram}

@@ -1,0 +1,47 @@
+"""Selectors: greedy, optimal (MILP), genetic, and robust/risk-averse."""
+
+from repro.tuning.selectors.base import (
+    ScoreFn,
+    Selector,
+    budget_violations,
+    default_score_fn,
+    group_members,
+    resource_usage,
+    validate_selection,
+)
+from repro.tuning.selectors.genetic import GeneticSelector
+from repro.tuning.selectors.greedy import GreedySelector
+from repro.tuning.selectors.optimal import OptimalSelector
+from repro.tuning.selectors.reassessing import ReassessingGreedySelector
+from repro.tuning.selectors.robust import (
+    CRITERIA,
+    MEAN_VARIANCE,
+    UTILITY,
+    VALUE_AT_RISK,
+    WORST_CASE,
+    RobustSelector,
+    exponential_utility,
+    value_at_risk,
+)
+
+__all__ = [
+    "CRITERIA",
+    "GeneticSelector",
+    "GreedySelector",
+    "MEAN_VARIANCE",
+    "OptimalSelector",
+    "ReassessingGreedySelector",
+    "RobustSelector",
+    "ScoreFn",
+    "Selector",
+    "UTILITY",
+    "VALUE_AT_RISK",
+    "WORST_CASE",
+    "budget_violations",
+    "default_score_fn",
+    "exponential_utility",
+    "group_members",
+    "resource_usage",
+    "validate_selection",
+    "value_at_risk",
+]

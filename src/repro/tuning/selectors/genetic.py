@@ -1,0 +1,181 @@
+"""The genetic selector.
+
+"These algorithms are based on the biological principles of mutation,
+selection, and crossover. Genetic algorithms (e.g., for index selection
+Kratica et al. [21]) can be applied when the search space is too large to
+find optimal solutions. They usually find close-to-optimal solutions in
+relatively short amounts of time" (Section II-D.c).
+
+Genome layout: one integer gene per required group (which member is
+chosen) plus one bit per ungrouped/optional candidate. Budget violations
+are penalised proportionally to the excess, so evolution is pushed toward
+feasibility; the best *feasible* individual ever seen is returned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SelectionError
+from repro.tuning.assessment import Assessment
+from repro.tuning.selectors.base import (
+    ScoreFn,
+    Selector,
+    budget_violations,
+    default_score_fn,
+    group_members,
+    resource_usage,
+)
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class _Problem:
+    assessments: list[Assessment]
+    scores: list[float]
+    budgets: Mapping[str, float]
+    #: indices per required group, in stable order
+    group_slots: list[list[int]]
+    #: indices of candidates represented as independent bits
+    bit_slots: list[int]
+
+    def decode(self, genome: np.ndarray) -> set[int]:
+        chosen: set[int] = set()
+        taken_groups: set[str] = set()
+        for slot, members in enumerate(self.group_slots):
+            chosen.add(members[int(genome[slot]) % len(members)])
+        offset = len(self.group_slots)
+        for bit, index in enumerate(self.bit_slots):
+            if genome[offset + bit] < 0.5:
+                continue
+            group = self.assessments[index].candidate.group
+            if group is not None:
+                if group in taken_groups:
+                    continue
+                taken_groups.add(group)
+            chosen.add(index)
+        return chosen
+
+    def fitness(self, chosen: set[int], penalty_scale: float) -> float:
+        total = sum(self.scores[i] for i in chosen)
+        usage = resource_usage(self.assessments, chosen, list(self.budgets))
+        for resource, excess in budget_violations(usage, self.budgets).items():
+            limit = abs(self.budgets[resource]) + 1.0
+            total -= penalty_scale * (1.0 + excess / limit)
+        return total
+
+    def is_feasible(self, chosen: set[int]) -> bool:
+        usage = resource_usage(self.assessments, chosen, list(self.budgets))
+        return not budget_violations(usage, self.budgets)
+
+
+class GeneticSelector(Selector):
+    """Evolutionary selection with penalty-driven feasibility."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        population_size: int = 40,
+        generations: int = 60,
+        mutation_rate: float = 0.08,
+        tournament_size: int = 3,
+        elite: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if population_size < 4:
+            raise SelectionError("population_size must be at least 4")
+        self._population_size = population_size
+        self._generations = generations
+        self._mutation_rate = mutation_rate
+        self._tournament_size = tournament_size
+        self._elite = elite
+        self._seed = seed
+
+    def _random_genome(
+        self, problem: _Problem, rng: np.random.Generator
+    ) -> np.ndarray:
+        genes = []
+        for members in problem.group_slots:
+            genes.append(float(rng.integers(len(members))))
+        for _ in problem.bit_slots:
+            genes.append(float(rng.random() < 0.3))
+        return np.array(genes)
+
+    def _mutate(
+        self, genome: np.ndarray, problem: _Problem, rng: np.random.Generator
+    ) -> np.ndarray:
+        child = genome.copy()
+        for slot, members in enumerate(problem.group_slots):
+            if rng.random() < self._mutation_rate:
+                child[slot] = float(rng.integers(len(members)))
+        offset = len(problem.group_slots)
+        for bit in range(len(problem.bit_slots)):
+            if rng.random() < self._mutation_rate:
+                child[offset + bit] = 1.0 - child[offset + bit]
+        return child
+
+    def select(
+        self,
+        assessments: list[Assessment],
+        budgets: Mapping[str, float],
+        probabilities: Mapping[str, float],
+        reconfiguration_weight: float = 0.0,
+        score_fn: ScoreFn | None = None,
+    ) -> list[Assessment]:
+        if not assessments:
+            return []
+        score = score_fn or default_score_fn(
+            probabilities, reconfiguration_weight
+        )
+        scores = [score(a) for a in assessments]
+        groups, required = group_members(assessments)
+        group_slots = [groups[g] for g in sorted(required)]
+        in_required = {i for g in required for i in groups[g]}
+        bit_slots = [i for i in range(len(assessments)) if i not in in_required]
+        problem = _Problem(assessments, scores, budgets, group_slots, bit_slots)
+        penalty_scale = max((abs(s) for s in scores), default=1.0) * max(
+            len(assessments), 1
+        )
+
+        rng = derive_rng(self._seed, "genetic-selector")
+        population = [
+            self._random_genome(problem, rng)
+            for _ in range(self._population_size)
+        ]
+        best_feasible: tuple[float, set[int]] | None = None
+
+        def evaluate(genome: np.ndarray) -> float:
+            nonlocal best_feasible
+            chosen = problem.decode(genome)
+            fitness = problem.fitness(chosen, penalty_scale)
+            if problem.is_feasible(chosen):
+                value = sum(scores[i] for i in chosen)
+                if best_feasible is None or value > best_feasible[0]:
+                    best_feasible = (value, chosen)
+            return fitness
+
+        fitnesses = [evaluate(g) for g in population]
+        for _generation in range(self._generations):
+            order = np.argsort(fitnesses)[::-1]
+            next_population = [population[i].copy() for i in order[: self._elite]]
+            while len(next_population) < self._population_size:
+                picks = rng.integers(0, len(population), self._tournament_size)
+                parent_a = population[max(picks, key=lambda i: fitnesses[i])]
+                picks = rng.integers(0, len(population), self._tournament_size)
+                parent_b = population[max(picks, key=lambda i: fitnesses[i])]
+                mask = rng.random(len(parent_a)) < 0.5
+                child = np.where(mask, parent_a, parent_b)
+                next_population.append(self._mutate(child, problem, rng))
+            population = next_population
+            fitnesses = [evaluate(g) for g in population]
+
+        if best_feasible is None:
+            raise SelectionError(
+                "genetic search found no feasible selection within "
+                f"{self._generations} generations"
+            )
+        return [assessments[i] for i in sorted(best_feasible[1])]

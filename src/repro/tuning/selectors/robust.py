@@ -1,0 +1,131 @@
+"""Robust and risk-averse selection.
+
+"Selectors that act risk-averse are a good choice for scenarios in which
+stable performance in most cases is preferred over best performance in the
+expected case (cf. CliffGuard [22]). Criteria based on mean-variance
+optimization, utility functions, value at risk, and worst-case
+considerations can be used" (Section II-D.c).
+
+Implemented as a scoring wrapper: the per-candidate scenario desirabilities
+are collapsed by a risk criterion into a single robust score, and any base
+selector (greedy, optimal, genetic) performs the combinatorial search under
+that score.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import SelectionError
+from repro.tuning.assessment import Assessment
+from repro.tuning.selectors.base import ScoreFn, Selector
+
+WORST_CASE = "worst_case"
+MEAN_VARIANCE = "mean_variance"
+VALUE_AT_RISK = "value_at_risk"
+UTILITY = "utility"
+
+CRITERIA = (WORST_CASE, MEAN_VARIANCE, VALUE_AT_RISK, UTILITY)
+
+
+def value_at_risk(
+    desirability: Mapping[str, float],
+    probabilities: Mapping[str, float],
+    alpha: float,
+) -> float:
+    """The α-quantile of the desirability distribution (lower tail).
+
+    With α = 0.05 this is the benefit the candidate delivers in all but the
+    worst 5% of scenario mass — the classic VaR reading.
+    """
+    outcomes = sorted(
+        (value, probabilities.get(name, 0.0))
+        for name, value in desirability.items()
+    )
+    cumulative = 0.0
+    for value, probability in outcomes:
+        cumulative += probability
+        if cumulative >= alpha - 1e-12:
+            return value
+    return outcomes[-1][0] if outcomes else 0.0
+
+
+def exponential_utility(benefit_ms: float, risk_tolerance_ms: float) -> float:
+    """CARA utility, scaled so small benefits stay approximately linear."""
+    return risk_tolerance_ms * (1.0 - math.exp(-benefit_ms / risk_tolerance_ms))
+
+
+class RobustSelector(Selector):
+    """Risk-criterion scoring on top of a base selector."""
+
+    name = "robust"
+
+    def __init__(
+        self,
+        base: Selector,
+        criterion: str = WORST_CASE,
+        risk_aversion: float = 1.0,
+        alpha: float = 0.1,
+        risk_tolerance_ms: float = 50.0,
+    ) -> None:
+        if criterion not in CRITERIA:
+            raise SelectionError(
+                f"unknown robustness criterion {criterion!r}; "
+                f"expected one of {CRITERIA}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise SelectionError("alpha must be in (0, 1]")
+        if risk_tolerance_ms <= 0:
+            raise SelectionError("risk_tolerance_ms must be positive")
+        self._base = base
+        self._criterion = criterion
+        self._risk_aversion = risk_aversion
+        self._alpha = alpha
+        self._risk_tolerance_ms = risk_tolerance_ms
+        self.name = f"robust-{criterion}"
+
+    def robust_score_fn(
+        self,
+        probabilities: Mapping[str, float],
+        reconfiguration_weight: float,
+    ) -> ScoreFn:
+        def score(a: Assessment) -> float:
+            if self._criterion == WORST_CASE:
+                core = a.worst_case()
+            elif self._criterion == MEAN_VARIANCE:
+                core = a.expected(probabilities) - self._risk_aversion * a.std(
+                    probabilities
+                )
+            elif self._criterion == VALUE_AT_RISK:
+                core = value_at_risk(
+                    a.desirability, probabilities, self._alpha
+                )
+            else:  # UTILITY
+                core = sum(
+                    probabilities.get(name, 0.0)
+                    * exponential_utility(value, self._risk_tolerance_ms)
+                    for name, value in a.desirability.items()
+                )
+            return core - reconfiguration_weight * a.one_time_cost_ms
+
+        return score
+
+    def select(
+        self,
+        assessments: list[Assessment],
+        budgets: Mapping[str, float],
+        probabilities: Mapping[str, float],
+        reconfiguration_weight: float = 0.0,
+        score_fn: ScoreFn | None = None,
+    ) -> list[Assessment]:
+        chosen_score = score_fn or self.robust_score_fn(
+            probabilities, reconfiguration_weight
+        )
+        return self._base.select(
+            assessments,
+            budgets,
+            probabilities,
+            reconfiguration_weight,
+            score_fn=chosen_score,
+        )

@@ -1,0 +1,172 @@
+"""The Tuner: the multi-step pipeline Enumerator → Assessor → Selector →
+Executor of Section II-D.
+
+Each stage is an exchangeable component: the feature supplies defaults, the
+constructor overrides them per run, which is how the framework "simplifies
+… experiments of new approaches since components can be exchanged
+effortlessly" (Section II-A).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.configuration.constraints import ConstraintSet
+from repro.configuration.delta import ConfigurationDelta
+from repro.dbms.database import Database
+from repro.forecasting.scenarios import Forecast
+from repro.tuning.assessment import Assessment
+from repro.tuning.assessors.base import Assessor
+from repro.tuning.enumerators.base import Enumerator
+from repro.tuning.executors.base import ApplicationReport, TuningExecutor
+from repro.tuning.executors.sequential import SequentialExecutor
+from repro.tuning.features.base import FeatureTuner
+from repro.tuning.selectors.base import Selector, validate_selection
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run for one feature (before application)."""
+
+    feature: str
+    assessments: list[Assessment]
+    chosen: list[Assessment]
+    delta: ConfigurationDelta
+    #: additive per-scenario benefit prediction of the chosen set
+    predicted_desirability: dict[str, float] = field(default_factory=dict)
+    #: probability-weighted predicted benefit over the forecast horizon
+    predicted_benefit_ms: float = 0.0
+    #: estimated one-time cost of applying the delta
+    reconfiguration_cost_ms: float = 0.0
+    candidate_count: int = 0
+    selector_name: str = ""
+    #: real (host) seconds spent in enumerate / assess / select
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_noop(self) -> bool:
+        return self.delta.is_empty
+
+
+class Tuner:
+    """Runs the tuning pipeline for one feature."""
+
+    def __init__(
+        self,
+        feature: FeatureTuner,
+        db: Database,
+        enumerator: Enumerator | None = None,
+        assessor: Assessor | None = None,
+        selector: Selector | None = None,
+        reconfiguration_weight: float = 0.0,
+    ) -> None:
+        self._feature = feature
+        self._db = db
+        self._enumerator = enumerator or feature.make_enumerator()
+        self._assessor = assessor or feature.make_assessor(db)
+        self._selector = selector or feature.make_selector()
+        self._reconfiguration_weight = reconfiguration_weight
+
+    @property
+    def feature(self) -> FeatureTuner:
+        return self._feature
+
+    @property
+    def feature_name(self) -> str:
+        return self._feature.name
+
+    def propose(
+        self,
+        forecast: Forecast,
+        constraints: ConstraintSet | None = None,
+    ) -> TuningResult:
+        """Run enumerate → assess → select; returns a plan, applies nothing."""
+        db = self._db
+        constraints = constraints or ConstraintSet()
+        stage_seconds: dict[str, float] = {}
+
+        started = time.perf_counter()
+        candidates = self._enumerator.candidates(db, forecast)
+        stage_seconds["enumerate"] = time.perf_counter() - started
+
+        if not candidates:
+            return TuningResult(
+                feature=self.feature_name,
+                assessments=[],
+                chosen=[],
+                delta=ConfigurationDelta([]),
+                candidate_count=0,
+                selector_name=self._selector.name,
+                stage_seconds=stage_seconds,
+            )
+
+        started = time.perf_counter()
+        reset = self._feature.reset_delta(db, forecast)
+        assessments = self._assessor.assess(candidates, db, forecast, reset)
+        stage_seconds["assess"] = time.perf_counter() - started
+
+        budgets = self._feature.budgets(db, constraints, forecast)
+        probabilities = {s.name: s.probability for s in forecast.scenarios}
+
+        started = time.perf_counter()
+        chosen = self._selector.select(
+            assessments,
+            budgets,
+            probabilities,
+            self._reconfiguration_weight,
+        )
+        stage_seconds["select"] = time.perf_counter() - started
+
+        problems = validate_selection(
+            assessments, {assessments.index(a) for a in chosen}, budgets
+        )
+        if problems:
+            raise RuntimeError(
+                f"selector {self._selector.name!r} returned an infeasible "
+                f"selection: {problems}"
+            )
+
+        delta = self._feature.delta_for_choices(
+            db, [a.candidate for a in chosen], forecast
+        )
+        predicted = {
+            name: sum(a.desirability.get(name, 0.0) for a in chosen)
+            for name in forecast.scenario_names
+        }
+        benefit = sum(
+            forecast.scenario(name).probability * value
+            for name, value in predicted.items()
+        )
+        return TuningResult(
+            feature=self.feature_name,
+            assessments=assessments,
+            chosen=chosen,
+            delta=delta,
+            predicted_desirability=predicted,
+            predicted_benefit_ms=benefit,
+            reconfiguration_cost_ms=delta.estimate_cost_ms(db),
+            candidate_count=len(candidates),
+            selector_name=self._selector.name,
+            stage_seconds=stage_seconds,
+        )
+
+    def apply(
+        self,
+        result: TuningResult,
+        executor: TuningExecutor | None = None,
+    ) -> ApplicationReport:
+        """Apply a proposed result through a tuning executor."""
+        executor = executor or SequentialExecutor()
+        return executor.execute(result.delta, self._db)
+
+    def tune(
+        self,
+        forecast: Forecast,
+        constraints: ConstraintSet | None = None,
+        executor: TuningExecutor | None = None,
+    ) -> tuple[TuningResult, ApplicationReport]:
+        """Propose and immediately apply."""
+        result = self.propose(forecast, constraints)
+        report = self.apply(result, executor)
+        return result, report

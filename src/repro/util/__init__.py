@@ -1,0 +1,24 @@
+"""Shared utilities: seeded randomness, units, simulated time, text tables."""
+
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.timer import SimulatedClock
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_duration,
+)
+from repro.util.tables import render_table
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "SimulatedClock",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_duration",
+    "render_table",
+]

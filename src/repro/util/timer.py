@@ -1,0 +1,36 @@
+"""Simulated clock used by the closed-loop simulation and KPI monitor.
+
+The framework never reads wall-clock time for its own decisions: the driver,
+organizer, and KPI monitor all observe a :class:`SimulatedClock`, which makes
+closed-loop experiments deterministic and lets benchmarks compress "days" of
+database operation into milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonically advancing clock measured in simulated milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` and return the new time.
+
+        Negative advances are rejected: simulated time is monotonic.
+        """
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards by {delta_ms} ms")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now_ms={self._now_ms:.3f})"

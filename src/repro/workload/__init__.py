@@ -1,0 +1,52 @@
+"""Workload substrate: logical queries, SQL parsing, generators, traces.
+
+``benchmarks`` (the retail suite) depends on the DBMS substrate, which in
+turn consumes the logical query model from this package; to keep the import
+graph acyclic those three names are loaded lazily via PEP 562.
+"""
+
+from repro.workload.drift import apply_shift, apply_spike, swap_dominance
+from repro.workload.generator import QueryFamily, WorkloadMix
+from repro.workload.predicate import PREDICATE_OPS, Predicate
+from repro.workload.query import AGGREGATES, Query, QueryTemplate
+from repro.workload.sql import parse_sql
+from repro.workload.trace import FamilyRate, TraceBin, WorkloadTrace, generate_trace
+
+_LAZY_BENCHMARK_NAMES = (
+    "BenchmarkSuite",
+    "build_retail_suite",
+    "build_telemetry_suite",
+    "default_rates",
+    "telemetry_rates",
+)
+
+__all__ = [
+    "AGGREGATES",
+    "BenchmarkSuite",
+    "FamilyRate",
+    "PREDICATE_OPS",
+    "Predicate",
+    "Query",
+    "QueryFamily",
+    "QueryTemplate",
+    "TraceBin",
+    "WorkloadMix",
+    "WorkloadTrace",
+    "apply_shift",
+    "apply_spike",
+    "build_retail_suite",
+    "build_telemetry_suite",
+    "default_rates",
+    "generate_trace",
+    "parse_sql",
+    "swap_dominance",
+    "telemetry_rates",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_BENCHMARK_NAMES:
+        from repro.workload import benchmarks
+
+        return getattr(benchmarks, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

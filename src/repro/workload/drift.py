@@ -1,0 +1,63 @@
+"""Workload drift injectors.
+
+Robustness experiments (E4) need futures that deviate from the forecastable
+past: mixture shifts, transient spikes, and dominance swaps between query
+families. Each injector returns a modified *copy* of the trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.workload.trace import WorkloadTrace
+
+
+def apply_shift(
+    trace: WorkloadTrace, at_bin: int, factors: Mapping[str, float]
+) -> WorkloadTrace:
+    """From ``at_bin`` on, multiply each family's counts by its factor."""
+    shifted = trace.copy()
+    for b in shifted.bins:
+        if b.index < at_bin:
+            continue
+        for name, factor in factors.items():
+            if name in b.counts:
+                b.counts[name] = int(round(b.counts[name] * factor))
+    return shifted
+
+
+def apply_spike(
+    trace: WorkloadTrace,
+    family: str,
+    at_bin: int,
+    duration_bins: int,
+    magnitude: float,
+) -> WorkloadTrace:
+    """Multiply one family's counts by ``magnitude`` for a bounded window."""
+    if family not in trace.families:
+        raise ValueError(f"unknown family {family!r}")
+    spiked = trace.copy()
+    for b in spiked.bins:
+        if at_bin <= b.index < at_bin + duration_bins:
+            b.counts[family] = int(round(b.counts.get(family, 0) * magnitude))
+    return spiked
+
+
+def swap_dominance(
+    trace: WorkloadTrace, family_a: str, family_b: str, at_bin: int
+) -> WorkloadTrace:
+    """From ``at_bin`` on, swap the counts of two families.
+
+    Models the classic robustness failure: the configuration was tuned for
+    family A dominating, then B takes over.
+    """
+    for name in (family_a, family_b):
+        if name not in trace.families:
+            raise ValueError(f"unknown family {name!r}")
+    swapped = trace.copy()
+    for b in swapped.bins:
+        if b.index >= at_bin:
+            a = b.counts.get(family_a, 0)
+            b.counts[family_a] = b.counts.get(family_b, 0)
+            b.counts[family_b] = a
+    return swapped

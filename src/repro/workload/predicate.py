@@ -1,0 +1,38 @@
+"""Logical predicates: ``column <op> literal`` comparisons.
+
+This module is intentionally dependency-free (no imports from the DBMS
+substrate) so that the executor can consume queries without an import cycle:
+type checking of literals against the schema happens at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Operators a predicate may use. ``BETWEEN`` is desugared by the SQL parser
+#: into a ``>=`` / ``<=`` pair.
+PREDICATE_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """One conjunctive filter term: ``column <op> value``."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in PREDICATE_OPS:
+            raise ValueError(
+                f"unsupported predicate operator {self.op!r}; "
+                f"expected one of {PREDICATE_OPS}"
+            )
+
+    def signature(self) -> tuple[str, str]:
+        """The value-free shape of the predicate, used for query templates."""
+        return (self.column, self.op)
+
+    def __str__(self) -> str:
+        value = f"'{self.value}'" if isinstance(self.value, str) else str(self.value)
+        return f"{self.column} {self.op} {value}"

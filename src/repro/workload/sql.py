@@ -1,0 +1,173 @@
+"""A small SQL parser covering the query shapes the engine executes.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT select_list FROM identifier [WHERE condition [AND condition]*]
+    select_list := '*' | column (',' column)*
+                 | COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' column ')'
+    condition   := column op literal
+                 | column BETWEEN literal AND literal
+    op          := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    literal     := integer | float | 'single-quoted string'
+
+``BETWEEN a AND b`` desugars into ``>= a`` and ``<= b``. The parser exists
+so examples and generators can express workloads in a familiar notation and
+so the plan cache can be fed from SQL strings, like the paper's plan caches
+are keyed by SQL.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SQLSyntaxError
+from repro.workload.predicate import Predicate
+from repro.workload.query import AGGREGATES, Query
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']*)'            # string literal
+      | [A-Za-z_][A-Za-z_0-9]* # identifier / keyword
+      | -?\d+\.\d+             # float
+      | -?\d+                  # integer
+      | <> | != | <= | >= | < | > | = | \( | \) | \* | ,
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "between", "count", "sum", "avg", "min", "max"}
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            if sql[pos:].strip() == "" or sql[pos:].strip() == ";":
+                break
+            raise SQLSyntaxError(f"cannot tokenize SQL at: {sql[pos:pos + 20]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], sql: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._sql = sql
+
+    def _fail(self, message: str) -> "SQLSyntaxError":
+        return SQLSyntaxError(f"{message} (in {self._sql!r})")
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise self._fail("unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.lower() != keyword:
+            raise self._fail(f"expected {keyword.upper()!r}, got {token!r}")
+
+    def _expect(self, literal: str) -> None:
+        token = self._next()
+        if token != literal:
+            raise self._fail(f"expected {literal!r}, got {token!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token.lower() in _KEYWORDS:
+            raise self._fail(f"expected identifier, got {token!r}")
+        return token
+
+    def _literal(self) -> object:
+        token = self._next()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        try:
+            if re.fullmatch(r"-?\d+", token):
+                return int(token)
+            if re.fullmatch(r"-?\d+\.\d+", token):
+                return float(token)
+        except ValueError:  # pragma: no cover - regex guards this
+            pass
+        raise self._fail(f"expected literal, got {token!r}")
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("select")
+        projection: tuple[str, ...] | None = None
+        aggregate: str | None = None
+        aggregate_column: str | None = None
+
+        head = self._peek()
+        if head is not None and head.lower() in AGGREGATES:
+            aggregate = self._next().lower()
+            self._expect("(")
+            if aggregate == "count" and self._peek() == "*":
+                self._next()
+            else:
+                aggregate_column = self._identifier()
+            self._expect(")")
+        elif head == "*":
+            self._next()
+        else:
+            columns = [self._identifier()]
+            while self._peek() == ",":
+                self._next()
+                columns.append(self._identifier())
+            projection = tuple(columns)
+
+        self._expect_keyword("from")
+        table = self._identifier()
+
+        predicates: list[Predicate] = []
+        if self._peek() is not None and self._peek().lower() == "where":
+            self._next()
+            predicates.extend(self._condition())
+            while self._peek() is not None and self._peek().lower() == "and":
+                self._next()
+                predicates.extend(self._condition())
+
+        if self._peek() is not None:
+            raise self._fail(f"trailing tokens starting at {self._peek()!r}")
+
+        return Query(
+            table=table,
+            predicates=tuple(predicates),
+            projection=projection,
+            aggregate=aggregate,
+            aggregate_column=aggregate_column,
+        )
+
+    def _condition(self) -> list[Predicate]:
+        column = self._identifier()
+        token = self._next()
+        if token.lower() == "between":
+            low = self._literal()
+            self._expect_keyword("and")
+            high = self._literal()
+            return [Predicate(column, ">=", low), Predicate(column, "<=", high)]
+        op = "!=" if token == "<>" else token
+        value = self._literal()
+        return [Predicate(column, op, value)]
+
+
+def parse_sql(sql: str) -> Query:
+    """Parse one SELECT statement into a :class:`~repro.workload.query.Query`."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise SQLSyntaxError("empty statement")
+    return _Parser(tokens, sql).parse()

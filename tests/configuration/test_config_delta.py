@@ -1,0 +1,140 @@
+"""Tests for configuration instances, actions, and deltas."""
+
+import pytest
+
+from repro.configuration.actions import (
+    CreateIndexAction,
+    DropIndexAction,
+    MoveChunkAction,
+    SetEncodingAction,
+    SetKnobAction,
+)
+from repro.configuration.config import ChunkIndexSpec, ConfigurationInstance
+from repro.configuration.delta import ConfigurationDelta, diff_configurations
+from repro.dbms.knobs import SCAN_THREADS_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+
+from tests.conftest import make_small_database
+
+
+def test_capture_reflects_state():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    db.create_index("events", ["user"], chunk_ids=[0])
+    db.set_encoding("events", "kind", EncodingType.DICTIONARY)
+    db.move_chunk("events", 1, StorageTier.NVM)
+    instance = ConfigurationInstance.capture(db)
+    assert ChunkIndexSpec("events", ("user",), 0) in instance.indexes
+    assert instance.encoding_map()[("events", "kind", 0)] is EncodingType.DICTIONARY
+    assert instance.placement_map()[("events", 1)] is StorageTier.NVM
+    assert SCAN_THREADS_KNOB in instance.knob_map()
+    summary = instance.summary()
+    assert summary["chunk_indexes"] == 1
+    assert summary["encoded_segments"] == 2
+    assert summary["non_dram_chunks"] == 1
+
+
+def test_diff_produces_minimal_actions():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    before = ConfigurationInstance.capture(db)
+    db.create_index("events", ["user"])
+    db.set_encoding("events", "id", EncodingType.FRAME_OF_REFERENCE)
+    db.move_chunk("events", 0, StorageTier.SSD)
+    db.set_knob(SCAN_THREADS_KNOB, 4)
+    after = ConfigurationInstance.capture(db)
+
+    forward = diff_configurations(before, after)
+    kinds = [type(a).__name__ for a in forward.actions]
+    assert "CreateIndexAction" in kinds
+    assert "SetEncodingAction" in kinds
+    assert "MoveChunkAction" in kinds
+    assert "SetKnobAction" in kinds
+    assert "DropIndexAction" not in kinds
+
+    backward = diff_configurations(after, before)
+    assert any(isinstance(a, DropIndexAction) for a in backward.actions)
+
+
+def test_diff_identity_is_empty():
+    db = make_small_database(rows=500)
+    instance = ConfigurationInstance.capture(db)
+    assert diff_configurations(instance, instance).is_empty
+
+
+def test_diff_apply_reaches_target():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    before = ConfigurationInstance.capture(db)
+    db.create_index("events", ["user"])
+    db.set_encoding("events", "kind", EncodingType.DICTIONARY)
+    target = ConfigurationInstance.capture(db)
+    # roll back by applying the reverse diff
+    cost = diff_configurations(target, before).apply(db)
+    assert cost >= 0
+    restored = ConfigurationInstance.capture(db)
+    assert restored.indexes == before.indexes
+    assert restored.encodings == before.encodings
+    # forward again
+    diff_configurations(restored, target).apply(db)
+    assert ConfigurationInstance.capture(db).indexes == target.indexes
+
+
+def test_apply_raw_returns_inverse():
+    db = make_small_database(rows=1_000, chunk_size=500)
+    before = ConfigurationInstance.capture(db)
+    delta = ConfigurationDelta(
+        [
+            CreateIndexAction("events", ("user",)),
+            SetEncodingAction("events", "user", EncodingType.DICTIONARY),
+            MoveChunkAction("events", 0, StorageTier.NVM),
+        ]
+    )
+    inverse = delta.apply_raw(db)
+    assert not inverse.is_empty
+    inverse.apply_raw(db)
+    after = ConfigurationInstance.capture(db)
+    assert after.indexes == before.indexes
+    assert after.encodings == before.encodings
+    assert after.placements == before.placements
+
+
+def test_noop_actions_produce_empty_inverse():
+    db = make_small_database(rows=500)
+    assert SetEncodingAction("events", "user", EncodingType.UNENCODED).apply_raw(db) == []
+    assert MoveChunkAction("events", 0, StorageTier.DRAM).apply_raw(db) == []
+    current = db.knobs.get(SCAN_THREADS_KNOB)
+    assert SetKnobAction(SCAN_THREADS_KNOB, current).apply_raw(db) == []
+
+
+def test_estimate_cost_tracks_actual_cost():
+    db = make_small_database(rows=5_000, chunk_size=1_000)
+    action = CreateIndexAction("events", ("user",))
+    estimate = action.estimate_cost_ms(db)
+    actual = action.apply(db)
+    assert estimate == pytest.approx(actual)
+
+
+def test_estimate_cost_skips_noops():
+    db = make_small_database(rows=1_000)
+    db.create_index("events", ["user"])
+    assert CreateIndexAction("events", ("user",)).estimate_cost_ms(db) == 0.0
+    assert (
+        SetEncodingAction("events", "user", EncodingType.UNENCODED).estimate_cost_ms(db)
+        == 0.0
+    )
+
+
+def test_action_descriptions_are_informative():
+    assert "CREATE INDEX" in CreateIndexAction("t", ("a", "b")).describe()
+    assert "dictionary" in SetEncodingAction(
+        "t", "a", EncodingType.DICTIONARY
+    ).describe()
+    assert "ssd" in MoveChunkAction("t", 0, StorageTier.SSD).describe()
+    assert "= 4" in SetKnobAction("k", 4).describe()
+
+
+def test_delta_extend_and_describe():
+    delta = ConfigurationDelta([CreateIndexAction("t", ("a",))])
+    other = ConfigurationDelta([SetKnobAction("k", 1)])
+    delta.extend(other)
+    assert len(delta) == 2
+    assert len(delta.describe()) == 2

@@ -1,0 +1,83 @@
+"""Property test: for arbitrary configuration pairs, applying the diff
+reaches the target exactly (modulo non-diffable ingest order)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configuration.config import ConfigurationInstance
+from repro.configuration.delta import diff_configurations
+from repro.dbms.knobs import SCAN_THREADS_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+
+from tests.conftest import make_small_database
+
+_mutations = st.lists(
+    st.sampled_from(
+        [
+            ("index", "user"),
+            ("index", "id"),
+            ("index", "value"),
+            ("encode", ("user", EncodingType.DICTIONARY)),
+            ("encode", ("id", EncodingType.FRAME_OF_REFERENCE)),
+            ("encode", ("kind", EncodingType.RUN_LENGTH)),
+            ("encode", ("user", EncodingType.UNENCODED)),
+            ("move", (0, StorageTier.NVM)),
+            ("move", (1, StorageTier.SSD)),
+            ("move", (0, StorageTier.DRAM)),
+            ("knob", 4),
+            ("knob", 8),
+            ("sort", "user"),
+            ("sort", "value"),
+        ]
+    ),
+    max_size=6,
+)
+
+
+def _apply_mutations(db, mutations):
+    for kind, payload in mutations:
+        if kind == "index":
+            table = db.table("events")
+            if not table.chunks()[0].has_index([payload]):
+                db.create_index("events", [payload])
+        elif kind == "encode":
+            column, encoding = payload
+            db.set_encoding("events", column, encoding)
+        elif kind == "move":
+            chunk_id, tier = payload
+            db.move_chunk("events", chunk_id, tier)
+        elif kind == "knob":
+            db.set_knob(SCAN_THREADS_KNOB, payload)
+        elif kind == "sort":
+            db.sort_chunk("events", 0, payload)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_mutations, _mutations)
+def test_property_diff_apply_reaches_target(mutations_a, mutations_b):
+    db = make_small_database(rows=600, chunk_size=300)
+    _apply_mutations(db, mutations_a)
+    start = ConfigurationInstance.capture(db)
+
+    _apply_mutations(db, mutations_b)
+    target = ConfigurationInstance.capture(db)
+
+    # roll the database back to `start` state... by rebuilding it
+    db2 = make_small_database(rows=600, chunk_size=300)
+    _apply_mutations(db2, mutations_a)
+    assert ConfigurationInstance.capture(db2).indexes == start.indexes
+
+    delta = diff_configurations(start, target)
+    delta.apply(db2)
+    reached = ConfigurationInstance.capture(db2)
+
+    assert reached.indexes == target.indexes
+    assert reached.encodings == target.encodings
+    assert reached.placements == target.placements
+    assert reached.knobs == target.knobs
+    # sort orders match wherever the target specifies an explicit order
+    reached_sort = reached.sort_order_map()
+    for key, column in target.sort_orders:
+        if column is not None:
+            assert reached_sort[key] == column

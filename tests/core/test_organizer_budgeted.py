@@ -1,0 +1,68 @@
+"""Tests for the organizer's tuning-time budget (feature subsetting).
+
+Section II-E (future work, implemented): "the organizer could also …
+decide to only tune the subset of features which is expected to yield the
+largest benefits to avoid wasting resources on unprofitable tunings."
+"""
+
+from repro.configuration.constraints import (
+    INDEX_MEMORY,
+    ConstraintSet,
+    ResourceBudget,
+)
+from repro.core.organizer import Organizer, OrganizerConfig
+from repro.core.triggers import PeriodicTrigger
+from repro.forecasting.analyzer import WorkloadAnalyzer
+from repro.forecasting.models import NaiveLastValue
+from repro.forecasting.predictor import WorkloadPredictor
+from repro.tuning.features import CompressionFeature, IndexSelectionFeature
+from repro.tuning.tuner import Tuner
+from repro.util.units import MIB
+
+
+def _prepared(retail_suite, tuning_time_budget_ms):
+    db = retail_suite.database
+    predictor = WorkloadPredictor(db, WorkloadAnalyzer(NaiveLastValue))
+    for i in range(5):
+        for q in retail_suite.mix.sample_queries(25, seed=200 + i):
+            db.execute(q)
+        predictor.observe()
+    organizer = Organizer(
+        db,
+        predictor,
+        [Tuner(IndexSelectionFeature(), db), Tuner(CompressionFeature(), db)],
+        constraints=ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)]),
+        triggers=[PeriodicTrigger(every_ms=1.0)],
+        config=OrganizerConfig(
+            horizon_bins=3,
+            min_history_bins=3,
+            tuning_time_budget_ms=tuning_time_budget_ms,
+        ),
+    )
+    return organizer
+
+
+def test_generous_budget_tunes_all_features(retail_suite):
+    organizer = _prepared(retail_suite, tuning_time_budget_ms=1e9)
+    report = organizer.tick()
+    assert report is not None
+    assert set(report.tuned_features) == {"index_selection", "compression"}
+    assert report.skipped_features == ()
+
+
+def test_tight_budget_skips_costly_features(retail_suite):
+    organizer = _prepared(retail_suite, tuning_time_budget_ms=0.5)
+    report = organizer.tick()
+    assert report is not None
+    # with half a millisecond of tuning budget, at most one feature fits
+    assert len(report.tuned_features) < 2
+    assert len(report.tuned_features) + len(report.skipped_features) == 2
+
+
+def test_zero_budget_tunes_nothing_but_still_reports(retail_suite):
+    organizer = _prepared(retail_suite, tuning_time_budget_ms=0.0)
+    report = organizer.tick()
+    assert report is not None
+    assert report.tuned_features == ()
+    assert set(report.skipped_features) == {"index_selection", "compression"}
+    assert report.tuning.improvement == 0.0

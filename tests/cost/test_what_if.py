@@ -1,0 +1,169 @@
+"""Tests for the what-if optimizer: zero-side-effect hypothetical costing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configuration.actions import (
+    CreateIndexAction,
+    MoveChunkAction,
+    SetEncodingAction,
+    SetKnobAction,
+)
+from repro.configuration.config import ConfigurationInstance
+from repro.configuration.delta import ConfigurationDelta
+from repro.cost.logical import LogicalCostModel
+from repro.cost.what_if import WhatIfOptimizer
+from repro.dbms.knobs import SCAN_THREADS_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+from repro.forecasting.scenarios import point_forecast
+from repro.workload.predicate import Predicate
+from repro.workload.query import Query
+
+from tests.conftest import make_small_database
+
+
+def _query():
+    return Query("events", (Predicate("user", "=", 7),), aggregate="count")
+
+
+def test_measured_cost_matches_probe_execution():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    assert optimizer.is_measured
+    direct = db.executor.execute(
+        _query(), db.table("events"), probe=True
+    ).report.elapsed_ms
+    assert optimizer.query_cost_ms(_query()) == pytest.approx(direct)
+
+
+def test_estimator_backed_optimizer():
+    db = make_small_database(rows=5_000)
+    model = LogicalCostModel(db)
+    optimizer = WhatIfOptimizer(db, estimator=model)
+    assert not optimizer.is_measured
+    assert optimizer.query_cost_ms(_query()) == pytest.approx(
+        model.estimate_query_ms(_query())
+    )
+
+
+def test_hypothetical_index_rolls_back_exactly():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    before_instance = ConfigurationInstance.capture(db)
+    before_cost = optimizer.query_cost_ms(_query())
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    with optimizer.hypothetical(delta):
+        assert optimizer.query_cost_ms(_query()) < before_cost
+    after_instance = ConfigurationInstance.capture(db)
+    assert after_instance.indexes == before_instance.indexes
+    assert optimizer.query_cost_ms(_query()) == pytest.approx(before_cost)
+
+
+def test_hypothetical_nesting():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    base = optimizer.query_cost_ms(_query())
+    outer = ConfigurationDelta(
+        [SetEncodingAction("events", "user", EncodingType.DICTIONARY)]
+    )
+    inner = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    with optimizer.hypothetical(outer):
+        with optimizer.hypothetical(inner):
+            nested = optimizer.query_cost_ms(_query())
+            assert nested < base
+    assert optimizer.query_cost_ms(_query()) == pytest.approx(base)
+
+
+def test_hypothetical_does_not_touch_clock_or_counters():
+    db = make_small_database(rows=2_000)
+    optimizer = WhatIfOptimizer(db)
+    clock = db.clock.now_ms
+    reconfigs = db.counters.reconfigurations
+    delta = ConfigurationDelta(
+        [
+            CreateIndexAction("events", ("user",)),
+            MoveChunkAction("events", 0, StorageTier.NVM),
+            SetKnobAction(SCAN_THREADS_KNOB, 4),
+        ]
+    )
+    with optimizer.hypothetical(delta):
+        optimizer.query_cost_ms(_query())
+    assert db.clock.now_ms == clock
+    assert db.counters.reconfigurations == reconfigs
+    assert len(db.plan_cache) == 0
+
+
+def test_scenario_and_forecast_costs():
+    db = make_small_database(rows=3_000)
+    optimizer = WhatIfOptimizer(db)
+    query = _query()
+    key = query.template().key
+    forecast = point_forecast({key: 5.0}, {key: query})
+    per_query = optimizer.query_cost_ms(query)
+    costs = optimizer.forecast_costs(forecast)
+    assert costs["expected"] == pytest.approx(5.0 * per_query)
+    assert optimizer.expected_forecast_cost(forecast) == pytest.approx(
+        5.0 * per_query
+    )
+
+
+def test_cost_with_applies_and_reverts():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    query = _query()
+    key = query.template().key
+    forecast = point_forecast({key: 2.0}, {key: query})
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    improved = optimizer.cost_with(delta, forecast.expected, {key: query})
+    baseline = optimizer.scenario_cost_ms(forecast.expected, {key: query})
+    assert improved < baseline
+    assert db.index_bytes() == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(
+            [
+                ("index_user",),
+                ("index_id",),
+                ("enc_dict",),
+                ("enc_rle",),
+                ("move_nvm",),
+                ("knob",),
+            ]
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_arbitrary_deltas_roll_back(actions_spec):
+    db = make_small_database(rows=1_000, chunk_size=500)
+    optimizer = WhatIfOptimizer(db)
+    mapping = {
+        ("index_user",): CreateIndexAction("events", ("user",)),
+        ("index_id",): CreateIndexAction("events", ("id",)),
+        ("enc_dict",): SetEncodingAction("events", "user", EncodingType.DICTIONARY),
+        ("enc_rle",): SetEncodingAction("events", "id", EncodingType.RUN_LENGTH),
+        ("move_nvm",): MoveChunkAction("events", 0, StorageTier.NVM),
+        ("knob",): SetKnobAction(SCAN_THREADS_KNOB, 8),
+    }
+    # deduplicate index creations (the same index twice is invalid mid-delta)
+    seen = set()
+    actions = []
+    for spec in actions_spec:
+        if spec in seen:
+            continue
+        seen.add(spec)
+        actions.append(mapping[spec])
+    before = ConfigurationInstance.capture(db)
+    with optimizer.hypothetical(ConfigurationDelta(actions)):
+        pass
+    after = ConfigurationInstance.capture(db)
+    assert before.indexes == after.indexes
+    assert before.encodings == after.encodings
+    assert before.placements == after.placements
+    assert before.knobs == after.knobs

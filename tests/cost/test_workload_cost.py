@@ -1,0 +1,68 @@
+"""Tests for workload-level cost aggregation helpers."""
+
+import pytest
+
+from repro.cost.logical import LogicalCostModel
+from repro.cost.workload_cost import (
+    estimator_cost_fn,
+    expected_cost_ms,
+    forecast_costs,
+    scenario_cost_ms,
+    worst_scenario_cost_ms,
+)
+from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.workload import Predicate, Query
+
+from tests.conftest import make_small_database
+
+
+def _fixture():
+    db = make_small_database(rows=1_000)
+    q1 = Query("events", (Predicate("user", "=", 1),), aggregate="count")
+    q2 = Query("events", aggregate="count")
+    samples = {q1.template().key: q1, q2.template().key: q2}
+    forecast = Forecast(
+        scenarios=(
+            WorkloadScenario(
+                "expected", 0.6,
+                {q1.template().key: 10.0, q2.template().key: 2.0},
+            ),
+            WorkloadScenario(
+                "worst_case", 0.4,
+                {q1.template().key: 30.0, q2.template().key: 2.0},
+            ),
+        ),
+        horizon_bins=4,
+        bin_duration_ms=1000.0,
+        sample_queries=samples,
+    )
+    return db, forecast, q1, q2
+
+
+def test_scenario_cost_is_frequency_weighted():
+    db, forecast, q1, q2 = _fixture()
+    cost_fn = estimator_cost_fn(LogicalCostModel(db))
+    expected = 10.0 * cost_fn(q1) + 2.0 * cost_fn(q2)
+    assert scenario_cost_ms(
+        cost_fn, forecast.expected, forecast.sample_queries
+    ) == pytest.approx(expected)
+
+
+def test_scenario_cost_skips_missing_samples_and_zero_frequency():
+    db, _forecast, q1, _q2 = _fixture()
+    cost_fn = estimator_cost_fn(LogicalCostModel(db))
+    scenario = WorkloadScenario("s", 1.0, {"ghost": 5.0, q1.template().key: 0.0})
+    assert scenario_cost_ms(cost_fn, scenario, {q1.template().key: q1}) == 0.0
+
+
+def test_forecast_costs_and_expected():
+    db, forecast, _q1, _q2 = _fixture()
+    cost_fn = estimator_cost_fn(LogicalCostModel(db))
+    costs = forecast_costs(cost_fn, forecast)
+    assert set(costs) == {"expected", "worst_case"}
+    assert costs["worst_case"] > costs["expected"]
+    weighted = expected_cost_ms(cost_fn, forecast)
+    assert weighted == pytest.approx(
+        0.6 * costs["expected"] + 0.4 * costs["worst_case"]
+    )
+    assert worst_scenario_cost_ms(cost_fn, forecast) == costs["worst_case"]

@@ -1,0 +1,106 @@
+"""Tests for chunks: segments, per-chunk indexes, encoding changes."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.chunk import Chunk
+from repro.dbms.schema import TableSchema
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+from repro.dbms.types import DataType
+from repro.errors import IndexError_, SchemaError
+
+
+def _chunk(n=500, seed=0):
+    schema = TableSchema.build(
+        "t", [("a", DataType.INT), ("b", DataType.STRING)]
+    )
+    rng = np.random.default_rng(seed)
+    return Chunk(
+        0,
+        schema,
+        {"a": rng.integers(0, 20, n), "b": rng.choice(["x", "y"], n).astype("<U1")},
+    )
+
+
+def test_chunk_basics():
+    chunk = _chunk()
+    assert chunk.row_count == 500
+    assert chunk.tier is StorageTier.DRAM
+    assert chunk.encoding_of("a") is EncodingType.UNENCODED
+
+
+def test_chunk_rejects_missing_columns():
+    schema = TableSchema.build("t", [("a", DataType.INT), ("b", DataType.INT)])
+    with pytest.raises(SchemaError):
+        Chunk(0, schema, {"a": np.arange(3)})
+
+
+def test_chunk_rejects_ragged_columns():
+    schema = TableSchema.build("t", [("a", DataType.INT), ("b", DataType.INT)])
+    with pytest.raises(SchemaError):
+        Chunk(0, schema, {"a": np.arange(3), "b": np.arange(4)})
+
+
+def test_create_and_drop_index():
+    chunk = _chunk()
+    chunk.create_index(["a"])
+    assert chunk.has_index(["a"])
+    assert chunk.index_bytes() > 0
+    chunk.drop_index(["a"])
+    assert not chunk.has_index(["a"])
+    assert chunk.index_bytes() == 0
+
+
+def test_duplicate_index_rejected():
+    chunk = _chunk()
+    chunk.create_index(["a"])
+    with pytest.raises(IndexError_):
+        chunk.create_index(["a"])
+
+
+def test_drop_missing_index_rejected():
+    with pytest.raises(IndexError_):
+        _chunk().drop_index(["a"])
+
+
+def test_set_encoding_round_trips_data():
+    chunk = _chunk()
+    before = chunk.segment("a").values().copy()
+    chunk.set_encoding("a", EncodingType.DICTIONARY)
+    np.testing.assert_array_equal(chunk.segment("a").values(), before)
+    assert chunk.encoding_of("a") is EncodingType.DICTIONARY
+
+
+def test_set_encoding_rebuilds_covering_indexes():
+    chunk = _chunk()
+    chunk.create_index(["a"])
+    chunk.create_index(["b"])
+    rebuilt = chunk.set_encoding("a", EncodingType.DICTIONARY)
+    assert rebuilt == [("a",)]
+    # the rebuilt index still answers correctly
+    values = chunk.segment("a").values()
+    positions = chunk.index(["a"]).lookup((7,))
+    np.testing.assert_array_equal(
+        np.sort(positions), np.flatnonzero(values == 7)
+    )
+
+
+def test_set_encoding_noop_returns_empty():
+    chunk = _chunk()
+    assert chunk.set_encoding("a", EncodingType.UNENCODED) == []
+
+
+def test_statistics_are_cached_and_sane():
+    chunk = _chunk()
+    stats = chunk.statistics("a")
+    assert stats is chunk.statistics("a")
+    assert stats.row_count == 500
+    assert 0 <= stats.min_value <= stats.max_value <= 19
+
+
+def test_memory_accounting_splits_data_and_indexes():
+    chunk = _chunk()
+    data = chunk.data_bytes()
+    chunk.create_index(["a"])
+    assert chunk.memory_bytes() == data + chunk.index_bytes()

@@ -1,0 +1,96 @@
+"""Tests for the database facade: configuration primitives and accounting."""
+
+import pytest
+
+from repro.dbms.knobs import BUFFER_POOL_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+
+from tests.conftest import make_small_database
+
+
+def test_execute_advances_clock_and_plan_cache():
+    db = make_small_database(rows=1_000)
+    before = db.clock.now_ms
+    result = db.execute("SELECT COUNT(*) FROM events WHERE user = 3")
+    assert db.clock.now_ms == pytest.approx(before + result.report.elapsed_ms)
+    assert len(db.plan_cache) == 1
+    assert db.counters.queries_executed == 1
+
+
+def test_create_index_costs_and_speeds_up():
+    db = make_small_database(rows=10_000)
+    slow = db.execute("SELECT COUNT(*) FROM events WHERE user = 3")
+    cost = db.create_index("events", ["user"])
+    assert cost > 0
+    assert db.counters.reconfigurations == 1
+    fast = db.execute("SELECT COUNT(*) FROM events WHERE user = 3")
+    assert fast.aggregate_value == slow.aggregate_value
+    assert fast.report.elapsed_ms < slow.report.elapsed_ms
+
+
+def test_drop_index_is_cheap():
+    db = make_small_database(rows=2_000)
+    db.create_index("events", ["user"])
+    cost = db.drop_index("events", ["user"])
+    assert 0 < cost < 1.0
+    assert db.index_bytes() == 0
+
+
+def test_set_encoding_cost_includes_index_rebuilds():
+    db = make_small_database(rows=5_000)
+    plain = db.set_encoding("events", "user", EncodingType.DICTIONARY)
+    db.set_encoding("events", "user", EncodingType.UNENCODED)
+    db.create_index("events", ["user"])
+    with_rebuild = db.set_encoding("events", "user", EncodingType.DICTIONARY)
+    assert with_rebuild > plain
+
+
+def test_move_chunk_updates_tier_usage():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    cost = db.move_chunk("events", 0, StorageTier.NVM)
+    assert cost > 0
+    usage = db.tier_usage()
+    assert usage[StorageTier.NVM] > 0
+    assert usage[StorageTier.DRAM] > 0
+
+
+def test_set_knob_syncs_buffer_pool():
+    db = make_small_database()
+    db.set_knob(BUFFER_POOL_KNOB, 0)
+    assert db.executor.buffer_pool.capacity_bytes == 0
+
+
+def test_memory_accounting_consistency():
+    db = make_small_database(rows=3_000)
+    assert db.memory_bytes() == db.data_bytes() + db.index_bytes()
+    db.create_index("events", ["user"])
+    assert db.index_bytes() > 0
+    assert db.memory_bytes() == db.data_bytes() + db.index_bytes()
+
+
+def test_runtime_snapshot_keys():
+    db = make_small_database(rows=500)
+    db.execute("SELECT COUNT(*) FROM events")
+    snapshot = db.runtime_snapshot()
+    for key in (
+        "queries_executed",
+        "total_query_ms",
+        "memory_bytes",
+        "now_ms",
+        "tier_dram_bytes",
+        "buffer_pool_used_bytes",
+    ):
+        assert key in snapshot
+    assert snapshot["queries_executed"] == 1.0
+
+
+def test_sql_and_query_objects_agree():
+    db = make_small_database(rows=2_000)
+    from repro.workload import Predicate, Query
+
+    sql_result = db.execute("SELECT COUNT(*) FROM events WHERE user >= 50")
+    obj_result = db.execute(
+        Query("events", (Predicate("user", ">=", 50),), aggregate="count")
+    )
+    assert sql_result.aggregate_value == obj_result.aggregate_value

@@ -1,0 +1,67 @@
+"""Tests for the hardware profile's cost formulas."""
+
+import pytest
+
+from repro.dbms.hardware import DEFAULT_HARDWARE, HardwareProfile
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier, migration_cost_ms
+
+
+def test_scan_cost_scales_with_tier():
+    hw = DEFAULT_HARDWARE
+    dram = hw.scan_ms(10_000, StorageTier.DRAM)
+    nvm = hw.scan_ms(10_000, StorageTier.NVM)
+    ssd = hw.scan_ms(10_000, StorageTier.SSD)
+    assert dram < nvm < ssd
+    assert nvm == pytest.approx(3 * dram)
+    assert ssd == pytest.approx(25 * dram)
+
+
+def test_threads_speed_up_scans_sublinearly():
+    hw = DEFAULT_HARDWARE
+    one = hw.scan_ms(100_000, StorageTier.DRAM, threads=1)
+    four = hw.scan_ms(100_000, StorageTier.DRAM, threads=4)
+    assert four < one
+    assert four > one / 4  # sublinear speed-up
+
+
+def test_index_build_cost_is_superlinear():
+    hw = DEFAULT_HARDWARE
+    small = hw.index_build_ms(10_000, 1, StorageTier.DRAM)
+    big = hw.index_build_ms(100_000, 1, StorageTier.DRAM)
+    assert big > 10 * small
+
+
+def test_index_build_handles_tiny_chunks():
+    assert DEFAULT_HARDWARE.index_build_ms(1, 1, StorageTier.DRAM) > 0
+
+
+def test_encode_cost_varies_by_encoding():
+    hw = DEFAULT_HARDWARE
+    dictionary = hw.encode_ms(10_000, EncodingType.DICTIONARY, StorageTier.DRAM)
+    unencoded = hw.encode_ms(10_000, EncodingType.UNENCODED, StorageTier.DRAM)
+    assert dictionary > unencoded
+
+
+def test_migration_cost_zero_within_tier():
+    assert migration_cost_ms(1_000_000, StorageTier.DRAM, StorageTier.DRAM) == 0.0
+
+
+def test_migration_cost_bounded_by_slower_medium():
+    to_ssd = migration_cost_ms(2_000_000, StorageTier.DRAM, StorageTier.SSD)
+    to_nvm = migration_cost_ms(2_000_000, StorageTier.DRAM, StorageTier.NVM)
+    assert to_ssd > to_nvm > 0
+
+
+def test_tier_capacities():
+    hw = HardwareProfile(dram_capacity_bytes=123)
+    assert hw.tier_capacity_bytes(StorageTier.DRAM) == 123
+    assert hw.tier_capacity_bytes(StorageTier.NVM) > 0
+    assert hw.tier_capacity_bytes(StorageTier.SSD) > 0
+
+
+def test_overhead_and_output_costs_positive():
+    hw = DEFAULT_HARDWARE
+    assert hw.overhead_ms() > 0
+    assert hw.output_ms(1_000_000) > 0
+    assert hw.aggregate_ms(10_000) > 0

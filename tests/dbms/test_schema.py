@@ -1,0 +1,50 @@
+"""Tests for table schemas."""
+
+import pytest
+
+from repro.dbms.schema import ColumnDefinition, TableSchema
+from repro.dbms.types import DataType
+from repro.errors import SchemaError
+
+
+def test_build_and_lookup():
+    schema = TableSchema.build("t", [("a", DataType.INT), ("b", DataType.STRING)])
+    assert schema.column_names == ("a", "b")
+    assert schema.data_type("b") is DataType.STRING
+    assert schema.has_column("a")
+    assert not schema.has_column("z")
+
+
+def test_unknown_column_raises():
+    schema = TableSchema.build("t", [("a", DataType.INT)])
+    with pytest.raises(SchemaError):
+        schema.column("missing")
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(SchemaError):
+        TableSchema.build("t", [("a", DataType.INT), ("a", DataType.FLOAT)])
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        TableSchema("t", ())
+
+
+@pytest.mark.parametrize("name", ["", "1abc", "has space", "has-dash"])
+def test_invalid_table_names_rejected(name):
+    with pytest.raises(SchemaError):
+        TableSchema.build(name, [("a", DataType.INT)])
+
+
+@pytest.mark.parametrize("name", ["", "2x", "a b"])
+def test_invalid_column_names_rejected(name):
+    with pytest.raises(SchemaError):
+        ColumnDefinition(name, DataType.INT)
+
+
+def test_schema_is_hashable_and_comparable():
+    a = TableSchema.build("t", [("a", DataType.INT)])
+    b = TableSchema.build("t", [("a", DataType.INT)])
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,232 @@
+"""Tests for segment encodings, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.segments import (
+    COMPARISON_OPS,
+    DictionarySegment,
+    EncodingType,
+    FrameOfReferenceSegment,
+    RunLengthSegment,
+    UnencodedSegment,
+    encode_segment,
+    narrowest_uint_dtype,
+    supported_encodings,
+)
+from repro.dbms.types import DataType
+from repro.errors import EncodingError
+
+ALL_ENCODINGS = list(EncodingType)
+
+
+def _int_values():
+    return np.array([5, 3, 5, 5, 9, 3, 7, 7, 7, 1], dtype=np.int64)
+
+
+def _str_values():
+    return np.array(["b", "a", "b", "c", "c", "a"], dtype="<U1")
+
+
+# ----------------------------------------------------------------------
+# round trips and memory accounting
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+def test_int_round_trip(encoding):
+    values = _int_values()
+    segment = encode_segment(values, DataType.INT, encoding)
+    assert segment.encoding is encoding
+    np.testing.assert_array_equal(segment.values(), values)
+
+
+@pytest.mark.parametrize(
+    "encoding",
+    [EncodingType.UNENCODED, EncodingType.DICTIONARY, EncodingType.RUN_LENGTH],
+)
+def test_string_round_trip(encoding):
+    values = _str_values()
+    segment = encode_segment(values, DataType.STRING, encoding)
+    np.testing.assert_array_equal(segment.values(), values)
+
+
+def test_frame_of_reference_rejects_strings():
+    with pytest.raises(EncodingError):
+        encode_segment(_str_values(), DataType.STRING, EncodingType.FRAME_OF_REFERENCE)
+
+
+def test_supported_encodings_by_type():
+    assert EncodingType.FRAME_OF_REFERENCE in supported_encodings(DataType.INT)
+    assert EncodingType.FRAME_OF_REFERENCE not in supported_encodings(DataType.STRING)
+
+
+def test_dictionary_is_smaller_on_low_cardinality():
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 10, 10_000)
+    plain = encode_segment(values, DataType.INT, EncodingType.UNENCODED)
+    dictionary = encode_segment(values, DataType.INT, EncodingType.DICTIONARY)
+    assert dictionary.memory_bytes() < plain.memory_bytes() / 4
+
+
+def test_run_length_is_tiny_on_sorted_data():
+    values = np.repeat(np.arange(20), 500)
+    rle = encode_segment(values, DataType.INT, EncodingType.RUN_LENGTH)
+    assert isinstance(rle, RunLengthSegment)
+    assert rle.run_count == 20
+    plain = encode_segment(values, DataType.INT, EncodingType.UNENCODED)
+    assert rle.memory_bytes() < plain.memory_bytes() / 100
+
+
+def test_frame_of_reference_narrows_offsets():
+    values = np.arange(1_000_000, 1_000_200, dtype=np.int64)
+    for_segment = encode_segment(values, DataType.INT, EncodingType.FRAME_OF_REFERENCE)
+    assert isinstance(for_segment, FrameOfReferenceSegment)
+    assert for_segment.memory_bytes() < values.nbytes / 4
+
+
+def test_narrowest_uint_dtype():
+    assert narrowest_uint_dtype(255) == np.uint8
+    assert narrowest_uint_dtype(256) == np.uint16
+    assert narrowest_uint_dtype(2**16) == np.uint32
+    assert narrowest_uint_dtype(2**32) == np.uint64
+
+
+# ----------------------------------------------------------------------
+# comparisons
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+@pytest.mark.parametrize("op", COMPARISON_OPS)
+@pytest.mark.parametrize("literal", [0, 1, 5, 7, 10])
+def test_int_compare_matches_numpy(encoding, op, literal):
+    values = _int_values()
+    segment = encode_segment(values, DataType.INT, encoding)
+    expected = {
+        "=": values == literal,
+        "!=": values != literal,
+        "<": values < literal,
+        "<=": values <= literal,
+        ">": values > literal,
+        ">=": values >= literal,
+    }[op]
+    np.testing.assert_array_equal(segment.compare(op, literal), expected)
+
+
+@pytest.mark.parametrize(
+    "encoding",
+    [EncodingType.UNENCODED, EncodingType.DICTIONARY, EncodingType.RUN_LENGTH],
+)
+@pytest.mark.parametrize("op", COMPARISON_OPS)
+def test_string_compare_matches_numpy(encoding, op):
+    values = _str_values()
+    segment = encode_segment(values, DataType.STRING, encoding)
+    literal = "b"
+    expected = {
+        "=": values == literal,
+        "!=": values != literal,
+        "<": values < literal,
+        "<=": values <= literal,
+        ">": values > literal,
+        ">=": values >= literal,
+    }[op]
+    np.testing.assert_array_equal(segment.compare(op, literal), expected)
+
+
+def test_compare_rejects_unknown_operator():
+    segment = encode_segment(_int_values(), DataType.INT, EncodingType.DICTIONARY)
+    with pytest.raises(EncodingError):
+        segment.compare("~", 5)
+
+
+def test_take_returns_values_at_positions():
+    values = _int_values()
+    positions = np.array([0, 4, 9])
+    for encoding in ALL_ENCODINGS:
+        segment = encode_segment(values, DataType.INT, encoding)
+        np.testing.assert_array_equal(segment.take(positions), values[positions])
+
+
+# ----------------------------------------------------------------------
+# scan work model sanity
+
+
+def test_scan_units_scale_with_candidates():
+    values = np.random.default_rng(1).integers(0, 100, 10_000)
+    for encoding in ALL_ENCODINGS:
+        segment = encode_segment(values, DataType.INT, encoding)
+        assert segment.scan_units(10_000) > segment.scan_units(100) >= 0
+
+
+def test_dictionary_has_probe_overhead():
+    segment = encode_segment(_int_values(), DataType.INT, EncodingType.DICTIONARY)
+    assert segment.scan_overhead_units() > 0
+
+
+def test_dictionary_sort_keys_are_codes():
+    segment = encode_segment(_int_values(), DataType.INT, EncodingType.DICTIONARY)
+    assert isinstance(segment, DictionarySegment)
+    keys = segment.sort_key_array()
+    assert keys.dtype == np.uint8
+    # codes are order-preserving
+    values = segment.values()
+    order_by_codes = np.argsort(keys, kind="stable")
+    assert (np.diff(values[order_by_codes]) >= 0).all()
+
+
+def test_unencoded_sort_keys_are_values():
+    values = _int_values()
+    segment = UnencodedSegment(values, DataType.INT)
+    np.testing.assert_array_equal(segment.sort_key_array(), values)
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=200))
+def test_property_int_encode_decode_identity(values):
+    arr = np.array(values, dtype=np.int64)
+    for encoding in ALL_ENCODINGS:
+        segment = encode_segment(arr, DataType.INT, encoding)
+        np.testing.assert_array_equal(segment.values(), arr)
+        assert len(segment) == len(arr)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.text(alphabet="abcxyz", min_size=0, max_size=6),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_string_encode_decode_identity(values):
+    arr = np.array(values, dtype=f"<U{max(1, max(len(v) for v in values))}")
+    for encoding in (
+        EncodingType.UNENCODED,
+        EncodingType.DICTIONARY,
+        EncodingType.RUN_LENGTH,
+    ):
+        segment = encode_segment(arr, DataType.STRING, encoding)
+        np.testing.assert_array_equal(segment.values(), arr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=150),
+    st.sampled_from(COMPARISON_OPS),
+    st.integers(min_value=-1000, max_value=1000),
+)
+def test_property_compare_agrees_across_encodings(values, op, literal):
+    arr = np.array(values, dtype=np.int64)
+    reference = None
+    for encoding in ALL_ENCODINGS:
+        segment = encode_segment(arr, DataType.INT, encoding)
+        mask = segment.compare(op, literal)
+        if reference is None:
+            reference = mask
+        else:
+            np.testing.assert_array_equal(mask, reference)

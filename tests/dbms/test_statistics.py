@@ -1,0 +1,82 @@
+"""Tests for column statistics and selectivity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.statistics import ColumnStatistics
+from repro.dbms.types import DataType
+
+
+def test_numeric_statistics_basics():
+    values = np.array([1, 2, 2, 3, 10], dtype=np.int64)
+    stats = ColumnStatistics.from_values(values, DataType.INT)
+    assert stats.row_count == 5
+    assert stats.distinct_count == 4
+    assert stats.min_value == 1.0
+    assert stats.max_value == 10.0
+    assert stats.histogram is not None
+
+
+def test_string_statistics_basics():
+    values = np.array(["b", "a", "b"], dtype="<U1")
+    stats = ColumnStatistics.from_values(values, DataType.STRING)
+    assert stats.distinct_count == 2
+    assert stats.min_value == "a"
+    assert stats.max_value == "b"
+    assert stats.histogram is None
+
+
+def test_empty_statistics():
+    stats = ColumnStatistics.from_values(np.zeros(0, dtype=np.int64), DataType.INT)
+    assert stats.row_count == 0
+    assert stats.selectivity("=", 1) == 0.0
+
+
+def test_equality_selectivity_uses_distinct_count():
+    values = np.arange(100, dtype=np.int64)
+    stats = ColumnStatistics.from_values(values, DataType.INT)
+    assert stats.selectivity("=", 50) == pytest.approx(0.01)
+    assert stats.selectivity("!=", 50) == pytest.approx(0.99)
+
+
+def test_range_selectivity_is_monotonic():
+    values = np.random.default_rng(0).uniform(0, 100, 5_000)
+    stats = ColumnStatistics.from_values(values, DataType.FLOAT)
+    s10 = stats.selectivity("<", 10)
+    s50 = stats.selectivity("<", 50)
+    s90 = stats.selectivity("<", 90)
+    assert s10 < s50 < s90
+    assert 0.05 < s10 < 0.2
+    assert 0.4 < s50 < 0.6
+
+
+def test_range_selectivity_out_of_bounds():
+    values = np.arange(10, 20, dtype=np.int64)
+    stats = ColumnStatistics.from_values(values, DataType.INT)
+    assert stats.selectivity("<", 0) == 0.0
+    assert stats.selectivity(">", 100) == 0.0
+    assert stats.selectivity("<=", 100) == pytest.approx(1.0)
+
+
+def test_string_selectivity_falls_back_to_uniform():
+    values = np.array(["a", "b", "c", "d"], dtype="<U1")
+    stats = ColumnStatistics.from_values(values, DataType.STRING)
+    assert stats.selectivity("=", "a") == pytest.approx(0.25)
+    assert stats.selectivity("<", "b") == 0.5
+
+
+def test_merge_combines_disjoint_chunks():
+    a = ColumnStatistics.from_values(np.arange(0, 50, dtype=np.int64), DataType.INT)
+    b = ColumnStatistics.from_values(np.arange(50, 100, dtype=np.int64), DataType.INT)
+    merged = a.merge(b)
+    assert merged.row_count == 100
+    assert merged.min_value == 0.0
+    assert merged.max_value == 99.0
+    assert merged.distinct_count >= 50
+
+
+def test_merge_with_empty_is_identity():
+    stats = ColumnStatistics.from_values(np.arange(10, dtype=np.int64), DataType.INT)
+    empty = ColumnStatistics.from_values(np.zeros(0, dtype=np.int64), DataType.INT)
+    assert empty.merge(stats) is stats
+    assert stats.merge(empty) is stats

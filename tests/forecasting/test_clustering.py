@@ -1,0 +1,94 @@
+"""Tests for query clustering and feature embedding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.clustering import (
+    cluster_templates,
+    kmeans,
+    merge_cluster_series,
+)
+from repro.forecasting.features import feature_matrix, template_features
+from repro.workload.predicate import Predicate
+from repro.workload.query import Query
+
+
+def _templates():
+    return [
+        Query("orders", (Predicate("a", "=", 1),)).template(),
+        Query("orders", (Predicate("b", "=", 2),)).template(),
+        Query("orders", (Predicate("c", "<", 1), Predicate("d", "<", 2)), aggregate="count").template(),
+        Query("inventory", (Predicate("x", "<", 5), Predicate("y", ">", 1)), aggregate="count").template(),
+        Query("inventory", (Predicate("x", "=", 1),)).template(),
+    ]
+
+
+def test_feature_matrix_shape():
+    templates = _templates()
+    matrix, table_order = feature_matrix(templates)
+    assert matrix.shape[0] == len(templates)
+    assert set(table_order) == {"orders", "inventory"}
+
+
+def test_template_features_distinguish_shapes():
+    templates = _templates()
+    _, order = feature_matrix(templates)
+    eq = template_features(templates[0], order)
+    rng = template_features(templates[2], order)
+    assert not np.array_equal(eq, rng)
+
+
+def test_kmeans_separates_obvious_clusters():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 0.1, (20, 2))
+    b = rng.normal(10, 0.1, (20, 2))
+    labels = kmeans(np.vstack([a, b]), k=2, seed=1)
+    assert len(set(labels[:20])) == 1
+    assert len(set(labels[20:])) == 1
+    assert labels[0] != labels[20]
+
+
+def test_kmeans_handles_k_larger_than_points():
+    labels = kmeans(np.zeros((3, 2)), k=10, seed=0)
+    assert len(labels) == 3
+
+
+def test_kmeans_invalid_k():
+    with pytest.raises(ForecastError):
+        kmeans(np.zeros((3, 2)), k=0)
+
+
+def test_cluster_templates_groups_similar_shapes():
+    clusters = cluster_templates(_templates(), k=2, seed=0)
+    assert sum(len(c.member_keys) for c in clusters) == len(_templates())
+    assert 1 <= len(clusters) <= 2
+
+
+def test_cluster_templates_empty():
+    assert cluster_templates([], k=3) == []
+
+
+def test_merge_cluster_series_and_shares():
+    from repro.forecasting.clustering import TemplateCluster
+
+    series = {"a": np.array([1.0, 3.0]), "b": np.array([3.0, 9.0])}
+    merged, shares = merge_cluster_series(series, TemplateCluster(0, ("a", "b")))
+    np.testing.assert_array_equal(merged, [4.0, 12.0])
+    assert shares["a"] == pytest.approx(0.25)
+    assert shares["b"] == pytest.approx(0.75)
+
+
+def test_merge_cluster_series_zero_total():
+    from repro.forecasting.clustering import TemplateCluster
+
+    series = {"a": np.zeros(3), "b": np.zeros(3)}
+    _merged, shares = merge_cluster_series(series, TemplateCluster(0, ("a", "b")))
+    assert shares == {"a": 0.5, "b": 0.5}
+
+
+def test_merge_cluster_series_unknown_members():
+    from repro.forecasting.clustering import TemplateCluster
+
+    with pytest.raises(ForecastError):
+        merge_cluster_series({}, TemplateCluster(0, ("ghost",)))

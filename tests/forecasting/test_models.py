@@ -1,0 +1,153 @@
+"""Tests for forecast models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.models import (
+    AutoRegressive,
+    Ensemble,
+    HistoricalMean,
+    HoltLinear,
+    LinearTrend,
+    NaiveLastValue,
+    SeasonalNaive,
+    SimpleExponentialSmoothing,
+)
+
+ALL_FACTORIES = [
+    NaiveLastValue,
+    HistoricalMean,
+    lambda: SeasonalNaive(6),
+    LinearTrend,
+    SimpleExponentialSmoothing,
+    HoltLinear,
+    AutoRegressive,
+    lambda: Ensemble([NaiveLastValue, LinearTrend]),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_models_fit_and_predict_shapes(factory):
+    series = np.arange(30, dtype=float)
+    prediction = factory().fit_predict(series, 5)
+    assert prediction.shape == (5,)
+    assert (prediction >= 0).all()
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_models_handle_short_series(factory):
+    prediction = factory().fit_predict(np.array([3.0]), 4)
+    assert prediction.shape == (4,)
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_models_reject_empty_series(factory):
+    with pytest.raises(ForecastError):
+        factory().fit(np.array([]))
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_models_reject_predict_before_fit(factory):
+    with pytest.raises(ForecastError):
+        factory().predict(3)
+
+
+def test_naive_predicts_last_value():
+    prediction = NaiveLastValue().fit_predict(np.array([1.0, 7.0]), 3)
+    np.testing.assert_array_equal(prediction, [7.0, 7.0, 7.0])
+
+
+def test_historical_mean_window():
+    series = np.array([100.0, 100.0, 2.0, 4.0])
+    assert HistoricalMean(window=2).fit_predict(series, 1)[0] == 3.0
+
+
+def test_seasonal_naive_repeats_season():
+    series = np.array([1.0, 2.0, 3.0] * 4)
+    prediction = SeasonalNaive(3).fit_predict(series, 6)
+    np.testing.assert_array_equal(prediction, [1, 2, 3, 1, 2, 3])
+
+
+def test_seasonal_naive_falls_back_when_short():
+    prediction = SeasonalNaive(10).fit_predict(np.array([5.0, 6.0]), 3)
+    np.testing.assert_array_equal(prediction, [6, 6, 6])
+
+
+def test_linear_trend_extrapolates():
+    series = 2.0 * np.arange(20) + 1.0
+    prediction = LinearTrend().fit_predict(series, 3)
+    np.testing.assert_allclose(prediction, [41.0, 43.0, 45.0], rtol=1e-6)
+
+
+def test_linear_trend_clips_negative():
+    series = np.array([10.0, 5.0, 0.0])
+    prediction = LinearTrend().fit_predict(series, 5)
+    assert (prediction >= 0).all()
+
+
+def test_holt_tracks_trend():
+    series = 3.0 * np.arange(40) + 5.0
+    prediction = HoltLinear(alpha=0.8, beta=0.5).fit_predict(series, 2)
+    assert prediction[1] > prediction[0] > series[-1] - 1
+
+
+def test_ar_learns_oscillation():
+    t = np.arange(60)
+    series = 10 + 5 * np.sin(2 * np.pi * t / 12)
+    prediction = AutoRegressive(order=12).fit_predict(series, 12)
+    actual = 10 + 5 * np.sin(2 * np.pi * (t[-1] + 1 + np.arange(12)) / 12)
+    assert np.sqrt(np.mean((prediction - actual) ** 2)) < 2.0
+
+
+def test_ar_differencing_tracks_trend():
+    series = 2.0 * np.arange(50)
+    prediction = AutoRegressive(order=3, difference=1).fit_predict(series, 4)
+    assert prediction[-1] > series[-1]
+
+
+def test_ar_degrades_gracefully_on_tiny_series():
+    prediction = AutoRegressive(order=8).fit_predict(np.array([4.0, 4.0]), 3)
+    assert prediction.shape == (3,)
+
+
+def test_ensemble_weights_favor_better_member():
+    t = np.arange(48, dtype=float)
+    series = 10 + 8 * np.sin(2 * np.pi * t / 12)
+    ensemble = Ensemble(
+        [lambda: SeasonalNaive(12), NaiveLastValue], holdout=12
+    )
+    ensemble.fit(series)
+    weights = ensemble.weights
+    assert weights[0] > weights[1]
+
+
+def test_ensemble_uniform_without_holdout():
+    ensemble = Ensemble([NaiveLastValue, LinearTrend])
+    ensemble.fit(np.arange(10, dtype=float))
+    np.testing.assert_allclose(ensemble.weights, [0.5, 0.5])
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        SeasonalNaive(0)
+    with pytest.raises(ValueError):
+        SimpleExponentialSmoothing(alpha=0.0)
+    with pytest.raises(ValueError):
+        HoltLinear(beta=2.0)
+    with pytest.raises(ValueError):
+        AutoRegressive(order=0)
+    with pytest.raises(ValueError):
+        AutoRegressive(difference=2)
+    with pytest.raises(ValueError):
+        Ensemble([])
+    with pytest.raises(ValueError):
+        HistoricalMean(window=0)
+    with pytest.raises(ValueError):
+        LinearTrend(window=1)
+
+
+def test_negative_horizon_rejected():
+    model = NaiveLastValue().fit(np.array([1.0]))
+    with pytest.raises(ForecastError):
+        model.predict(0)

@@ -1,0 +1,95 @@
+"""Tests for workload reduction (Section III-A's sampling lever)."""
+
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.scenarios import (
+    Forecast,
+    WorkloadScenario,
+    reduce_templates,
+)
+
+
+def _forecast(n_templates=6):
+    expected = {f"q{i}": float(10 * (i + 1)) for i in range(n_templates)}
+    worst = {key: value * 2 for key, value in expected.items()}
+    return Forecast(
+        scenarios=(
+            WorkloadScenario("expected", 0.7, expected),
+            WorkloadScenario("worst_case", 0.3, worst),
+        ),
+        horizon_bins=4,
+        bin_duration_ms=1000.0,
+        sample_queries={},
+    )
+
+
+def test_keeps_heaviest_templates():
+    reduced = reduce_templates(_forecast(), max_templates=2)
+    # q5 (60) and q4 (50) carry the most mass
+    assert set(reduced.expected.frequencies) == {"q4", "q5"}
+
+
+def test_preserves_total_execution_mass():
+    original = _forecast()
+    reduced = reduce_templates(original, max_templates=3)
+    for scenario in original.scenarios:
+        assert reduced.scenario(scenario.name).total_executions == (
+            pytest.approx(scenario.total_executions)
+        )
+
+
+def test_noop_when_already_small():
+    original = _forecast(n_templates=2)
+    assert reduce_templates(original, max_templates=5) is original
+
+
+def test_sample_queries_filtered():
+    from repro.workload import Query
+
+    original = _forecast()
+    queries = {key: Query("t") for key in original.expected.frequencies}
+    forecast = Forecast(
+        scenarios=original.scenarios,
+        horizon_bins=4,
+        bin_duration_ms=1000.0,
+        sample_queries=queries,
+    )
+    reduced = reduce_templates(forecast, max_templates=2)
+    assert set(reduced.sample_queries) == {"q4", "q5"}
+
+
+def test_invalid_max_templates():
+    with pytest.raises(ForecastError):
+        reduce_templates(_forecast(), max_templates=0)
+
+
+def test_dependence_analyzer_accepts_reduction(retail_suite):
+    from repro.configuration import (
+        ConstraintSet,
+        INDEX_MEMORY,
+        ResourceBudget,
+    )
+    from repro.ordering import DependenceAnalyzer
+    from repro.tuning import CompressionFeature, IndexSelectionFeature, Tuner
+    from repro.util.units import MIB
+    from tests.conftest import make_forecast
+
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    tuners = [
+        Tuner(IndexSelectionFeature(), db),
+        Tuner(CompressionFeature(), db),
+    ]
+    analyzer = DependenceAnalyzer(
+        db,
+        tuners,
+        ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)]),
+        max_templates=3,
+    )
+    matrix = analyzer.measure(forecast)
+    assert matrix.w_empty > 0
+    assert set(matrix.w_pair) == {
+        ("compression", "index_selection"),
+        ("index_selection", "compression"),
+    }

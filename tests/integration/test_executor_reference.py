@@ -1,0 +1,136 @@
+"""Property test: the execution engine agrees with a direct numpy
+reference evaluation on arbitrary queries — across every physical
+configuration (encodings, indexes, sorting, tiers).
+
+This is the invariant everything else rests on: physical design changes
+must never change query *results*, only their cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms import Database, DataType, EncodingType, StorageTier, TableSchema
+from repro.workload import Predicate, Query
+
+ROWS = 400
+CHUNK = 150
+
+
+def _reference_mask(frames, predicates):
+    mask = np.ones(len(frames["a"]), dtype=bool)
+    for pred in predicates:
+        column = frames[pred.column]
+        mask &= {
+            "=": column == pred.value,
+            "!=": column != pred.value,
+            "<": column < pred.value,
+            "<=": column <= pred.value,
+            ">": column > pred.value,
+            ">=": column >= pred.value,
+        }[pred.op]
+    return mask
+
+
+def _build(seed):
+    db = Database()
+    schema = TableSchema.build(
+        "t",
+        [("a", DataType.INT), ("b", DataType.INT), ("c", DataType.STRING),
+         ("d", DataType.FLOAT)],
+    )
+    table = db.create_table(schema, target_chunk_size=CHUNK)
+    rng = np.random.default_rng(seed)
+    frames = {
+        "a": rng.integers(0, 20, ROWS),
+        "b": rng.integers(-5, 5, ROWS),
+        "c": rng.choice(["x", "y", "z"], ROWS).astype("<U1"),
+        "d": rng.uniform(0, 1, ROWS).round(4),
+    }
+    table.append(dict(frames))
+    return db, frames
+
+
+_int_predicates = st.builds(
+    Predicate,
+    column=st.sampled_from(["a", "b"]),
+    op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    value=st.integers(min_value=-6, max_value=21),
+)
+_str_predicates = st.builds(
+    Predicate,
+    column=st.just("c"),
+    op=st.sampled_from(["=", "!="]),
+    value=st.sampled_from(["x", "y", "z", "w"]),
+)
+_predicate_lists = st.lists(
+    st.one_of(_int_predicates, _str_predicates), max_size=3
+)
+_configs = st.sampled_from(
+    ["plain", "dictionary", "rle_sorted", "indexed", "tiered", "everything"]
+)
+
+
+def _configure(db, config):
+    if config == "plain":
+        return
+    if config == "dictionary":
+        for column in ("a", "b", "c"):
+            db.set_encoding("t", column, EncodingType.DICTIONARY)
+        return
+    if config == "rle_sorted":
+        db.sort_chunk("t", 0, "a")
+        db.set_encoding("t", "a", EncodingType.RUN_LENGTH)
+        return
+    if config == "indexed":
+        db.create_index("t", ["a"])
+        db.create_index("t", ["a", "b"])
+        db.create_index("t", ["c"])
+        return
+    if config == "tiered":
+        db.move_chunk("t", 0, StorageTier.SSD)
+        db.move_chunk("t", 1, StorageTier.NVM)
+        return
+    # everything at once
+    db.sort_chunk("t", 1, "b")
+    for column in ("a", "c"):
+        db.set_encoding("t", column, EncodingType.DICTIONARY)
+    db.set_encoding("t", "b", EncodingType.FRAME_OF_REFERENCE)
+    db.create_index("t", ["a"])
+    db.create_index("t", ["b", "a"])
+    db.move_chunk("t", 2, StorageTier.SSD)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    predicates=_predicate_lists,
+    config=_configs,
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_property_results_are_configuration_invariant(predicates, config, seed):
+    db, frames = _build(seed)
+    _configure(db, config)
+    expected_mask = _reference_mask(frames, predicates)
+
+    count = db.execute(
+        Query("t", tuple(predicates), aggregate="count")
+    ).aggregate_value
+    assert count == float(expected_mask.sum())
+
+    total = db.execute(
+        Query("t", tuple(predicates), aggregate="sum", aggregate_column="d")
+    ).aggregate_value
+    reference_sum = float(frames["d"][expected_mask].sum())
+    if expected_mask.any():
+        assert total == pytest.approx(reference_sum)
+    else:
+        assert total is None
+
+    rows = db.execute(
+        Query("t", tuple(predicates), projection=("a", "c")),
+        materialize=True,
+    ).rows
+    np.testing.assert_array_equal(
+        np.sort(rows["a"]), np.sort(frames["a"][expected_mask])
+    )

@@ -1,0 +1,123 @@
+"""Tests for dependence measurement and recursive tuning (Section III)."""
+
+import pytest
+
+from repro.configuration.config import ConfigurationInstance
+from repro.configuration.constraints import (
+    INDEX_MEMORY,
+    ConstraintSet,
+    ResourceBudget,
+)
+from repro.errors import OrderingError
+from repro.ordering.dependence import DependenceAnalyzer
+from repro.ordering.recursive import RecursiveTuningPlanner
+from repro.tuning.features import CompressionFeature, IndexSelectionFeature
+from repro.tuning.tuner import Tuner
+from repro.util.units import MIB
+
+from tests.conftest import make_forecast
+
+
+def _tuners(db):
+    return [
+        Tuner(IndexSelectionFeature(), db),
+        Tuner(CompressionFeature(), db),
+    ]
+
+
+def _constraints():
+    return ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)])
+
+
+def test_measure_produces_consistent_matrix(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    analyzer = DependenceAnalyzer(db, _tuners(db), _constraints())
+    before = ConfigurationInstance.capture(db)
+    matrix = analyzer.measure(forecast)
+    # measurement leaves no trace
+    after = ConfigurationInstance.capture(db)
+    assert before.indexes == after.indexes
+    assert before.encodings == after.encodings
+
+    assert matrix.features == ("compression", "index_selection")
+    assert matrix.w_empty > 0
+    for feature in matrix.features:
+        # tuning never hurts the workload it was tuned for (measured what-if)
+        assert matrix.w_single[feature] <= matrix.w_empty * 1.01
+        assert matrix.tuning_cost_ms[feature] >= 0
+        assert matrix.impact(feature) >= 0.99
+    for pair, cost in matrix.w_pair.items():
+        # tuning both features is at least as good as the better single one
+        assert cost <= min(
+            matrix.w_single[pair[0]], matrix.w_single[pair[1]]
+        ) * 1.05
+    d = matrix.d("compression", "index_selection")
+    assert d > 0
+    assert matrix.d("index_selection", "compression") == pytest.approx(1.0 / d)
+
+
+def test_analyzer_requires_two_distinct_features(retail_suite):
+    db = retail_suite.database
+    with pytest.raises(OrderingError):
+        DependenceAnalyzer(db, [Tuner(IndexSelectionFeature(), db)])
+    with pytest.raises(OrderingError):
+        DependenceAnalyzer(
+            db,
+            [Tuner(IndexSelectionFeature(), db), Tuner(IndexSelectionFeature(), db)],
+        )
+
+
+def test_recursive_run_with_explicit_order(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    planner = RecursiveTuningPlanner(db, _tuners(db), _constraints())
+    report = planner.run(forecast, order=("compression", "index_selection"))
+    assert report.order == ("compression", "index_selection")
+    assert report.final_cost_ms < report.initial_cost_ms
+    assert report.improvement > 0.1
+    assert len(report.runs) == 2
+    # per-feature costs chain together
+    assert report.runs[0].cost_before_ms == pytest.approx(report.initial_cost_ms)
+    assert report.runs[1].cost_before_ms == pytest.approx(
+        report.runs[0].cost_after_ms
+    )
+    assert report.runs[1].cost_after_ms == pytest.approx(report.final_cost_ms)
+    assert report.total_reconfiguration_ms > 0
+    # tuning was actually applied to the database
+    assert db.index_bytes() > 0
+
+
+def test_recursive_run_plans_order_when_not_given(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    planner = RecursiveTuningPlanner(db, _tuners(db), _constraints())
+    report = planner.run(forecast)
+    assert report.matrix is not None
+    assert report.ordering_solution is not None
+    assert report.order == report.ordering_solution.order
+    assert report.improvement > 0
+
+
+def test_recursive_run_rejects_unknown_features(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    planner = RecursiveTuningPlanner(db, _tuners(db), _constraints())
+    with pytest.raises(OrderingError):
+        planner.run(forecast, order=("ghost",))
+
+
+def test_planner_requires_tuners(retail_suite):
+    with pytest.raises(OrderingError):
+        RecursiveTuningPlanner(retail_suite.database, [])
+
+
+def test_single_feature_runs_without_ordering(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    planner = RecursiveTuningPlanner(
+        db, [Tuner(IndexSelectionFeature(), db)], _constraints()
+    )
+    report = planner.run(forecast)
+    assert report.order == ("index_selection",)
+    assert report.matrix is None

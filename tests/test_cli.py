@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "selector" in out
+    assert "feature" in out
+
+
+def test_components_command_all(capsys):
+    assert main(["components"]) == 0
+    out = capsys.readouterr().out
+    assert "selector\tgreedy" in out
+    assert "feature\tsort_order" in out
+
+
+def test_components_command_filtered(capsys):
+    assert main(["components", "selector"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy" in out
+    assert "feature" not in out
+
+
+def test_simulate_command_small(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--rows", "4000",
+                "--bins", "8",
+                "--tune-every-bins", "5",
+                "--features", "2",
+                "--seed", "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "simulating 8 bins" in out
+    assert "self-management log" in out
+
+
+def test_order_command_small(capsys):
+    assert (
+        main(["order", "--rows", "4000", "--features", "2", "--seed", "3"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "LP order" in out
+    assert "W_0" in out
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(SystemExit):
+        main(["order", "--suite", "nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,103 @@
+"""Tests for the end-to-end tuner pipeline."""
+
+import pytest
+
+from repro.configuration.config import ConfigurationInstance
+from repro.configuration.constraints import (
+    INDEX_MEMORY,
+    ConstraintSet,
+    ResourceBudget,
+)
+from repro.tuning.selectors import OptimalSelector
+from repro.tuning.features import CompressionFeature, IndexSelectionFeature
+from repro.tuning.tuner import Tuner
+from repro.util.units import MIB
+
+from tests.conftest import make_forecast
+
+
+def test_index_tuning_improves_workload_within_budget(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    constraints = ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)])
+    tuner = Tuner(IndexSelectionFeature(), db)
+    result = tuner.propose(forecast, constraints)
+    assert result.candidate_count > 0
+    assert result.chosen
+    assert result.predicted_benefit_ms > 0
+    assert not result.is_noop
+    assert set(result.stage_seconds) == {"enumerate", "assess", "select"}
+    # nothing applied yet
+    assert db.index_bytes() == 0
+    report = tuner.apply(result)
+    assert report.action_count == len(result.delta)
+    assert 0 < db.index_bytes() <= 1 * MIB
+
+
+def test_tuning_is_idempotent_when_reapplied(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    constraints = ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)])
+    tuner = Tuner(IndexSelectionFeature(), db)
+    tuner.tune(forecast, constraints)
+    instance = ConfigurationInstance.capture(db)
+    result2, _report = tuner.tune(forecast, constraints)
+    assert result2.is_noop
+    assert ConfigurationInstance.capture(db).indexes == instance.indexes
+
+
+def test_compression_tuning_reduces_cost_and_memory(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    from repro.cost import WhatIfOptimizer
+
+    optimizer = WhatIfOptimizer(db)
+    before_cost = optimizer.scenario_cost_ms(
+        forecast.expected, dict(forecast.sample_queries)
+    )
+    before_bytes = db.data_bytes()
+    tuner = Tuner(CompressionFeature(), db)
+    result, _report = tuner.tune(forecast)
+    after_cost = optimizer.scenario_cost_ms(
+        forecast.expected, dict(forecast.sample_queries)
+    )
+    assert after_cost < before_cost
+    assert db.data_bytes() < before_bytes
+    assert result.predicted_desirability["expected"] > 0
+
+
+def test_tuner_with_custom_selector(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite)
+    tuner = Tuner(
+        IndexSelectionFeature(),
+        db,
+        selector=OptimalSelector(),
+    )
+    result = tuner.propose(
+        forecast, ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)])
+    )
+    assert result.selector_name == "optimal"
+    used = sum(a.permanent_cost(INDEX_MEMORY) for a in result.chosen)
+    assert used <= 1 * MIB
+
+
+def test_reconfiguration_weight_shrinks_delta(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite, frequency=1.0)  # low stakes
+    eager = Tuner(IndexSelectionFeature(), db).propose(forecast)
+    cautious = Tuner(
+        IndexSelectionFeature(), db, reconfiguration_weight=5.0
+    ).propose(forecast)
+    assert len(cautious.chosen) <= len(eager.chosen)
+
+
+def test_predicted_benefit_is_probability_weighted(retail_suite):
+    db = retail_suite.database
+    forecast = make_forecast(retail_suite, families=["point_customer"])
+    result = Tuner(IndexSelectionFeature(), db).propose(forecast)
+    expected = sum(
+        forecast.scenario(name).probability * value
+        for name, value in result.predicted_desirability.items()
+    )
+    assert result.predicted_benefit_ms == pytest.approx(expected)

@@ -1,0 +1,27 @@
+"""Tests for seeded randomness helpers."""
+
+from repro.util.rng import derive_rng, derive_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(7, "workload") == derive_seed(7, "workload")
+
+
+def test_derive_seed_varies_with_label():
+    assert derive_seed(7, "a") != derive_seed(7, "b")
+
+
+def test_derive_seed_varies_with_parent():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_derive_rng_streams_are_reproducible():
+    a = derive_rng(3, "x").integers(0, 1000, 10)
+    b = derive_rng(3, "x").integers(0, 1000, 10)
+    assert (a == b).all()
+
+
+def test_derive_rng_streams_are_independent():
+    a = derive_rng(3, "x").integers(0, 1000, 10)
+    b = derive_rng(3, "y").integers(0, 1000, 10)
+    assert not (a == b).all()

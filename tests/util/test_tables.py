@@ -1,0 +1,38 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+def test_render_basic_table():
+    text = render_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "value" in lines[0]
+    assert "-" in lines[1]
+    assert "bb" in lines[2 + 0] or "bb" in text
+
+
+def test_render_with_title():
+    text = render_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_render_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_float_formatting():
+    text = render_table(["v"], [[0.001234], [1234.5], [float("nan")]])
+    assert "e-" in text or "e+" in text
+    assert "nan" in text
+
+
+def test_columns_are_aligned():
+    text = render_table(["a", "bbbb"], [["x", "y"], ["long", "z"]])
+    header, sep, *rows = text.splitlines()
+    assert len({header.index("bbbb")}) == 1
+    positions = [row.find("y") for row in rows if "y" in row]
+    assert all(p >= header.index("bbbb") for p in positions)

@@ -1,0 +1,33 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.util.timer import SimulatedClock
+
+
+def test_clock_starts_at_zero_by_default():
+    assert SimulatedClock().now_ms == 0.0
+
+
+def test_clock_advances():
+    clock = SimulatedClock()
+    assert clock.advance(10.5) == 10.5
+    clock.advance(0.5)
+    assert clock.now_ms == 11.0
+
+
+def test_clock_rejects_negative_advance():
+    clock = SimulatedClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimulatedClock(start_ms=-5)
+
+
+def test_zero_advance_is_allowed():
+    clock = SimulatedClock(100.0)
+    clock.advance(0.0)
+    assert clock.now_ms == 100.0

@@ -1,0 +1,75 @@
+"""Tests for predicates, queries, and templates."""
+
+import pytest
+
+from repro.workload.predicate import Predicate
+from repro.workload.query import Query, QueryTemplate
+
+
+def test_predicate_validation():
+    Predicate("a", "=", 1)
+    with pytest.raises(ValueError):
+        Predicate("a", "LIKE", "x")
+
+
+def test_predicate_signature_and_str():
+    pred = Predicate("a", ">=", 5)
+    assert pred.signature() == ("a", ">=")
+    assert str(pred) == "a >= 5"
+    assert str(Predicate("b", "=", "x")) == "b = 'x'"
+
+
+def test_template_strips_literals_and_sorts():
+    q1 = Query("t", (Predicate("b", "=", 1), Predicate("a", "<", 9)))
+    q2 = Query("t", (Predicate("a", "<", 100), Predicate("b", "=", 7)))
+    assert q1.template() == q2.template()
+    assert q1.template().key == q2.template().key
+
+
+def test_template_key_shapes():
+    assert Query("t", aggregate="count").template().key == "SELECT COUNT(*) FROM t"
+    assert (
+        Query("t", aggregate="sum", aggregate_column="x").template().key
+        == "SELECT SUM(x) FROM t"
+    )
+    assert Query("t").template().key == "SELECT * FROM t"
+    assert (
+        Query("t", (Predicate("a", "=", 1),), projection=("a", "b")).template().key
+        == "SELECT a, b FROM t WHERE a = ?"
+    )
+
+
+def test_different_shapes_have_different_templates():
+    a = Query("t", (Predicate("a", "=", 1),))
+    b = Query("t", (Predicate("a", "<", 1),))
+    assert a.template() != b.template()
+
+
+def test_aggregate_validation():
+    with pytest.raises(ValueError):
+        Query("t", aggregate="median", aggregate_column="x")
+    with pytest.raises(ValueError):
+        Query("t", aggregate="sum")  # needs a column
+
+
+def test_tag_not_part_of_equality():
+    a = Query("t", tag="x")
+    b = Query("t", tag="y")
+    assert a == b
+
+
+def test_predicate_columns():
+    q = Query("t", (Predicate("a", "=", 1), Predicate("b", "<", 2)))
+    assert q.predicate_columns == ("a", "b")
+    assert q.template().predicate_columns == ("a", "b")
+
+
+def test_template_is_hashable():
+    template = Query("t", (Predicate("a", "=", 1),)).template()
+    assert isinstance(hash(template), int)
+    assert template in {template}
+
+
+def test_query_str():
+    q = Query("t", (Predicate("a", "=", 1),), aggregate="count")
+    assert str(q) == "SELECT COUNT(*) FROM t WHERE a = 1"

@@ -1,0 +1,98 @@
+"""Tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.workload.predicate import Predicate
+from repro.workload.sql import parse_sql
+
+
+def test_select_star():
+    q = parse_sql("SELECT * FROM orders")
+    assert q.table == "orders"
+    assert q.projection is None
+    assert q.predicates == ()
+    assert q.aggregate is None
+
+
+def test_projection_list():
+    q = parse_sql("SELECT a, b FROM t")
+    assert q.projection == ("a", "b")
+
+
+def test_count_star():
+    q = parse_sql("SELECT COUNT(*) FROM t")
+    assert q.aggregate == "count"
+    assert q.aggregate_column is None
+
+
+def test_sum_column():
+    q = parse_sql("SELECT SUM(price) FROM t WHERE region = 'north'")
+    assert q.aggregate == "sum"
+    assert q.aggregate_column == "price"
+    assert q.predicates == (Predicate("region", "=", "north"),)
+
+
+@pytest.mark.parametrize("agg", ["avg", "min", "max"])
+def test_other_aggregates(agg):
+    q = parse_sql(f"SELECT {agg.upper()}(x) FROM t")
+    assert q.aggregate == agg
+
+
+def test_conjunctive_predicates():
+    q = parse_sql("SELECT * FROM t WHERE a = 5 AND b >= 2.5 AND c != 'z'")
+    assert q.predicates == (
+        Predicate("a", "=", 5),
+        Predicate("b", ">=", 2.5),
+        Predicate("c", "!=", "z"),
+    )
+
+
+def test_not_equals_variants():
+    assert parse_sql("SELECT * FROM t WHERE a <> 1").predicates[0].op == "!="
+
+
+def test_between_desugars():
+    q = parse_sql("SELECT COUNT(*) FROM t WHERE a BETWEEN 3 AND 7")
+    assert q.predicates == (
+        Predicate("a", ">=", 3),
+        Predicate("a", "<=", 7),
+    )
+
+
+def test_negative_numbers_and_floats():
+    q = parse_sql("SELECT * FROM t WHERE a > -5 AND b < -2.5")
+    assert q.predicates[0].value == -5
+    assert q.predicates[1].value == -2.5
+
+
+def test_case_insensitive_keywords():
+    q = parse_sql("select count(*) from t where a = 1")
+    assert q.aggregate == "count"
+
+
+def test_trailing_semicolon_ok():
+    assert parse_sql("SELECT * FROM t;").table == "t"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "SELECT FROM t",
+        "SELECT * WHERE a = 1",
+        "SELECT * FROM t WHERE a = ",
+        "SELECT * FROM t WHERE a ~ 1",
+        "SELECT * FROM t extra tokens",
+        "INSERT INTO t VALUES (1)",
+        "SELECT * FROM t WHERE a BETWEEN 1",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(SQLSyntaxError):
+        parse_sql(bad)
+
+
+def test_round_trip_through_template():
+    q = parse_sql("SELECT COUNT(*) FROM t WHERE a = 3 AND b < 9")
+    assert q.template().key == "SELECT COUNT(*) FROM t WHERE a = ? AND b < ?"

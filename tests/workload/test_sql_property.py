@@ -1,0 +1,58 @@
+"""Property tests: SQL rendering and parsing are mutual inverses."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.predicate import PREDICATE_OPS, Predicate
+from repro.workload.query import AGGREGATES, Query
+from repro.workload.sql import parse_sql
+
+_identifiers = st.from_regex(r"[a-z][a-z_0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {"select", "from", "where", "and", "between",
+                        "count", "sum", "avg", "min", "max"}
+)
+_literals = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(lambda f: round(f, 3)).filter(lambda f: f != int(f)),
+    st.from_regex(r"[a-zA-Z0-9_ ]{0,12}", fullmatch=True),
+)
+_predicates = st.builds(
+    Predicate,
+    column=_identifiers,
+    op=st.sampled_from(PREDICATE_OPS),
+    value=_literals,
+)
+
+
+@st.composite
+def _queries(draw):
+    table = draw(_identifiers)
+    predicates = tuple(draw(st.lists(_predicates, max_size=4)))
+    mode = draw(st.sampled_from(["star", "projection", "aggregate"]))
+    if mode == "projection":
+        columns = tuple(draw(st.lists(_identifiers, min_size=1, max_size=3,
+                                      unique=True)))
+        return Query(table, predicates, projection=columns)
+    if mode == "aggregate":
+        aggregate = draw(st.sampled_from(AGGREGATES))
+        column = None if aggregate == "count" else draw(_identifiers)
+        return Query(
+            table, predicates, aggregate=aggregate, aggregate_column=column
+        )
+    return Query(table, predicates)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_queries())
+def test_property_parse_of_str_is_identity(query):
+    """``parse_sql(str(query)) == query`` for every expressible query."""
+    round_tripped = parse_sql(str(query))
+    assert round_tripped == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(_queries())
+def test_property_template_key_is_stable_under_round_trip(query):
+    assert parse_sql(str(query)).template().key == query.template().key
