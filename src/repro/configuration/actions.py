@@ -33,7 +33,15 @@ class Action(ABC):
 
     @abstractmethod
     def apply_raw(self, db: Database) -> list["Action"]:
-        """Apply without accounting; returns inverse actions (newest last)."""
+        """Apply without accounting; returns inverse actions (newest last).
+
+        Every raw application that actually mutates state bumps the
+        database's configuration epoch with the action's description as a
+        memoisation token, so the what-if cost cache keyed on the epoch is
+        invalidated — and re-applying the same action sequence from the
+        same epoch revisits the same epoch (cache reuse). No-op
+        applications (state already as requested) do not bump.
+        """
 
     @abstractmethod
     def estimate_cost_ms(self, db: Database) -> float:
@@ -62,6 +70,7 @@ class CreateIndexAction(Action):
         touched = table.create_index(list(self.columns), self.chunk_ids)
         if not touched:
             return []
+        db.bump_config_epoch(self.describe())
         return [
             DropIndexAction(
                 self.table,
@@ -102,6 +111,7 @@ class DropIndexAction(Action):
         touched = table.drop_index(list(self.columns), self.chunk_ids)
         if not touched:
             return []
+        db.bump_config_epoch(self.describe())
         return [
             CreateIndexAction(
                 self.table,
@@ -146,6 +156,8 @@ class SetEncodingAction(Action):
             chunk.set_encoding(self.column, self.encoding)
             db.executor.buffer_pool.invalidate((self.table, chunk.chunk_id))
             reverted.setdefault(old, []).append(chunk.chunk_id)
+        if reverted:
+            db.bump_config_epoch(self.describe())
         return [
             SetEncodingAction(self.table, self.column, old, tuple(ids))
             for old, ids in reverted.items()
@@ -194,6 +206,7 @@ class MoveChunkAction(Action):
             return []
         chunk.tier = self.tier
         db.executor.buffer_pool.invalidate((self.table, self.chunk_id))
+        db.bump_config_epoch(self.describe())
         return [MoveChunkAction(self.table, self.chunk_id, old)]
 
     def estimate_cost_ms(self, db: Database) -> float:
@@ -239,6 +252,8 @@ class SortChunkAction(Action):
                     self.table, chunk.chunk_id, permutation, previous_sort
                 )
             )
+        if inverse:
+            db.bump_config_epoch(self.describe())
         return inverse
 
     def estimate_cost_ms(self, db: Database) -> float:
@@ -283,6 +298,9 @@ class PermuteChunkAction(Action):
         chunk = db.table(self.table).chunk(self.chunk_id)
         chunk.apply_permutation(self.permutation, self.sort_column)
         db.executor.buffer_pool.invalidate((self.table, self.chunk_id))
+        # the permutation is derived from the state it undoes, so the
+        # describe() token is deterministic per starting epoch
+        db.bump_config_epoch(f"{self.describe()} -> {self.sort_column}")
         return []  # rollback tokens are one-shot
 
     def estimate_cost_ms(self, db: Database) -> float:
@@ -308,6 +326,7 @@ class SetKnobAction(Action):
         db.knobs.set(self.name, self.value)
         if self.name == BUFFER_POOL_KNOB:
             db.executor.sync_buffer_pool()
+        db.bump_config_epoch(self.describe())
         return [SetKnobAction(self.name, old)]
 
     def estimate_cost_ms(self, db: Database) -> float:

@@ -101,6 +101,10 @@ class Driver(Plugin):
             self.cost_maintenance = AdaptiveCostMaintenancePlugin()
             self.cost_maintenance.on_attach(database)
             run_design_exploration(database, self.cost_maintenance.model)
+        # one shared what-if optimizer: the organizer, the dependence
+        # analyzer, and every feature's default assessor price through the
+        # same epoch-keyed cost cache (and its KPI counters)
+        self.optimizer = WhatIfOptimizer(database)
         self.tuners = []
         for feature in self._features:
             assessor = None
@@ -115,9 +119,9 @@ class Driver(Plugin):
                     assessor=assessor,
                     selector=self._selector,
                     reconfiguration_weight=self._reconfiguration_weight,
+                    optimizer=self.optimizer,
                 )
             )
-        self.optimizer = WhatIfOptimizer(database)
         self.organizer = Organizer(
             database,
             self.predictor,
@@ -171,6 +175,10 @@ class Driver(Plugin):
                     f"applied tuning pass over {report.order}",
                 )
 
-    def tune_now(self) -> OrganizerRunReport:
-        """Force a tuning pass immediately (manual mode)."""
+    def tune_now(self) -> OrganizerRunReport | None:
+        """Force a tuning pass immediately (manual mode).
+
+        Returns ``None`` when the organizer skips the pass because the
+        tuning-time budget admits no feature.
+        """
         return self.organizer.run_tuning()

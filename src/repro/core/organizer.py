@@ -107,6 +107,7 @@ class Organizer:
         ]
         self._config = config or OrganizerConfig()
         self._optimizer = optimizer or WhatIfOptimizer(db)
+        self._monitor.attach_whatif_cache(self._optimizer)
         self._executor = executor
         self._planner = RecursiveTuningPlanner(
             db,
@@ -208,11 +209,18 @@ class Organizer:
 
     def run_tuning(
         self, decision: TriggerDecision | None = None
-    ) -> OrganizerRunReport:
-        """Run one full tuning pass (also callable manually)."""
+    ) -> OrganizerRunReport | None:
+        """Run one full tuning pass (also callable manually).
+
+        Returns ``None`` when the tuning-time budget admits no feature:
+        a zero-feature pass would do no work, so it must not append a
+        configuration record, restart the cooldown, or count against the
+        order-refresh cadence.
+        """
         now = self._db.clock.now_ms
         decision = decision or TriggerDecision(True, "manual", "manual request")
         forecast = self._predictor.forecast(self._config.horizon_bins)
+        cache_before = self._optimizer.cache_stats
         self._events.log(
             now,
             EventKind.TUNING_STARTED,
@@ -238,6 +246,15 @@ class Organizer:
         order = self._cached_order or self._planner.feature_names
         subset = self._feature_subset(order)
         skipped = tuple(name for name in order if name not in subset)
+        if not subset:
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.SKIP,
+                "tuning skipped: time budget admits no feature",
+                budget_ms=self._config.tuning_time_budget_ms,
+                skipped=len(skipped),
+            )
+            return None
         self._runs_since_refresh += 1
 
         report = self._planner.run(forecast, order=subset, executor=self._executor)
@@ -275,13 +292,26 @@ class Organizer:
                     measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
                 )
             )
+        cache_after = self._optimizer.cache_stats
+        cache_hits = cache_after.hits - cache_before.hits
+        cache_misses = cache_after.misses - cache_before.misses
+        cache_priced = cache_hits + cache_misses
         self._events.log(
             self._db.clock.now_ms,
             EventKind.TUNING_FINISHED,
             f"workload cost {report.initial_cost_ms:.2f} -> "
-            f"{report.final_cost_ms:.2f} ms",
+            f"{report.final_cost_ms:.2f} ms "
+            f"(what-if cache: {cache_hits} hits / {cache_misses} misses)",
             improvement=report.improvement,
+            # reconfiguration_ms records *work* (sum of per-action costs),
+            # not elapsed wall time; see tuning/executors/base.py
             reconfiguration_ms=report.total_reconfiguration_ms,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_evictions=cache_after.evictions - cache_before.evictions,
+            cache_hit_rate=(
+                cache_hits / cache_priced if cache_priced else 0.0
+            ),
         )
         return OrganizerRunReport(
             decision=decision,

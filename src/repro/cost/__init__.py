@@ -10,7 +10,7 @@ from repro.cost.learned import LearnedCostModel
 from repro.cost.logical import LogicalCostModel
 from repro.cost.maintenance import AdaptiveCostMaintenancePlugin
 from repro.cost.physical import PhysicalCostModel
-from repro.cost.what_if import WhatIfOptimizer
+from repro.cost.what_if import WhatIfCacheStats, WhatIfOptimizer
 from repro.cost.workload_cost import (
     QueryCostFn,
     estimator_cost_fn,
@@ -27,6 +27,7 @@ __all__ = [
     "LogicalCostModel",
     "PhysicalCostModel",
     "QueryCostFn",
+    "WhatIfCacheStats",
     "WhatIfOptimizer",
     "calibration_queries",
     "estimator_cost_fn",

@@ -7,11 +7,23 @@ raw/unaccounted action path, costs are taken with zero side effects
 (probe-mode execution or an analytic estimator), and the inverse delta
 restores the previous state — the simulated clock, counters, plan cache,
 and buffer pool never notice.
+
+Measured (probe-mode) costs are memoised in an LRU cache keyed on
+``(config_epoch, query)``: the database's configuration epoch identifies
+the pricing-relevant state, so repeated pricing of the same query under
+the same (hypothetical) configuration — the dominant pattern in
+dependence measurement, candidate assessment, and trigger evaluation —
+becomes a dict hit. The cache is semantically invisible: every mutation
+that can change a probe-mode cost bumps the epoch, and
+:meth:`WhatIfOptimizer.hypothetical` restores the pre-delta epoch after
+rollback only when the rollback was exact (see the buffer-pool guard).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.configuration.delta import ConfigurationDelta
@@ -20,18 +32,61 @@ from repro.dbms.database import Database
 from repro.forecasting.scenarios import Forecast, WorkloadScenario
 from repro.workload.query import Query
 
+#: Default bound on cached ``(config_epoch, query)`` cost entries.
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class WhatIfCacheStats:
+    """Cumulative counters of the what-if cost cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pricings answered from the cache; 0 when unused."""
+        priced = self.hits + self.misses
+        return self.hits / priced if priced else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "size": float(self.size),
+            "hit_rate": self.hit_rate,
+        }
+
 
 class WhatIfOptimizer:
     """Prices queries and workloads under hypothetical configurations."""
 
     def __init__(
-        self, database: Database, estimator: CostEstimator | None = None
+        self,
+        database: Database,
+        estimator: CostEstimator | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         """With ``estimator=None`` costs are *measured* by probe-mode
         execution against real data (exact in the simulator); otherwise the
-        given analytic estimator prices queries (faster, approximate)."""
+        given analytic estimator prices queries (faster, approximate).
+
+        ``cache_size`` bounds the epoch-keyed cost cache for the measured
+        path (0 disables caching). Analytic estimates are never cached:
+        they are cheap and estimators may be stateful (learned models).
+        """
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
         self._db = database
         self._estimator = estimator
+        self._cache_size = cache_size
+        self._cache: OrderedDict[tuple[int, Query], float] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def database(self) -> Database:
@@ -42,12 +97,50 @@ class WhatIfOptimizer:
         """True when costs come from probe-mode execution, not a model."""
         return self._estimator is None
 
+    # ------------------------------------------------------------------
+    # cache observability
+
+    @property
+    def cache_size(self) -> int:
+        """Configured LRU bound of the cost cache (0 = disabled)."""
+        return self._cache_size
+
+    @property
+    def cache_stats(self) -> WhatIfCacheStats:
+        return WhatIfCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop all cached costs (counters are kept)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # pricing
+
     def query_cost_ms(self, query: Query) -> float:
         if self._estimator is not None:
             return self._estimator.estimate_query_ms(query)
+        if self._cache_size > 0:
+            key = (self._db.config_epoch, query)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
         table = self._db.table(query.table)
         result = self._db.executor.execute(query, table, probe=True)
-        return result.report.elapsed_ms
+        cost = result.report.elapsed_ms
+        if self._cache_size > 0:
+            self._cache[key] = cost
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+        return cost
 
     def scenario_cost_ms(
         self, scenario: WorkloadScenario, sample_queries: dict[str, Query]
@@ -65,10 +158,9 @@ class WhatIfOptimizer:
 
     def forecast_costs(self, forecast: Forecast) -> dict[str, float]:
         """Workload cost per scenario of the forecast."""
+        sample_queries = dict(forecast.sample_queries)
         return {
-            scenario.name: self.scenario_cost_ms(
-                scenario, dict(forecast.sample_queries)
-            )
+            scenario.name: self.scenario_cost_ms(scenario, sample_queries)
             for scenario in forecast.scenarios
         }
 
@@ -87,12 +179,29 @@ class WhatIfOptimizer:
     def hypothetical(
         self, delta: ConfigurationDelta
     ) -> Iterator["WhatIfOptimizer"]:
-        """Apply ``delta`` raw, yield, then roll back. Nestable."""
+        """Apply ``delta`` raw, yield, then roll back. Nestable.
+
+        On exit the pre-delta configuration epoch is restored, so costs
+        cached for the surrounding state stay valid and a later
+        re-application of the same delta revisits the same epochs (cache
+        reuse). The restore is skipped when the rollback was inexact:
+        raw actions can only *remove* buffer-pool entries (invalidation,
+        capacity shrink), never add them, so an unchanged (entry count,
+        used bytes) pair proves the pool — and with it the whole
+        pricing-relevant state — was restored bit-identically.
+        """
+        pool = self._db.executor.buffer_pool
+        saved_epoch = self._db.config_epoch
+        saved_pool = (pool.entry_count, pool.used_bytes)
         inverse = delta.apply_raw(self._db)
         try:
             yield self
         finally:
             inverse.apply_raw(self._db)
+            if (pool.entry_count, pool.used_bytes) == saved_pool:
+                self._db.restore_config_epoch(saved_epoch)
+            else:
+                self._db.bump_config_epoch()
 
     def cost_with(
         self,

@@ -9,6 +9,7 @@ the plugin host the driver attaches through.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -31,6 +32,8 @@ from repro.workload.sql import parse_sql
 _KNOB_APPLY_MS = 0.05
 #: Simulated cost of dropping an index (unlink + deallocate).
 _INDEX_DROP_MS = 0.02
+#: Bound on the memoised epoch-transition table (see bump_config_epoch).
+_EPOCH_MEMO_CAPACITY = 65_536
 
 
 @dataclass
@@ -79,6 +82,66 @@ class Database:
         self.plugin_host = PluginHost(self)
         self.counters = RuntimeCounters()
         self._default_encoding = default_encoding
+        # configuration-epoch machinery: the epoch identifies the current
+        # pricing-relevant state (physical design, knobs, buffer pool) so
+        # what-if cost caches can key on it; see bump_config_epoch
+        self._config_epoch = 0
+        self._epoch_alloc = 0
+        self._epoch_transitions: OrderedDict[tuple[int, str], int] = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # configuration identity
+
+    @property
+    def config_epoch(self) -> int:
+        """Identity of the current pricing-relevant state.
+
+        Two probe-mode pricings of the same query at the same epoch are
+        guaranteed to return the same cost: every mutation that can change
+        pricing — configuration primitives, raw action application, and
+        buffer-pool traffic from accounted query execution — bumps the
+        epoch. Distinct states never share an epoch because epoch values
+        are allocated from a monotonically increasing counter. Data loaded
+        directly through :meth:`Table.append` is expected to precede
+        tuning; such appends do not bump the epoch.
+        """
+        return self._config_epoch
+
+    def bump_config_epoch(self, token: str | None = None) -> int:
+        """Mark the pricing-relevant state as changed; returns the epoch.
+
+        With a ``token`` (a deterministic description of the mutation) the
+        transition ``(old_epoch, token) -> new_epoch`` is memoised:
+        re-applying the same mutation from the same epoch — the dominant
+        pattern when the what-if optimizer re-explores a hypothetical
+        state it has visited before — lands on the same epoch, so cached
+        costs for that state are reused. Tokens must determine the
+        resulting state given the starting state (action descriptions
+        qualify; anything time- or randomness-dependent does not).
+        """
+        if token is not None:
+            key = (self._config_epoch, token)
+            known = self._epoch_transitions.get(key)
+            if known is not None:
+                self._epoch_transitions.move_to_end(key)
+                self._config_epoch = known
+                return known
+            self._epoch_alloc += 1
+            self._epoch_transitions[key] = self._epoch_alloc
+            if len(self._epoch_transitions) > _EPOCH_MEMO_CAPACITY:
+                self._epoch_transitions.popitem(last=False)
+        else:
+            self._epoch_alloc += 1
+        self._config_epoch = self._epoch_alloc
+        return self._config_epoch
+
+    def restore_config_epoch(self, epoch: int) -> None:
+        """Reset the epoch after the caller restored the exact physical
+        state that ``epoch`` described (what-if rollback). The allocation
+        counter is *not* rewound, so epochs stay unambiguous."""
+        self._config_epoch = epoch
 
     # ------------------------------------------------------------------
     # schema and data
@@ -94,6 +157,7 @@ class Database:
             default_encoding=self._default_encoding,
         )
         self.catalog.register(table)
+        self.bump_config_epoch()
         return table
 
     def table(self, name: str) -> Table:
@@ -123,6 +187,10 @@ class Database:
         counters.recent_query_ms.append(elapsed)
         if len(counters.recent_query_ms) > 4096:
             del counters.recent_query_ms[:2048]
+        work = result.report.work
+        if work.buffer_hits or work.buffer_misses:
+            # buffer-pool admissions/LRU movement change probe-mode costs
+            self.bump_config_epoch()
         return result
 
     # ------------------------------------------------------------------
@@ -132,6 +200,7 @@ class Database:
         self.clock.advance(cost_ms)
         self.counters.reconfigurations += 1
         self.counters.total_reconfiguration_ms += cost_ms
+        self.bump_config_epoch()
         return cost_ms
 
     def create_index(
@@ -235,6 +304,7 @@ class Database:
     def runtime_snapshot(self) -> dict[str, float]:
         """KPI source: counters plus current memory/tier state."""
         snap = self.counters.snapshot()
+        snap["config_epoch"] = float(self._config_epoch)
         snap["memory_bytes"] = float(self.memory_bytes())
         snap["index_bytes"] = float(self.index_bytes())
         snap["now_ms"] = self.clock.now_ms

@@ -53,6 +53,10 @@ class BufferPool:
     def used_bytes(self) -> int:
         return self._used
 
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
     def set_capacity(self, capacity_bytes: float) -> None:
         self._capacity = float(capacity_bytes)
         self._evict_to_fit()

@@ -19,6 +19,12 @@ RECONFIGURATION_MS = "reconfiguration_ms"
 INDEX_MEMORY_BYTES = "index_memory_bytes"
 MEMORY_BYTES = "memory_bytes"
 
+# what-if cost-cache KPIs (per monitoring interval; see cost/what_if.py)
+WHATIF_CACHE_HITS = "whatif_cache_hits"
+WHATIF_CACHE_MISSES = "whatif_cache_misses"
+WHATIF_CACHE_EVICTIONS = "whatif_cache_evictions"
+WHATIF_CACHE_HIT_RATE = "whatif_cache_hit_rate"
+
 # system-specific KPIs (simulated hardware view)
 CPU_UTILIZATION = "cpu_utilization"
 MEMORY_UTILIZATION = "memory_utilization"
@@ -32,6 +38,10 @@ DBMS_KPIS = (
     RECONFIGURATION_MS,
     INDEX_MEMORY_BYTES,
     MEMORY_BYTES,
+    WHATIF_CACHE_HITS,
+    WHATIF_CACHE_MISSES,
+    WHATIF_CACHE_EVICTIONS,
+    WHATIF_CACHE_HIT_RATE,
 )
 SYSTEM_KPIS = (CPU_UTILIZATION, MEMORY_UTILIZATION, CACHE_MISS_RATE)
 

@@ -12,6 +12,7 @@ and idle detection.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.configuration.constraints import SlaConstraint
 from repro.dbms.database import Database
@@ -24,9 +25,16 @@ from repro.kpi.metrics import (
     RECONFIGURATION_MS,
     THROUGHPUT_QPS,
     TOTAL_QUERY_MS,
+    WHATIF_CACHE_EVICTIONS,
+    WHATIF_CACHE_HIT_RATE,
+    WHATIF_CACHE_HITS,
+    WHATIF_CACHE_MISSES,
     KPISample,
 )
 from repro.kpi.system import derive_system_kpis
+
+if TYPE_CHECKING:
+    from repro.cost.what_if import WhatIfOptimizer
 
 
 class RuntimeKPIMonitor:
@@ -39,6 +47,16 @@ class RuntimeKPIMonitor:
         self._samples: deque[KPISample] = deque(maxlen=window)
         self._last_snapshot = db.runtime_snapshot()
         self._sla_streaks: dict[str, int] = {}
+        self._sample_seq = 0
+        self._streak_seq = 0
+        self._whatif: WhatIfOptimizer | None = None
+        self._last_cache_stats = None
+
+    def attach_whatif_cache(self, optimizer: "WhatIfOptimizer") -> None:
+        """Surface ``optimizer``'s cost-cache counters as interval KPIs
+        (hits, misses, evictions, and hit rate per monitoring interval)."""
+        self._whatif = optimizer
+        self._last_cache_stats = optimizer.cache_stats
 
     def sample(self) -> KPISample:
         """Close one monitoring interval and derive its KPIs."""
@@ -64,8 +82,24 @@ class RuntimeKPIMonitor:
         values.update(
             derive_system_kpis(previous, current, self._db.hardware)
         )
+        if self._whatif is not None:
+            stats = self._whatif.cache_stats
+            last = self._last_cache_stats
+            hits = stats.hits - last.hits
+            misses = stats.misses - last.misses
+            priced = hits + misses
+            values[WHATIF_CACHE_HITS] = float(hits)
+            values[WHATIF_CACHE_MISSES] = float(misses)
+            values[WHATIF_CACHE_EVICTIONS] = float(
+                stats.evictions - last.evictions
+            )
+            values[WHATIF_CACHE_HIT_RATE] = (
+                hits / priced if priced else 0.0
+            )
+            self._last_cache_stats = stats
         sample = KPISample(at_ms=current["now_ms"], values=values)
         self._samples.append(sample)
+        self._sample_seq += 1
         return sample
 
     # ------------------------------------------------------------------
@@ -91,10 +125,20 @@ class RuntimeKPIMonitor:
 
     def update_sla_streaks(self, slas: tuple[SlaConstraint, ...]) -> dict[str, int]:
         """Refresh per-SLA consecutive-violation streaks from the latest
-        sample; returns metric → streak length."""
+        sample; returns metric → streak length.
+
+        Idempotent per sample: calling this again before a new
+        :meth:`sample` closes the next interval (e.g. several trigger
+        evaluations within one organizer tick) must not count the same
+        violation twice, so repeat calls return the current streaks
+        unchanged.
+        """
         latest = self.latest
         if latest is None:
             return dict(self._sla_streaks)
+        if self._streak_seq == self._sample_seq:
+            return dict(self._sla_streaks)
+        self._streak_seq = self._sample_seq
         for sla in slas:
             if latest.get(sla.metric) > sla.threshold:
                 self._sla_streaks[sla.metric] = (

@@ -131,19 +131,21 @@ class DependenceAnalyzer:
             forecast.expected, dict(forecast.sample_queries)
         )
 
-    def _apply_tuning(self, name: str, forecast: Forecast) -> tuple[
-        ConfigurationDelta, float
-    ]:
-        """Propose and raw-apply one feature's tuning on the current
-        (sandboxed) state; returns (inverse delta, one-time cost estimate)."""
-        tuner = self._tuners[name]
-        result = tuner.propose(forecast, self._constraints)
-        cost = result.reconfiguration_cost_ms
-        inverse = result.delta.apply_raw(self._db)
-        return inverse, cost
+    def _propose(self, name: str, forecast: Forecast):
+        """Propose one feature's tuning against the current (sandboxed)
+        state; returns the tuning result (nothing is applied)."""
+        return self._tuners[name].propose(forecast, self._constraints)
 
     def measure(self, forecast: Forecast) -> DependenceMatrix:
-        """Run the full single + pairwise measurement campaign."""
+        """Run the full single + pairwise measurement campaign.
+
+        All sandboxing goes through ``optimizer.hypothetical`` so every
+        rollback restores the configuration epoch it started from: the
+        |S|² tuning runs all propose against the *same* reset-baseline
+        epoch, and identical deltas re-applied from it revisit the same
+        epochs — which is what turns the campaign's repeated what-if
+        pricing into cache hits.
+        """
         if self._max_templates is not None:
             from repro.forecasting.scenarios import reduce_templates
 
@@ -154,22 +156,19 @@ class DependenceAnalyzer:
         tuning_cost: dict[str, float] = {}
 
         reset = self._full_reset(forecast)
-        undo_reset = reset.apply_raw(self._db)
-        try:
+        with self._optimizer.hypothetical(reset):
             w_empty = self._expected_cost(forecast)
             for name in names:
-                inverse, cost = self._apply_tuning(name, forecast)
-                w_single[name] = self._expected_cost(forecast)
-                tuning_cost[name] = cost
-                inverse.apply_raw(self._db)
+                result = self._propose(name, forecast)
+                tuning_cost[name] = result.reconfiguration_cost_ms
+                with self._optimizer.hypothetical(result.delta):
+                    w_single[name] = self._expected_cost(forecast)
             for a, b in itertools.permutations(names, 2):
-                inverse_a, _ = self._apply_tuning(a, forecast)
-                inverse_b, _ = self._apply_tuning(b, forecast)
-                w_pair[(a, b)] = self._expected_cost(forecast)
-                inverse_b.apply_raw(self._db)
-                inverse_a.apply_raw(self._db)
-        finally:
-            undo_reset.apply_raw(self._db)
+                result_a = self._propose(a, forecast)
+                with self._optimizer.hypothetical(result_a.delta):
+                    result_b = self._propose(b, forecast)
+                    with self._optimizer.hypothetical(result_b.delta):
+                        w_pair[(a, b)] = self._expected_cost(forecast)
 
         return DependenceMatrix(
             features=names,

@@ -40,6 +40,16 @@ def model_statistics(n_features: int) -> tuple[int, int]:
     return 2 * n * n - n, 2 * n * n
 
 
+#: scipy.optimize.milp status codes → human-readable solver outcome
+_MILP_STATUS = {
+    0: "optimal",
+    1: "time_limit",
+    2: "infeasible",
+    3: "unbounded",
+    4: "numerical",
+}
+
+
 @dataclass(frozen=True)
 class OrderingSolution:
     """An optimized tuning order plus solve diagnostics."""
@@ -52,6 +62,8 @@ class OrderingSolution:
     solve_seconds: float
     #: the y_{A,B} values at the optimum
     precedence: dict[tuple[str, str], int]
+    #: solver outcome: "optimal", or "time_limit" for a feasible incumbent
+    status: str = "optimal"
 
 
 class LPOrderOptimizer:
@@ -157,11 +169,26 @@ class LPOrderOptimizer:
             options=options or None,
         )
         elapsed = time.perf_counter() - started
-        # On a time limit HiGHS may still carry a feasible incumbent; use it.
+        # On a time limit HiGHS may still carry a feasible incumbent; use
+        # it — but only if it exists, is from a usable solver outcome, and
+        # is actually integral (a fractional relaxation point is not a
+        # tuning order).
+        status = _MILP_STATUS.get(result.status, f"unknown({result.status})")
         if result.x is None:
-            raise OrderingError(f"ordering LP failed: {result.message}")
-
+            raise OrderingError(
+                f"ordering LP failed ({status}): {result.message}; "
+                "no feasible incumbent available"
+            )
+        if result.status not in (0, 1):
+            raise OrderingError(
+                f"ordering LP failed ({status}): {result.message}"
+            )
         solution = result.x
+        if np.abs(solution - np.round(solution)).max() > 1e-6:
+            raise OrderingError(
+                f"ordering LP returned a fractional incumbent ({status}); "
+                "increase the time limit to obtain an integral order"
+            )
         order: list[str | None] = [None] * n
         for a in features:
             for k in range(n):
@@ -187,4 +214,5 @@ class LPOrderOptimizer:
             solver="scipy-milp/HiGHS",
             solve_seconds=elapsed,
             precedence=precedence,
+            status=status,
         )

@@ -16,19 +16,42 @@ from repro.dbms.database import Database
 
 @dataclass
 class ApplicationReport:
-    """What a tuning executor did and what it cost."""
+    """What a tuning executor did and what it cost.
+
+    Two distinct cost semantics coexist and must not be conflated:
+
+    - **work** (:attr:`total_work_ms`) — the sum of per-action costs.
+      This is what resource accounting stores: the database's
+      ``total_reconfiguration_ms`` counter, ``ConfigurationRecord
+      .reconfiguration_cost_ms``, and the ``reconfiguration_ms`` KPI all
+      accumulate work, regardless of execution strategy. Work answers
+      "how much reconfiguration effort was spent".
+    - **elapsed** (:attr:`elapsed_ms`) — the simulated wall time the
+      application occupied, i.e. ``finished_ms - started_ms``. The clock
+      advances by elapsed time: per-action for sequential strategies,
+      per-batch *maximum* for parallel ones. Elapsed answers "how long
+      was the system reconfiguring".
+
+    For :class:`~repro.tuning.executors.sequential.SequentialExecutor`
+    the two coincide; for parallel strategies ``elapsed_ms ≤
+    total_work_ms`` while counters still record the full work.
+    """
 
     strategy: str
     action_summaries: list[str] = field(default_factory=list)
     action_costs_ms: list[float] = field(default_factory=list)
-    #: simulated wall time the application occupied
+    #: simulated wall time the application occupied (finished - started)
     elapsed_ms: float = 0.0
     started_ms: float = 0.0
     finished_ms: float = 0.0
 
     @property
     def total_work_ms(self) -> float:
-        """Sum of per-action costs (≥ elapsed for parallel strategies)."""
+        """Sum of per-action costs (≥ elapsed for parallel strategies).
+
+        This is the quantity recorded by counters and configuration
+        records — see the class docstring for the work/elapsed split.
+        """
         return sum(self.action_costs_ms)
 
     @property

@@ -34,6 +34,8 @@ class ParallelExecutor(TuningExecutor):
             costs = [action.estimate_cost_ms(db) for action in batch]
             for action in batch:
                 action.apply_raw(db)
+            # elapsed (clock) = batch max; work (counters) = batch sum —
+            # see the work/elapsed contract in executors/base.py
             elapsed = max(costs, default=0.0)
             db.clock.advance(elapsed)
             db.counters.reconfigurations += len(batch)

@@ -42,9 +42,15 @@ class FeatureTuner(ABC):
     def make_enumerator(self) -> Enumerator:
         """The feature's default candidate enumerator."""
 
-    def make_assessor(self, db: Database) -> Assessor:
-        """Default assessor: measured what-if cost estimation."""
-        return CostModelAssessor(WhatIfOptimizer(db))
+    def make_assessor(
+        self, db: Database, optimizer: WhatIfOptimizer | None = None
+    ) -> Assessor:
+        """Default assessor: measured what-if cost estimation.
+
+        Passing ``optimizer`` shares one what-if optimizer — and with it
+        the epoch-keyed cost cache — across features and with the caller
+        (the organizer attaches the shared cache to KPI monitoring)."""
+        return CostModelAssessor(optimizer or WhatIfOptimizer(db))
 
     def make_fast_assessor(self, db: Database, estimator) -> Assessor | None:
         """Assessor backed by an analytic/learned estimator instead of

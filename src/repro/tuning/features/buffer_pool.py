@@ -35,8 +35,10 @@ class BufferPoolFeature(FeatureTuner):
             feature_name=self.name,
         )
 
-    def make_assessor(self, db: Database) -> Assessor:
-        del db
+    def make_assessor(self, db: Database, optimizer=None) -> Assessor:
+        # scratch-pool measurement does no what-if pricing; a shared
+        # optimizer (and its cost cache) has nothing to offer here
+        del db, optimizer
         return BufferPoolAssessor()
 
     def make_fast_assessor(self, db: Database, estimator) -> Assessor | None:

@@ -36,10 +36,10 @@ class SortOrderFeature(FeatureTuner):
             per_chunk=self._per_chunk, max_columns=self._max_columns
         )
 
-    def make_assessor(self, db: Database) -> Assessor:
+    def make_assessor(self, db: Database, optimizer=None) -> Assessor:
         # sorting pays off *through* later compression; the anticipating
         # assessor prices each sort at its best follow-up encoding
-        return SortBenefitAssessor(WhatIfOptimizer(db))
+        return SortBenefitAssessor(optimizer or WhatIfOptimizer(db))
 
     def make_fast_assessor(self, db: Database, estimator) -> Assessor | None:
         # the anticipating assessor composes with analytic estimators too

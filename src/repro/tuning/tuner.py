@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.configuration.constraints import ConstraintSet
 from repro.configuration.delta import ConfigurationDelta
+from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.database import Database
 from repro.forecasting.scenarios import Forecast
 from repro.tuning.assessment import Assessment
@@ -60,11 +61,17 @@ class Tuner:
         assessor: Assessor | None = None,
         selector: Selector | None = None,
         reconfiguration_weight: float = 0.0,
+        optimizer: WhatIfOptimizer | None = None,
     ) -> None:
+        """``optimizer`` (when no explicit ``assessor`` is given) makes the
+        feature's default assessor price through a shared what-if
+        optimizer, so all features reuse one epoch-keyed cost cache."""
         self._feature = feature
         self._db = db
         self._enumerator = enumerator or feature.make_enumerator()
-        self._assessor = assessor or feature.make_assessor(db)
+        self._assessor = assessor or feature.make_assessor(
+            db, optimizer=optimizer
+        )
         self._selector = selector or feature.make_selector()
         self._reconfiguration_weight = reconfiguration_weight
 

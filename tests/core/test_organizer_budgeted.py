@@ -10,6 +10,7 @@ from repro.configuration.constraints import (
     ConstraintSet,
     ResourceBudget,
 )
+from repro.core.events import EventKind
 from repro.core.organizer import Organizer, OrganizerConfig
 from repro.core.triggers import PeriodicTrigger
 from repro.forecasting.analyzer import WorkloadAnalyzer
@@ -48,21 +49,41 @@ def test_generous_budget_tunes_all_features(retail_suite):
     assert report is not None
     assert set(report.tuned_features) == {"index_selection", "compression"}
     assert report.skipped_features == ()
+    # the finished event carries the pass's what-if cache statistics
+    finished = organizer.events.latest(EventKind.TUNING_FINISHED)
+    assert finished is not None
+    for key in ("cache_hits", "cache_misses", "cache_evictions", "cache_hit_rate"):
+        assert key in finished.data
+    assert finished.data["cache_hits"] > 0  # re-pricing hit the cache
 
 
 def test_tight_budget_skips_costly_features(retail_suite):
-    organizer = _prepared(retail_suite, tuning_time_budget_ms=0.5)
+    # single tunings cost ~1 ms (compression) and ~1.6 ms (indexes):
+    # a 2 ms budget admits one feature but not both
+    organizer = _prepared(retail_suite, tuning_time_budget_ms=2.0)
     report = organizer.tick()
     assert report is not None
-    # with half a millisecond of tuning budget, at most one feature fits
     assert len(report.tuned_features) < 2
     assert len(report.tuned_features) + len(report.skipped_features) == 2
 
 
-def test_zero_budget_tunes_nothing_but_still_reports(retail_suite):
+def test_zero_budget_skips_the_pass_entirely(retail_suite):
     organizer = _prepared(retail_suite, tuning_time_budget_ms=0.0)
     report = organizer.tick()
-    assert report is not None
-    assert report.tuned_features == ()
-    assert set(report.skipped_features) == {"index_selection", "compression"}
-    assert report.tuning.improvement == 0.0
+    # a zero-feature pass does no work, so there is no report at all:
+    # no configuration record, no cooldown restart, just a SKIP event
+    assert report is None
+    assert len(organizer.store) == 0
+    assert organizer.last_tuning_ms is None
+    skip = organizer.events.latest(EventKind.SKIP)
+    assert skip is not None
+    assert "no feature" in skip.message
+    assert skip.data["skipped"] == 2
+    assert organizer.events.latest(EventKind.TUNING_FINISHED) is None
+
+
+def test_zero_budget_skip_does_not_consume_refresh_cadence(retail_suite):
+    organizer = _prepared(retail_suite, tuning_time_budget_ms=0.0)
+    organizer.tick()
+    # the skipped pass must not count against the order-refresh cadence
+    assert organizer._runs_since_refresh == 0

@@ -123,6 +123,103 @@ def test_cost_with_applies_and_reverts():
     assert db.index_bytes() == 0
 
 
+# ----------------------------------------------------------------------
+# the epoch-keyed cost cache
+
+
+def test_cache_hits_on_repeated_pricing():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    first = optimizer.query_cost_ms(_query())
+    second = optimizer.query_cost_ms(_query())
+    assert second == first
+    stats = optimizer.cache_stats
+    assert stats.misses == 1
+    assert stats.hits == 1
+    assert stats.size == 1
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_invalidated_by_accounted_config_change():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    before = optimizer.query_cost_ms(_query())
+    db.create_index("events", ["user"])
+    after = optimizer.query_cost_ms(_query())
+    # the index changed the epoch: fresh miss, fresh (cheaper) cost
+    assert optimizer.cache_stats.misses == 2
+    assert after < before
+
+
+def test_cache_is_semantically_invisible():
+    db_cached = make_small_database(rows=5_000)
+    db_plain = make_small_database(rows=5_000)
+    cached = WhatIfOptimizer(db_cached)
+    plain = WhatIfOptimizer(db_plain, cache_size=0)
+
+    def campaign(optimizer):
+        delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+        costs = [optimizer.query_cost_ms(_query())]
+        for _ in range(2):
+            with optimizer.hypothetical(delta):
+                costs.append(optimizer.query_cost_ms(_query()))
+            costs.append(optimizer.query_cost_ms(_query()))
+        return costs
+
+    assert campaign(cached) == pytest.approx(campaign(plain))
+    assert cached.cache_stats.hits > 0
+    assert plain.cache_stats.hits == 0
+
+
+def test_cache_size_zero_disables_caching():
+    db = make_small_database(rows=2_000)
+    optimizer = WhatIfOptimizer(db, cache_size=0)
+    optimizer.query_cost_ms(_query())
+    optimizer.query_cost_ms(_query())
+    stats = optimizer.cache_stats
+    assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+    assert stats.hit_rate == 0.0
+
+
+def test_cache_evicts_least_recently_used():
+    db = make_small_database(rows=2_000)
+    optimizer = WhatIfOptimizer(db, cache_size=1)
+    other = Query("events", (Predicate("user", "=", 8),), aggregate="count")
+    optimizer.query_cost_ms(_query())
+    optimizer.query_cost_ms(other)  # evicts the first entry
+    stats = optimizer.cache_stats
+    assert stats.evictions == 1
+    assert stats.size == 1
+    optimizer.query_cost_ms(_query())  # evicted: priced again
+    assert optimizer.cache_stats.misses == 3
+
+
+def test_cache_reused_across_hypothetical_reentry():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    with optimizer.hypothetical(delta):
+        optimizer.query_cost_ms(_query())
+    misses = optimizer.cache_stats.misses
+    with optimizer.hypothetical(delta):
+        optimizer.query_cost_ms(_query())
+    stats = optimizer.cache_stats
+    assert stats.misses == misses  # same delta, same epoch: pure hit
+    assert stats.hits >= 1
+
+
+def test_clear_cache_and_validation():
+    db = make_small_database(rows=1_000)
+    with pytest.raises(ValueError):
+        WhatIfOptimizer(db, cache_size=-1)
+    optimizer = WhatIfOptimizer(db)
+    optimizer.query_cost_ms(_query())
+    optimizer.clear_cache()
+    assert optimizer.cache_stats.size == 0
+    assert optimizer.cache_size > 0
+    assert optimizer.cache_stats.as_dict()["misses"] == 1.0
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     st.lists(

@@ -1,0 +1,114 @@
+"""Tests for the configuration epoch: identity of pricing-relevant state.
+
+The epoch is the key half of the what-if cost cache's ``(epoch, query)``
+keys, so its contract is load-bearing: every mutation that can change a
+probe-mode cost must bump it, no-ops must not, and exact what-if rollback
+must restore it so cached costs stay reusable.
+"""
+
+from repro.configuration.actions import (
+    CreateIndexAction,
+    SetEncodingAction,
+    SetKnobAction,
+)
+from repro.configuration.delta import ConfigurationDelta
+from repro.cost.what_if import WhatIfOptimizer
+from repro.dbms.knobs import SCAN_THREADS_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+
+from tests.conftest import make_small_database
+
+
+def test_accounted_config_changes_bump_the_epoch():
+    db = make_small_database(rows=1_000)
+    epoch = db.config_epoch
+    db.create_index("events", ["user"])
+    assert db.config_epoch != epoch
+    epoch = db.config_epoch
+    db.set_encoding("events", "user", EncodingType.DICTIONARY)
+    assert db.config_epoch != epoch
+    epoch = db.config_epoch
+    db.set_knob(SCAN_THREADS_KNOB, 4)
+    assert db.config_epoch != epoch
+
+
+def test_create_table_bumps_the_epoch(small_db):
+    before = small_db.config_epoch
+    from repro.dbms import DataType, TableSchema
+
+    small_db.create_table(TableSchema.build("aux", [("x", DataType.INT)]))
+    assert small_db.config_epoch != before
+
+
+def test_raw_apply_bumps_only_on_real_mutation():
+    db = make_small_database(rows=1_000)
+    epoch = db.config_epoch
+    # a real mutation through the raw path bumps
+    action = SetEncodingAction("events", "user", EncodingType.DICTIONARY)
+    action.apply_raw(db)
+    assert db.config_epoch != epoch
+    # a no-op (setting the encoding it already has) does not
+    epoch = db.config_epoch
+    SetEncodingAction("events", "user", EncodingType.DICTIONARY).apply_raw(db)
+    assert db.config_epoch == epoch
+
+
+def test_execute_bumps_epoch_only_on_buffer_pool_traffic():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    # all chunks in DRAM: execution never touches the buffer pool
+    epoch = db.config_epoch
+    db.execute("SELECT COUNT(*) FROM events")
+    assert db.config_epoch == epoch
+    # a chunk on SSD forces pool admissions, which change probe costs
+    db.move_chunk("events", 0, StorageTier.SSD)
+    epoch = db.config_epoch
+    db.execute("SELECT COUNT(*) FROM events")
+    assert db.config_epoch != epoch
+
+
+def test_hypothetical_restores_the_epoch_on_exact_rollback():
+    db = make_small_database(rows=1_000)
+    optimizer = WhatIfOptimizer(db)
+    before = db.config_epoch
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    with optimizer.hypothetical(delta):
+        assert db.config_epoch != before
+    assert db.config_epoch == before
+
+
+def test_reapplying_the_same_delta_revisits_the_same_epoch():
+    db = make_small_database(rows=1_000)
+    optimizer = WhatIfOptimizer(db)
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    with optimizer.hypothetical(delta):
+        first = db.config_epoch
+    with optimizer.hypothetical(delta):
+        second = db.config_epoch
+    assert first == second
+
+
+def test_distinct_deltas_from_the_same_epoch_get_distinct_epochs():
+    db = make_small_database(rows=1_000)
+    optimizer = WhatIfOptimizer(db)
+    delta_a = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    delta_b = ConfigurationDelta([SetKnobAction(SCAN_THREADS_KNOB, 8)])
+    with optimizer.hypothetical(delta_a):
+        epoch_a = db.config_epoch
+    with optimizer.hypothetical(delta_b):
+        epoch_b = db.config_epoch
+    assert epoch_a != epoch_b
+
+
+def test_restore_does_not_rewind_allocation():
+    db = make_small_database(rows=1_000)
+    start = db.config_epoch
+    bumped = db.bump_config_epoch()
+    db.restore_config_epoch(start)
+    # a fresh anonymous bump must not collide with the earlier epoch
+    assert db.bump_config_epoch() not in (start, bumped)
+
+
+def test_runtime_snapshot_exposes_the_epoch(small_db):
+    snap = small_db.runtime_snapshot()
+    assert snap["config_epoch"] == float(small_db.config_epoch)

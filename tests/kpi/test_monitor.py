@@ -3,6 +3,7 @@
 import pytest
 
 from repro.configuration.constraints import SlaConstraint
+from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.storage_tiers import StorageTier
 from repro.kpi.metrics import (
     CACHE_MISS_RATE,
@@ -11,9 +12,15 @@ from repro.kpi.metrics import (
     MEMORY_UTILIZATION,
     QUERIES_EXECUTED,
     THROUGHPUT_QPS,
+    WHATIF_CACHE_EVICTIONS,
+    WHATIF_CACHE_HIT_RATE,
+    WHATIF_CACHE_HITS,
+    WHATIF_CACHE_MISSES,
 )
 from repro.kpi.monitor import RuntimeKPIMonitor
 from repro.kpi.system import derive_system_kpis
+from repro.workload.predicate import Predicate
+from repro.workload.query import Query
 
 from tests.conftest import make_small_database
 
@@ -91,6 +98,40 @@ def test_sla_streaks_and_breach():
     monitor.sample()
     monitor.update_sla_streaks((sla,))
     assert monitor.breached_slas((sla,)) == []
+
+
+def test_sla_streaks_do_not_double_count_one_sample():
+    db = make_small_database(rows=5_000)
+    monitor = RuntimeKPIMonitor(db)
+    sla = SlaConstraint(MEAN_QUERY_MS, 0.0000001, patience=2)
+    db.execute("SELECT COUNT(*) FROM events")
+    monitor.sample()
+    first = monitor.update_sla_streaks((sla,))
+    # a second evaluation against the *same* sample (several triggers in
+    # one organizer tick) must not advance the streak
+    second = monitor.update_sla_streaks((sla,))
+    assert first == second == {MEAN_QUERY_MS: 1}
+    assert monitor.breached_slas((sla,)) == []
+
+
+def test_whatif_cache_kpis_appear_after_attach():
+    db = make_small_database(rows=2_000)
+    monitor = RuntimeKPIMonitor(db)
+    assert WHATIF_CACHE_HITS not in monitor.sample().values
+    optimizer = WhatIfOptimizer(db)
+    monitor.attach_whatif_cache(optimizer)
+    query = Query("events", (Predicate("user", "=", 3),), aggregate="count")
+    optimizer.query_cost_ms(query)
+    optimizer.query_cost_ms(query)
+    sample = monitor.sample()
+    assert sample.get(WHATIF_CACHE_MISSES) == 1.0
+    assert sample.get(WHATIF_CACHE_HITS) == 1.0
+    assert sample.get(WHATIF_CACHE_HIT_RATE) == pytest.approx(0.5)
+    assert sample.get(WHATIF_CACHE_EVICTIONS) == 0.0
+    # the next interval starts clean (deltas, not cumulative counters)
+    idle = monitor.sample()
+    assert idle.get(WHATIF_CACHE_MISSES) == 0.0
+    assert idle.get(WHATIF_CACHE_HIT_RATE) == 0.0
 
 
 def test_mean_over_window():

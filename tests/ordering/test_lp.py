@@ -119,6 +119,54 @@ def test_lp_handles_larger_instances():
     assert solution.solve_seconds < 30
 
 
+def test_lp_reports_optimal_status():
+    solution = LPOrderOptimizer().optimize(make_matrix(3, seed=8))
+    assert solution.status == "optimal"
+
+
+class _FakeResult:
+    def __init__(self, x, status, message="fake"):
+        self.x = x
+        self.status = status
+        self.message = message
+
+
+def test_lp_raises_when_solver_has_no_incumbent(monkeypatch):
+    matrix = make_matrix(2, seed=0)
+    monkeypatch.setattr(
+        "repro.ordering.lp.milp",
+        lambda *a, **k: _FakeResult(x=None, status=2, message="infeasible"),
+    )
+    with pytest.raises(OrderingError, match="infeasible"):
+        LPOrderOptimizer().optimize(matrix)
+
+
+def test_lp_raises_on_unusable_solver_status(monkeypatch):
+    matrix = make_matrix(2, seed=0)
+    n_vars = 2 * 2 + 2  # x variables + y variables for |S| = 2
+    monkeypatch.setattr(
+        "repro.ordering.lp.milp",
+        lambda *a, **k: _FakeResult(
+            x=np.zeros(n_vars), status=4, message="numerical trouble"
+        ),
+    )
+    with pytest.raises(OrderingError, match="numerical"):
+        LPOrderOptimizer().optimize(matrix)
+
+
+def test_lp_rejects_fractional_incumbent(monkeypatch):
+    matrix = make_matrix(2, seed=0)
+    n_vars = 2 * 2 + 2
+    monkeypatch.setattr(
+        "repro.ordering.lp.milp",
+        lambda *a, **k: _FakeResult(
+            x=np.full(n_vars, 0.5), status=1, message="time limit"
+        ),
+    )
+    with pytest.raises(OrderingError, match="fractional"):
+        LPOrderOptimizer().optimize(matrix)
+
+
 def test_single_feature_rejected():
     matrix = DependenceMatrix(
         features=("only",), w_empty=10.0, w_single={"only": 5.0}

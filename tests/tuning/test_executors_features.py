@@ -69,6 +69,30 @@ def test_parallel_executor_validation():
         ParallelExecutor(worker_count=0)
 
 
+def test_parallel_executor_batch_accounting(retail_suite):
+    """Clock advances by per-batch max (elapsed); counters record the sum
+    of all per-action costs (work); application order is preserved."""
+    db = retail_suite.database
+    delta = _delta()
+    clock_before = db.clock.now_ms
+    work_before = db.counters.total_reconfiguration_ms
+    report = ParallelExecutor(worker_count=2).execute(delta, db)
+    costs = report.action_costs_ms
+    assert len(costs) == 3
+    # batches of 2 then 1: wall time is max of the pair plus the straggler
+    expected_elapsed = max(costs[0], costs[1]) + costs[2]
+    assert report.elapsed_ms == pytest.approx(expected_elapsed)
+    assert db.clock.now_ms - clock_before == pytest.approx(expected_elapsed)
+    # counters record work, not elapsed time
+    assert db.counters.total_reconfiguration_ms - work_before == pytest.approx(
+        sum(costs)
+    )
+    assert report.total_work_ms == pytest.approx(sum(costs))
+    assert report.elapsed_ms < report.total_work_ms
+    # actions are applied and reported in delta order
+    assert report.action_summaries == delta.describe()
+
+
 # ----------------------------------------------------------------------
 # index selection feature
 
