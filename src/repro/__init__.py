@@ -21,7 +21,10 @@ framework end to end, including every substrate it depends on:
 - :mod:`repro.ordering` — Section III: measured dependence ratios and the
   integer LP that optimizes the multi-feature tuning order;
 - :mod:`repro.core` — the Driver, Organizer, triggers, event log, and the
-  closed-loop simulation harness.
+  closed-loop simulation harness;
+- :mod:`repro.telemetry` — the telemetry spine: hierarchical spans (on
+  the simulated and the wall clock), a shared metric registry, and
+  pluggable sinks every component reports through.
 
 Quickstart::
 
@@ -62,6 +65,13 @@ from repro.ordering import (
     LPOrderOptimizer,
     RecursiveTuningPlanner,
 )
+from repro.telemetry import (
+    MetricRegistry,
+    Telemetry,
+    TelemetryConfig,
+    Tracer,
+    render_span_tree,
+)
 from repro.tuning import Tuner
 from repro.tuning.features import standard_features
 from repro.workload import Predicate, Query, parse_sql
@@ -83,6 +93,7 @@ __all__ = [
     "LPOrderOptimizer",
     "LearnedCostModel",
     "LogicalCostModel",
+    "MetricRegistry",
     "Organizer",
     "OrganizerConfig",
     "PhysicalCostModel",
@@ -93,11 +104,15 @@ __all__ = [
     "SlaConstraint",
     "StorageTier",
     "TableSchema",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
     "Tuner",
     "WhatIfOptimizer",
     "WorkloadAnalyzer",
     "WorkloadPredictor",
     "__version__",
     "parse_sql",
+    "render_span_tree",
     "standard_features",
 ]

@@ -8,6 +8,8 @@ Commands:
                     plus the self-management log;
 - ``order``       — measure the feature dependence matrix on a fresh suite
                     and print the LP-optimized tuning order;
+- ``trace``       — run a short warm-up, force one tuning pass, and dump
+                    its telemetry span tree plus the metric registry;
 - ``components``  — list every registered exchangeable component.
 """
 
@@ -170,6 +172,86 @@ def _cmd_order(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import (
+        ClosedLoopSimulation,
+        ConstraintSet,
+        Driver,
+        DriverConfig,
+        OrganizerConfig,
+        ResourceBudget,
+        TelemetryConfig,
+        render_span_tree,
+    )
+    from repro.configuration import INDEX_MEMORY
+    from repro.tuning import standard_features
+    from repro.util.units import MIB
+    from repro.workload import generate_trace
+
+    suite = _build_suite(args.suite, args.rows, args.seed)
+    db = suite.database
+    trace = generate_trace(
+        suite.families,
+        suite.rates,
+        args.bins,
+        bin_duration_ms=60_000,
+        seed=args.seed,
+    )
+    features = standard_features(include_sort_order=args.sort_order)
+    driver = Driver(
+        features[: args.features] if args.features else features,
+        constraints=ConstraintSet(
+            [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
+        ),
+        config=DriverConfig(
+            organizer=OrganizerConfig(horizon_bins=4, min_history_bins=4),
+            telemetry=TelemetryConfig(
+                query_sample_every=args.sample_every,
+                jsonl_path=args.jsonl,
+            ),
+        ),
+    )
+    db.plugin_host.attach(driver)
+
+    print(f"warming up: {args.bins} bins of the {args.suite} workload ...")
+    for _ in ClosedLoopSimulation(db, trace, seed=args.seed).run():
+        pass
+    report = driver.tune_now()
+    if report is None:
+        print("tuning pass skipped (time budget admits no feature)")
+        return 1
+    span = driver.telemetry.tracer.last_root("tuning_pass")
+    if span is None:
+        print("no tuning_pass span recorded — is telemetry disabled?")
+        return 1
+
+    print(f"\nspan tree of the last tuning pass "
+          f"(order: {' -> '.join(report.order)}):\n")
+    print(render_span_tree(span))
+
+    print("\nmetric registry:")
+    registry = driver.telemetry.registry
+    counters = registry.snapshot_counters()
+    gauges = registry.snapshot_gauges()
+    width = max(map(len, [*counters, *gauges] or [""])) + 2
+    for name in sorted(counters):
+        print(f"  {name:{width}s} {counters[name]:.0f}")
+    for name in sorted(gauges):
+        print(f"  {name:{width}s} {gauges[name]:.0f}  (gauge)")
+
+    sampled = int(counters.get("exec_sampled_spans", 0.0))
+    total = int(counters.get("exec_queries", 0.0))
+    rate = (
+        f"1 in {args.sample_every}" if args.sample_every > 0
+        else "sampling off"
+    )
+    print(f"\nsampled query spans: {sampled} of {total} queries ({rate})")
+    if args.jsonl:
+        driver.telemetry.close()
+        print(f"telemetry records exported to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -212,6 +294,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(order)
     order.set_defaults(run=_cmd_order)
+
+    trace = commands.add_parser(
+        "trace", help="dump the telemetry span tree of a forced tuning pass"
+    )
+    common(trace)
+    trace.add_argument("--bins", type=int, default=8,
+                       help="warm-up bins before the forced pass")
+    trace.add_argument("--sample-every", type=int, default=64,
+                       help="sample one query span per N queries (0 = off)")
+    trace.add_argument("--jsonl", default=None,
+                       help="also export every telemetry record to this file")
+    trace.set_defaults(run=_cmd_trace)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.forecasting.models.ensemble import ModelFactory
 from repro.forecasting.models.seasonal import SeasonalNaive
 from repro.forecasting.predictor import WorkloadPredictor
 from repro.kpi.monitor import RuntimeKPIMonitor
+from repro.telemetry import Telemetry, TelemetryConfig
 from repro.tuning.features.base import FeatureTuner
 from repro.tuning.selectors.base import Selector
 from repro.tuning.tuner import Tuner
@@ -49,6 +50,9 @@ class DriverConfig:
     #: instead of measured what-if execution (the low-overhead production
     #: mode of §II-A.d / §V); runs startup calibration on attach
     fast_assessment: bool = False
+    #: the telemetry spine (spans, metric registry, sinks) shared by every
+    #: component the driver wires up; see docs/telemetry.md
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
 
 class Driver(Plugin):
@@ -87,9 +91,17 @@ class Driver(Plugin):
 
     def on_attach(self, database: Database) -> None:
         self._db = database
-        self.events = EventLog()
+        # one telemetry spine for every component the driver wires up:
+        # spans and events flow through its sinks, counters through its
+        # registry, and the monitor derives interval KPIs from the latter
+        self.telemetry = Telemetry(database.clock, self._config.telemetry)
+        self.events = EventLog(
+            sink=self.telemetry.sink if self.telemetry.enabled else None
+        )
         self.store = ConfigurationInstanceStorage()
-        self.monitor = RuntimeKPIMonitor(database)
+        self.monitor = RuntimeKPIMonitor(
+            database, registry=self.telemetry.registry
+        )
         analyzer = WorkloadAnalyzer(self._model_factory, self._config.analyzer)
         self.predictor = WorkloadPredictor(
             database, analyzer, bin_duration_ms=self._config.bin_duration_ms
@@ -104,7 +116,9 @@ class Driver(Plugin):
         # one shared what-if optimizer: the organizer, the dependence
         # analyzer, and every feature's default assessor price through the
         # same epoch-keyed cost cache (and its KPI counters)
-        self.optimizer = WhatIfOptimizer(database)
+        self.optimizer = WhatIfOptimizer(
+            database, registry=self.telemetry.registry
+        )
         self.tuners = []
         for feature in self._features:
             assessor = None
@@ -120,6 +134,7 @@ class Driver(Plugin):
                     selector=self._selector,
                     reconfiguration_weight=self._reconfiguration_weight,
                     optimizer=self.optimizer,
+                    telemetry=self.telemetry,
                 )
             )
         self.organizer = Organizer(
@@ -133,7 +148,10 @@ class Driver(Plugin):
             triggers=self._triggers,
             config=self._config.organizer,
             optimizer=self.optimizer,
+            telemetry=self.telemetry,
         )
+        # sampled per-query spans + exec work counters from the executor
+        database.executor.bind_telemetry(self.telemetry)
         self.events.log(
             database.clock.now_ms,
             EventKind.OBSERVE,
@@ -147,6 +165,8 @@ class Driver(Plugin):
             self.events.log(
                 self._db.clock.now_ms, EventKind.OBSERVE, "driver detached"
             )
+            self._db.executor.bind_telemetry(None)
+            self.telemetry.close()
         self._db = None
 
     # ------------------------------------------------------------------

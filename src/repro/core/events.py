@@ -11,6 +11,10 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.telemetry.sinks import TelemetrySink
 
 
 class EventKind(enum.Enum):
@@ -35,12 +39,27 @@ class Event:
 
 
 class EventLog:
-    """Bounded in-memory event history."""
+    """Bounded in-memory event history.
 
-    def __init__(self, capacity: int = 1024) -> None:
+    Also a facade over the telemetry sink layer: when a sink is attached
+    every event is additionally emitted as a structured record (type
+    ``"event"``), so the span ring / JSONL export and the event log tell
+    one consistent story. The in-memory API is unchanged either way.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        sink: "TelemetrySink | None" = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._events: deque[Event] = deque(maxlen=capacity)
+        self._sink = sink
+
+    def attach_sink(self, sink: "TelemetrySink | None") -> None:
+        """Start (or stop, with ``None``) mirroring events into a sink."""
+        self._sink = sink
 
     def log(
         self,
@@ -51,6 +70,16 @@ class EventLog:
     ) -> Event:
         event = Event(at_ms=at_ms, kind=kind, message=message, data=data)
         self._events.append(event)
+        if self._sink is not None:
+            self._sink.emit(
+                {
+                    "type": "event",
+                    "at_ms": at_ms,
+                    "kind": kind.value,
+                    "message": message,
+                    "data": dict(data),
+                }
+            )
         return event
 
     def events(self, kind: EventKind | None = None) -> tuple[Event, ...]:

@@ -30,6 +30,11 @@ from repro.core.triggers import (
 )
 from repro.dbms.database import Database
 from repro.forecasting.predictor import WorkloadPredictor
+from repro.kpi.metrics import (
+    WHATIF_CACHE_EVICTIONS,
+    WHATIF_CACHE_HITS,
+    WHATIF_CACHE_MISSES,
+)
 from repro.kpi.monitor import RuntimeKPIMonitor
 from repro.ordering.heuristics import top_features_by_impact_per_cost
 from repro.ordering.lp import LPOrderOptimizer
@@ -37,6 +42,7 @@ from repro.ordering.recursive import (
     RecursiveTuningPlanner,
     RecursiveTuningReport,
 )
+from repro.telemetry import Telemetry
 from repro.tuning.executors.base import TuningExecutor
 from repro.tuning.tuner import Tuner
 
@@ -91,11 +97,18 @@ class Organizer:
         config: OrganizerConfig | None = None,
         optimizer: WhatIfOptimizer | None = None,
         executor: TuningExecutor | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._db = db
         self._predictor = predictor
         self._tuners = tuners
         self._constraints = constraints or ConstraintSet()
+        # one telemetry spine for the pass/feature/phase span tree and the
+        # registry interval reads below; the driver passes its shared one
+        self._telemetry = (
+            telemetry if telemetry is not None else Telemetry.disabled(db.clock)
+        )
+        self._tracer = self._telemetry.tracer
         self._monitor = monitor if monitor is not None else RuntimeKPIMonitor(db)
         # explicit None checks: EventLog and the instance storage define
         # __len__, so freshly created (empty) ones are falsy
@@ -107,7 +120,11 @@ class Organizer:
         ]
         self._config = config or OrganizerConfig()
         self._optimizer = optimizer or WhatIfOptimizer(db)
+        # surface the shared optimizer's cache counters both through the
+        # monitor (interval KPIs) and through the telemetry registry (for
+        # the per-pass interval reads in run_tuning)
         self._monitor.attach_whatif_cache(self._optimizer)
+        self._optimizer.bind_registry(self._telemetry.registry, replace=True)
         self._executor = executor
         self._planner = RecursiveTuningPlanner(
             db,
@@ -115,6 +132,7 @@ class Organizer:
             self._constraints,
             order_optimizer=LPOrderOptimizer(),
             optimizer=self._optimizer,
+            telemetry=self._telemetry,
         )
         self._last_tuning_ms: float | None = None
         self._cached_order: tuple[str, ...] | None = None
@@ -126,6 +144,10 @@ class Organizer:
     @property
     def events(self) -> EventLog:
         return self._events
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry
 
     @property
     def store(self) -> ConfigurationInstanceStorage:
@@ -167,15 +189,39 @@ class Organizer:
     # ------------------------------------------------------------------
 
     def tick(self) -> OrganizerRunReport | None:
-        """One organizer step: decide, gate, and possibly tune."""
+        """One organizer step: decide, gate, and possibly tune.
+
+        Quiet periods are explainable from the event log: skipping for
+        missing history or an active cooldown logs a structured SKIP
+        event with the gap that caused it.
+        """
         now = self._db.clock.now_ms
         config = self._config
         if not self._predictor.has_enough_history(config.min_history_bins):
+            have = self._predictor.history_bins
+            self._events.log(
+                now,
+                EventKind.SKIP,
+                f"tuning skipped: {have}/{config.min_history_bins} "
+                "history bins observed",
+                history_bins=have,
+                required_bins=config.min_history_bins,
+                missing_bins=max(0, config.min_history_bins - have),
+            )
             return None
         if (
             self._last_tuning_ms is not None
             and now - self._last_tuning_ms < config.cooldown_ms
         ):
+            remaining = config.cooldown_ms - (now - self._last_tuning_ms)
+            self._events.log(
+                now,
+                EventKind.SKIP,
+                f"tuning skipped: cooldown for another {remaining:.0f} ms",
+                cooldown_ms=config.cooldown_ms,
+                remaining_cooldown_ms=remaining,
+                last_tuning_ms=self._last_tuning_ms,
+            )
             return None
         decision = self.evaluate_triggers()
         self._events.log(
@@ -220,99 +266,118 @@ class Organizer:
         now = self._db.clock.now_ms
         decision = decision or TriggerDecision(True, "manual", "manual request")
         forecast = self._predictor.forecast(self._config.horizon_bins)
-        cache_before = self._optimizer.cache_stats
+        # per-pass metric deltas come from a registry interval read, so any
+        # counter a component registers (cache, executor, future
+        # subsystems) is automatically measurable over the pass
+        interval = self._telemetry.registry.interval()
         self._events.log(
             now,
             EventKind.TUNING_STARTED,
             f"tuning pass triggered by {decision.trigger}",
         )
 
-        refresh = (
-            self._cached_order is None
-            or self._runs_since_refresh >= self._config.order_refresh_every
-        )
-        if refresh and len(self._tuners) >= 2:
-            matrix, solution = self._planner.plan_order(forecast)
-            self._cached_order = solution.order
-            self._last_matrix = matrix
-            self._runs_since_refresh = 0
-            self._events.log(
-                self._db.clock.now_ms,
-                EventKind.ORDER_PLANNED,
-                f"tuning order: {' -> '.join(solution.order)}",
-                objective=solution.objective,
-                solve_seconds=solution.solve_seconds,
+        with self._tracer.span(
+            "tuning_pass", trigger=decision.trigger
+        ) as pass_span:
+            refresh = (
+                self._cached_order is None
+                or self._runs_since_refresh >= self._config.order_refresh_every
             )
-        order = self._cached_order or self._planner.feature_names
-        subset = self._feature_subset(order)
-        skipped = tuple(name for name in order if name not in subset)
-        if not subset:
-            self._events.log(
-                self._db.clock.now_ms,
-                EventKind.SKIP,
-                "tuning skipped: time budget admits no feature",
-                budget_ms=self._config.tuning_time_budget_ms,
-                skipped=len(skipped),
-            )
-            return None
-        self._runs_since_refresh += 1
-
-        report = self._planner.run(forecast, order=subset, executor=self._executor)
-        self._last_tuning_ms = self._db.clock.now_ms
-
-        predicted = sum(r.result.predicted_benefit_ms for r in report.runs)
-        measured = report.initial_cost_ms - report.final_cost_ms
-        record = ConfigurationRecord(
-            instance=ConfigurationInstance.capture(self._db),
-            applied_at_ms=self._db.clock.now_ms,
-            trigger=decision.trigger,
-            feature=None,
-            action_summaries=[
-                summary
-                for r in report.runs
-                for summary in r.report.action_summaries
-            ],
-            predicted_benefit_ms=predicted,
-            reconfiguration_cost_ms=report.total_reconfiguration_ms,
-            measured_benefit_ms=measured,
-        )
-        record_id = self._store.append(record)
-        # also store one record per feature so per-feature feedback learning
-        # (LearnedFeedbackAssessor) has training pairs
-        for r in report.runs:
-            self._store.append(
-                ConfigurationRecord(
-                    instance=record.instance,
-                    applied_at_ms=record.applied_at_ms,
-                    trigger=decision.trigger,
-                    feature=r.feature,
-                    action_summaries=list(r.report.action_summaries),
-                    predicted_benefit_ms=r.result.predicted_benefit_ms,
-                    reconfiguration_cost_ms=r.report.total_work_ms,
-                    measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
+            if refresh and len(self._tuners) >= 2:
+                with self._tracer.span("order_refresh") as order_span:
+                    matrix, solution = self._planner.plan_order(forecast)
+                    order_span.tag(
+                        order=" -> ".join(solution.order),
+                        objective=solution.objective,
+                    )
+                self._cached_order = solution.order
+                self._last_matrix = matrix
+                self._runs_since_refresh = 0
+                self._events.log(
+                    self._db.clock.now_ms,
+                    EventKind.ORDER_PLANNED,
+                    f"tuning order: {' -> '.join(solution.order)}",
+                    objective=solution.objective,
+                    solve_seconds=solution.solve_seconds,
                 )
+            order = self._cached_order or self._planner.feature_names
+            subset = self._feature_subset(order)
+            skipped = tuple(name for name in order if name not in subset)
+            if not subset:
+                self._events.log(
+                    self._db.clock.now_ms,
+                    EventKind.SKIP,
+                    "tuning skipped: time budget admits no feature",
+                    budget_ms=self._config.tuning_time_budget_ms,
+                    skipped=len(skipped),
+                )
+                pass_span.tag(skipped="time budget admits no feature")
+                return None
+            self._runs_since_refresh += 1
+
+            report = self._planner.run(
+                forecast, order=subset, executor=self._executor
             )
-        cache_after = self._optimizer.cache_stats
-        cache_hits = cache_after.hits - cache_before.hits
-        cache_misses = cache_after.misses - cache_before.misses
-        cache_priced = cache_hits + cache_misses
-        self._events.log(
-            self._db.clock.now_ms,
-            EventKind.TUNING_FINISHED,
-            f"workload cost {report.initial_cost_ms:.2f} -> "
-            f"{report.final_cost_ms:.2f} ms "
-            f"(what-if cache: {cache_hits} hits / {cache_misses} misses)",
-            improvement=report.improvement,
-            # reconfiguration_ms records *work* (sum of per-action costs),
-            # not elapsed wall time; see tuning/executors/base.py
-            reconfiguration_ms=report.total_reconfiguration_ms,
-            cache_hits=cache_hits,
-            cache_misses=cache_misses,
-            cache_evictions=cache_after.evictions - cache_before.evictions,
-            cache_hit_rate=(
-                cache_hits / cache_priced if cache_priced else 0.0
-            ),
-        )
+            self._last_tuning_ms = self._db.clock.now_ms
+
+            predicted = sum(r.result.predicted_benefit_ms for r in report.runs)
+            measured = report.initial_cost_ms - report.final_cost_ms
+            record = ConfigurationRecord(
+                instance=ConfigurationInstance.capture(self._db),
+                applied_at_ms=self._db.clock.now_ms,
+                trigger=decision.trigger,
+                feature=None,
+                action_summaries=[
+                    summary
+                    for r in report.runs
+                    for summary in r.report.action_summaries
+                ],
+                predicted_benefit_ms=predicted,
+                reconfiguration_cost_ms=report.total_reconfiguration_ms,
+                measured_benefit_ms=measured,
+            )
+            record_id = self._store.append(record)
+            # also store one record per feature so per-feature feedback
+            # learning (LearnedFeedbackAssessor) has training pairs
+            for r in report.runs:
+                self._store.append(
+                    ConfigurationRecord(
+                        instance=record.instance,
+                        applied_at_ms=record.applied_at_ms,
+                        trigger=decision.trigger,
+                        feature=r.feature,
+                        action_summaries=list(r.report.action_summaries),
+                        predicted_benefit_ms=r.result.predicted_benefit_ms,
+                        reconfiguration_cost_ms=r.report.total_work_ms,
+                        measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
+                    )
+                )
+            deltas = interval.deltas()
+            cache_hits = int(deltas.get(WHATIF_CACHE_HITS, 0.0))
+            cache_misses = int(deltas.get(WHATIF_CACHE_MISSES, 0.0))
+            cache_priced = cache_hits + cache_misses
+            pass_span.tag(
+                improvement=round(report.improvement, 4),
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+            )
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.TUNING_FINISHED,
+                f"workload cost {report.initial_cost_ms:.2f} -> "
+                f"{report.final_cost_ms:.2f} ms "
+                f"(what-if cache: {cache_hits} hits / {cache_misses} misses)",
+                improvement=report.improvement,
+                # reconfiguration_ms records *work* (sum of per-action
+                # costs), not elapsed wall time; see tuning/executors/base.py
+                reconfiguration_ms=report.total_reconfiguration_ms,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                cache_evictions=int(deltas.get(WHATIF_CACHE_EVICTIONS, 0.0)),
+                cache_hit_rate=(
+                    cache_hits / cache_priced if cache_priced else 0.0
+                ),
+            )
         return OrganizerRunReport(
             decision=decision,
             order=subset,

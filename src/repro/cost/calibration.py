@@ -9,7 +9,6 @@ and aggregates, executes them, and feeds (features, runtime) pairs to a
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cost.learned import LearnedCostModel
 from repro.dbms.database import Database

@@ -30,6 +30,13 @@ from repro.configuration.delta import ConfigurationDelta
 from repro.cost.base import CostEstimator
 from repro.dbms.database import Database
 from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.kpi.metrics import (
+    WHATIF_CACHE_EVICTIONS,
+    WHATIF_CACHE_HITS,
+    WHATIF_CACHE_MISSES,
+    WHATIF_CACHE_SIZE,
+)
+from repro.telemetry.metrics import MetricRegistry
 from repro.workload.query import Query
 
 #: Default bound on cached ``(config_epoch, query)`` cost entries.
@@ -69,6 +76,7 @@ class WhatIfOptimizer:
         database: Database,
         estimator: CostEstimator | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        registry: MetricRegistry | None = None,
     ) -> None:
         """With ``estimator=None`` costs are *measured* by probe-mode
         execution against real data (exact in the simulator); otherwise the
@@ -77,6 +85,11 @@ class WhatIfOptimizer:
         ``cache_size`` bounds the epoch-keyed cost cache for the measured
         path (0 disables caching). Analytic estimates are never cached:
         they are cheap and estimators may be stateful (learned models).
+
+        ``registry`` is the telemetry registry the cache counters live in
+        (the driver passes its shared one); without it the optimizer keeps
+        a private registry and can be surfaced later via
+        :meth:`bind_registry`.
         """
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -84,9 +97,13 @@ class WhatIfOptimizer:
         self._estimator = estimator
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple[int, Query], float] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._registry = registry if registry is not None else MetricRegistry()
+        self._hits = self._registry.counter(WHATIF_CACHE_HITS)
+        self._misses = self._registry.counter(WHATIF_CACHE_MISSES)
+        self._evictions = self._registry.counter(WHATIF_CACHE_EVICTIONS)
+        self._size_gauge = self._registry.gauge(
+            WHATIF_CACHE_SIZE, lambda: float(len(self._cache))
+        )
 
     @property
     def database(self) -> Database:
@@ -108,11 +125,38 @@ class WhatIfOptimizer:
     @property
     def cache_stats(self) -> WhatIfCacheStats:
         return WhatIfCacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
+            hits=int(self._hits.value),
+            misses=int(self._misses.value),
+            evictions=int(self._evictions.value),
             size=len(self._cache),
         )
+
+    @property
+    def registry(self) -> MetricRegistry:
+        """The registry holding the cache counters."""
+        return self._registry
+
+    def bind_registry(
+        self, registry: MetricRegistry, replace: bool = False
+    ) -> None:
+        """Surface the cache counters through ``registry`` as well.
+
+        Adopts the existing counter/gauge *objects*, so counts stay
+        continuous and bumps are visible through both registries.
+        Idempotent when the counters are already registered there (the
+        driver wires one shared registry everywhere, making every later
+        bind a no-op). ``replace=True`` rebinds names held by another
+        optimizer's counters (re-attach semantics).
+        """
+        if registry is self._registry:
+            return
+        for metric in (
+            self._hits,
+            self._misses,
+            self._evictions,
+            self._size_gauge,
+        ):
+            registry.adopt(metric, replace=replace)
 
     def clear_cache(self) -> None:
         """Drop all cached costs (counters are kept)."""
@@ -129,9 +173,9 @@ class WhatIfOptimizer:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return cached
-            self._misses += 1
+            self._misses.inc()
         table = self._db.table(query.table)
         result = self._db.executor.execute(query, table, probe=True)
         cost = result.report.elapsed_ms
@@ -139,7 +183,7 @@ class WhatIfOptimizer:
             self._cache[key] = cost
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
         return cost
 
     def scenario_cost_ms(

@@ -12,12 +12,17 @@ plan cache records and the adaptive cost models learn from.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.dbms.hardware import HardwareProfile
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 from repro.dbms.knobs import BUFFER_POOL_KNOB, SCAN_THREADS_KNOB, KnobRegistry
 from repro.dbms.operators import (
     AggregateSpec,
@@ -126,10 +131,40 @@ class QueryExecutor:
         self._hardware = hardware
         self._knobs = knobs
         self._buffer_pool = BufferPool(knobs.get(BUFFER_POOL_KNOB))
+        self._telemetry: "Telemetry | None" = None
+        self._counters = None
+        self._query_seq = 0
 
     @property
     def buffer_pool(self) -> BufferPool:
         return self._buffer_pool
+
+    def bind_telemetry(self, telemetry: "Telemetry | None") -> None:
+        """Attach (or detach, with ``None``) the telemetry spine.
+
+        While bound, every accounted execution bumps the ``exec_*`` work
+        counters, and one per-query span is recorded every
+        ``query_sample_every`` executions so production overhead stays
+        bounded. Probe-mode (what-if) executions are never counted here:
+        they are estimation work, tracked by the optimizer's own cache
+        counters.
+        """
+        if telemetry is None or not telemetry.enabled:
+            self._telemetry = None
+            self._counters = None
+            return
+        self._telemetry = telemetry
+        registry = telemetry.registry
+        self._counters = (
+            registry.counter("exec_queries"),
+            registry.counter("exec_scan_units"),
+            registry.counter("exec_probe_units"),
+            registry.counter("exec_rows_matched"),
+            registry.counter("exec_buffer_hits"),
+            registry.counter("exec_buffer_misses"),
+            registry.counter("exec_elapsed_sim_ms"),
+            registry.counter("exec_sampled_spans"),
+        )
 
     def sync_buffer_pool(self) -> None:
         """Re-read the buffer-pool knob (called after knob changes)."""
@@ -183,6 +218,16 @@ class QueryExecutor:
         scan_ms = 0.0
         probe_ms = 0.0
 
+        telemetry = self._telemetry if not probe else None
+        sampled = False
+        wall_started = 0.0
+        if telemetry is not None:
+            self._query_seq += 1
+            every = telemetry.config.query_sample_every
+            sampled = every > 0 and (self._query_seq - 1) % every == 0
+            if sampled:
+                wall_started = time.perf_counter()
+
         agg_spec: AggregateSpec | None = None
         if query.aggregate:
             agg_spec = AggregateSpec(query.aggregate, query.aggregate_column)
@@ -195,8 +240,10 @@ class QueryExecutor:
         agg_values: list[np.ndarray] = []
         out_columns: dict[str, list[np.ndarray]] = {name: [] for name in projected}
 
+        # one predicate list for the whole execution, not one per chunk
+        predicates = list(query.predicates)
         for chunk in table.chunks():
-            result = evaluate_chunk(chunk, list(query.predicates))
+            result = evaluate_chunk(chunk, predicates)
             work.chunks_visited += 1
             if result.used_index:
                 work.chunks_via_index += 1
@@ -259,6 +306,27 @@ class QueryExecutor:
             overhead_ms=overhead_ms,
             work=work,
         )
+        if telemetry is not None:
+            counters = self._counters
+            counters[0].inc()
+            counters[1].inc(work.scan_units)
+            counters[2].inc(work.probe_units)
+            counters[3].inc(work.rows_matched)
+            counters[4].inc(work.buffer_hits)
+            counters[5].inc(work.buffer_misses)
+            counters[6].inc(elapsed)
+            if sampled:
+                counters[7].inc()
+                telemetry.tracer.record(
+                    "query",
+                    sim_ms=elapsed,
+                    wall_s=time.perf_counter() - wall_started,
+                    table=table.name,
+                    rows=work.rows_matched,
+                    chunks=work.chunks_visited,
+                    via_index=work.chunks_via_index,
+                    buffer_hits=work.buffer_hits,
+                )
         rows = None
         if materialize and agg_spec is None:
             rows = {

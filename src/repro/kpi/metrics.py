@@ -19,11 +19,15 @@ RECONFIGURATION_MS = "reconfiguration_ms"
 INDEX_MEMORY_BYTES = "index_memory_bytes"
 MEMORY_BYTES = "memory_bytes"
 
-# what-if cost-cache KPIs (per monitoring interval; see cost/what_if.py)
+# what-if cost-cache KPIs (per monitoring interval; see cost/what_if.py).
+# The hits/misses/evictions names double as the optimizer's counter names
+# in the telemetry MetricRegistry; the monitor derives the interval KPIs
+# generically from those counters.
 WHATIF_CACHE_HITS = "whatif_cache_hits"
 WHATIF_CACHE_MISSES = "whatif_cache_misses"
 WHATIF_CACHE_EVICTIONS = "whatif_cache_evictions"
 WHATIF_CACHE_HIT_RATE = "whatif_cache_hit_rate"
+WHATIF_CACHE_SIZE = "whatif_cache_size"
 
 # system-specific KPIs (simulated hardware view)
 CPU_UTILIZATION = "cpu_utilization"
@@ -42,6 +46,7 @@ DBMS_KPIS = (
     WHATIF_CACHE_MISSES,
     WHATIF_CACHE_EVICTIONS,
     WHATIF_CACHE_HIT_RATE,
+    WHATIF_CACHE_SIZE,
 )
 SYSTEM_KPIS = (CPU_UTILIZATION, MEMORY_UTILIZATION, CACHE_MISS_RATE)
 

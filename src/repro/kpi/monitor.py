@@ -7,11 +7,19 @@ KPIs can help to identify phases of low resource utilization that can be
 used to run resource-intensive tunings" (Section II-A.e). All three uses
 hang off this monitor: interval-derived KPI samples, SLA breach tracking,
 and idle detection.
+
+Beyond the database's own counters, the monitor derives interval KPIs
+*generically* from a telemetry :class:`~repro.telemetry.MetricRegistry`:
+every registered counter becomes a per-interval delta and every gauge a
+point-in-time value in each sample. New subsystems therefore get KPI
+coverage by registering a counter — no monitor changes required. The
+what-if cost-cache KPIs flow through exactly this path.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import TYPE_CHECKING
 
 from repro.configuration.constraints import SlaConstraint
@@ -25,13 +33,13 @@ from repro.kpi.metrics import (
     RECONFIGURATION_MS,
     THROUGHPUT_QPS,
     TOTAL_QUERY_MS,
-    WHATIF_CACHE_EVICTIONS,
     WHATIF_CACHE_HIT_RATE,
     WHATIF_CACHE_HITS,
     WHATIF_CACHE_MISSES,
     KPISample,
 )
 from repro.kpi.system import derive_system_kpis
+from repro.telemetry.metrics import MetricRegistry
 
 if TYPE_CHECKING:
     from repro.cost.what_if import WhatIfOptimizer
@@ -40,7 +48,15 @@ if TYPE_CHECKING:
 class RuntimeKPIMonitor:
     """Samples KPIs from database counters on demand."""
 
-    def __init__(self, db: Database, window: int = 64) -> None:
+    def __init__(
+        self,
+        db: Database,
+        window: int = 64,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        """``registry`` is the telemetry registry whose counters/gauges are
+        folded into every sample (the driver passes its shared one); a
+        private empty registry is used when omitted."""
         if window < 2:
             raise ValueError("window must be at least 2")
         self._db = db
@@ -49,14 +65,30 @@ class RuntimeKPIMonitor:
         self._sla_streaks: dict[str, int] = {}
         self._sample_seq = 0
         self._streak_seq = 0
-        self._whatif: WhatIfOptimizer | None = None
-        self._last_cache_stats = None
+        self._registry = registry if registry is not None else MetricRegistry()
+        self._last_metric_snapshot = self._registry.snapshot_counters()
+
+    @property
+    def registry(self) -> MetricRegistry:
+        """The registry whose metrics are folded into each sample."""
+        return self._registry
 
     def attach_whatif_cache(self, optimizer: "WhatIfOptimizer") -> None:
-        """Surface ``optimizer``'s cost-cache counters as interval KPIs
-        (hits, misses, evictions, and hit rate per monitoring interval)."""
-        self._whatif = optimizer
-        self._last_cache_stats = optimizer.cache_stats
+        """Deprecated shim: surface ``optimizer``'s cost-cache counters as
+        interval KPIs.
+
+        The counters now live in the telemetry registry, so this just
+        adopts them into the monitor's registry (replacing a previously
+        attached optimizer's counters) — the generic registry-derived KPI
+        path does the rest. Prefer constructing the monitor with the
+        shared registry; kept for backward compatibility.
+        """
+        optimizer.bind_registry(self._registry, replace=True)
+        # baseline the newly adopted counters at their current values so
+        # the in-progress interval only reports post-attach activity
+        # (matching the old attach-time snapshot semantics)
+        for name, value in self._registry.snapshot_counters().items():
+            self._last_metric_snapshot.setdefault(name, value)
 
     def sample(self) -> KPISample:
         """Close one monitoring interval and derive its KPIs."""
@@ -64,39 +96,39 @@ class RuntimeKPIMonitor:
         previous = self._last_snapshot
         self._last_snapshot = current
 
+        # generic telemetry-derived KPIs first, so the monitor's own
+        # built-in derivations win on any name collision
+        values: dict[str, float] = {}
+        metrics = self._registry.snapshot_counters()
+        for name, value in metrics.items():
+            values[name] = value - self._last_metric_snapshot.get(name, 0.0)
+        self._last_metric_snapshot = metrics
+        values.update(self._registry.snapshot_gauges())
+        if WHATIF_CACHE_HITS in metrics or WHATIF_CACHE_MISSES in metrics:
+            hits = values.get(WHATIF_CACHE_HITS, 0.0)
+            priced = hits + values.get(WHATIF_CACHE_MISSES, 0.0)
+            values[WHATIF_CACHE_HIT_RATE] = hits / priced if priced else 0.0
+
         elapsed_ms = current["now_ms"] - previous["now_ms"]
         queries = current["queries_executed"] - previous["queries_executed"]
         query_ms = current["total_query_ms"] - previous["total_query_ms"]
-        values = {
-            QUERIES_EXECUTED: queries,
-            TOTAL_QUERY_MS: query_ms,
-            MEAN_QUERY_MS: query_ms / queries if queries > 0 else 0.0,
-            THROUGHPUT_QPS: (
-                1000.0 * queries / elapsed_ms if elapsed_ms > 0 else 0.0
-            ),
-            RECONFIGURATION_MS: current["total_reconfiguration_ms"]
-            - previous["total_reconfiguration_ms"],
-            INDEX_MEMORY_BYTES: current["index_bytes"],
-            MEMORY_BYTES: current["memory_bytes"],
-        }
+        values.update(
+            {
+                QUERIES_EXECUTED: queries,
+                TOTAL_QUERY_MS: query_ms,
+                MEAN_QUERY_MS: query_ms / queries if queries > 0 else 0.0,
+                THROUGHPUT_QPS: (
+                    1000.0 * queries / elapsed_ms if elapsed_ms > 0 else 0.0
+                ),
+                RECONFIGURATION_MS: current["total_reconfiguration_ms"]
+                - previous["total_reconfiguration_ms"],
+                INDEX_MEMORY_BYTES: current["index_bytes"],
+                MEMORY_BYTES: current["memory_bytes"],
+            }
+        )
         values.update(
             derive_system_kpis(previous, current, self._db.hardware)
         )
-        if self._whatif is not None:
-            stats = self._whatif.cache_stats
-            last = self._last_cache_stats
-            hits = stats.hits - last.hits
-            misses = stats.misses - last.misses
-            priced = hits + misses
-            values[WHATIF_CACHE_HITS] = float(hits)
-            values[WHATIF_CACHE_MISSES] = float(misses)
-            values[WHATIF_CACHE_EVICTIONS] = float(
-                stats.evictions - last.evictions
-            )
-            values[WHATIF_CACHE_HIT_RATE] = (
-                hits / priced if priced else 0.0
-            )
-            self._last_cache_stats = stats
         sample = KPISample(at_ms=current["now_ms"], values=values)
         self._samples.append(sample)
         self._sample_seq += 1
@@ -113,12 +145,14 @@ class RuntimeKPIMonitor:
         return tuple(self._samples)
 
     def mean(self, metric: str, last_n: int | None = None) -> float:
-        samples = list(self._samples)
+        # iterate the deque in place (islice) instead of copying it
+        count = len(self._samples)
         if last_n is not None:
-            samples = samples[-last_n:]
-        if not samples:
+            count = min(last_n, count)
+        if count == 0:
             return 0.0
-        return sum(s.get(metric) for s in samples) / len(samples)
+        window = islice(self._samples, len(self._samples) - count, None)
+        return sum(s.get(metric) for s in window) / count
 
     # ------------------------------------------------------------------
     # SLA tracking and idle detection
@@ -160,7 +194,7 @@ class RuntimeKPIMonitor:
 
     def is_idle(self, threshold: float = 0.3, samples: int = 2) -> bool:
         """Low-utilization window suitable for resource-intensive tunings."""
-        recent = list(self._samples)[-samples:]
-        if len(recent) < samples:
+        if len(self._samples) < samples:
             return False
+        recent = islice(self._samples, len(self._samples) - samples, None)
         return all(s.get(CPU_UTILIZATION) <= threshold for s in recent)

@@ -19,6 +19,7 @@ from repro.errors import OrderingError
 from repro.forecasting.scenarios import Forecast
 from repro.ordering.dependence import DependenceAnalyzer, DependenceMatrix
 from repro.ordering.lp import LPOrderOptimizer, OrderingSolution
+from repro.telemetry import Telemetry, Tracer
 from repro.tuning.executors.base import ApplicationReport, TuningExecutor
 from repro.tuning.tuner import Tuner, TuningResult
 
@@ -67,6 +68,7 @@ class RecursiveTuningPlanner:
         constraints: ConstraintSet | None = None,
         order_optimizer: LPOrderOptimizer | None = None,
         optimizer: WhatIfOptimizer | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not tuners:
             raise OrderingError("at least one tuner is required")
@@ -75,6 +77,9 @@ class RecursiveTuningPlanner:
         self._constraints = constraints or ConstraintSet()
         self._order_optimizer = order_optimizer or LPOrderOptimizer()
         self._optimizer = optimizer or WhatIfOptimizer(db)
+        self._tracer: Tracer = (
+            telemetry.tracer if telemetry is not None else Tracer(enabled=False)
+        )
 
     @property
     def feature_names(self) -> tuple[str, ...]:
@@ -123,10 +128,19 @@ class RecursiveTuningPlanner:
         current = initial
         for name in order:
             tuner = self._tuners[name]
-            result, report = tuner.tune(forecast, self._constraints, executor)
-            after = self._optimizer.scenario_cost_ms(
-                forecast.expected, sample_queries
-            )
+            with self._tracer.span("feature", name=name) as span:
+                result, report = tuner.tune(
+                    forecast, self._constraints, executor
+                )
+                after = self._optimizer.scenario_cost_ms(
+                    forecast.expected, sample_queries
+                )
+                span.tag(
+                    candidates=result.candidate_count,
+                    chosen=len(result.chosen),
+                    cost_before_ms=round(current, 3),
+                    cost_after_ms=round(after, 3),
+                )
             runs.append(
                 FeatureRunRecord(
                     feature=name,

@@ -1,0 +1,39 @@
+"""Unified telemetry spine: spans, metric registry, and sinks.
+
+See :mod:`repro.telemetry.facade` for how the pieces fit together and
+``docs/telemetry.md`` for the span hierarchy and usage guide.
+"""
+
+from repro.telemetry.facade import Telemetry, TelemetryConfig
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricInterval,
+    MetricRegistry,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MultiSink,
+    RingSink,
+    TelemetrySink,
+    read_jsonl,
+)
+from repro.telemetry.spans import NULL_SPAN, Span, Tracer, render_span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "JsonlSink",
+    "MetricInterval",
+    "MetricRegistry",
+    "MultiSink",
+    "NULL_SPAN",
+    "RingSink",
+    "Span",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySink",
+    "Tracer",
+    "read_jsonl",
+    "render_span_tree",
+]

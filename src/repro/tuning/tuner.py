@@ -17,6 +17,7 @@ from repro.configuration.delta import ConfigurationDelta
 from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.database import Database
 from repro.forecasting.scenarios import Forecast
+from repro.telemetry import Telemetry, Tracer
 from repro.tuning.assessment import Assessment
 from repro.tuning.assessors.base import Assessor
 from repro.tuning.enumerators.base import Enumerator
@@ -62,10 +63,14 @@ class Tuner:
         selector: Selector | None = None,
         reconfiguration_weight: float = 0.0,
         optimizer: WhatIfOptimizer | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """``optimizer`` (when no explicit ``assessor`` is given) makes the
         feature's default assessor price through a shared what-if
-        optimizer, so all features reuse one epoch-keyed cost cache."""
+        optimizer, so all features reuse one epoch-keyed cost cache.
+        ``telemetry`` (the driver's shared spine) adds
+        enumerate/assess/select/execute phase spans around the pipeline
+        stages."""
         self._feature = feature
         self._db = db
         self._enumerator = enumerator or feature.make_enumerator()
@@ -74,6 +79,9 @@ class Tuner:
         )
         self._selector = selector or feature.make_selector()
         self._reconfiguration_weight = reconfiguration_weight
+        self._tracer: Tracer = (
+            telemetry.tracer if telemetry is not None else Tracer(enabled=False)
+        )
 
     @property
     def feature(self) -> FeatureTuner:
@@ -94,7 +102,9 @@ class Tuner:
         stage_seconds: dict[str, float] = {}
 
         started = time.perf_counter()
-        candidates = self._enumerator.candidates(db, forecast)
+        with self._tracer.span("enumerate") as span:
+            candidates = self._enumerator.candidates(db, forecast)
+            span.tag(candidates=len(candidates))
         stage_seconds["enumerate"] = time.perf_counter() - started
 
         if not candidates:
@@ -109,20 +119,24 @@ class Tuner:
             )
 
         started = time.perf_counter()
-        reset = self._feature.reset_delta(db, forecast)
-        assessments = self._assessor.assess(candidates, db, forecast, reset)
+        with self._tracer.span("assess") as span:
+            reset = self._feature.reset_delta(db, forecast)
+            assessments = self._assessor.assess(candidates, db, forecast, reset)
+            span.tag(assessments=len(assessments))
         stage_seconds["assess"] = time.perf_counter() - started
 
         budgets = self._feature.budgets(db, constraints, forecast)
         probabilities = {s.name: s.probability for s in forecast.scenarios}
 
         started = time.perf_counter()
-        chosen = self._selector.select(
-            assessments,
-            budgets,
-            probabilities,
-            self._reconfiguration_weight,
-        )
+        with self._tracer.span("select", selector=self._selector.name) as span:
+            chosen = self._selector.select(
+                assessments,
+                budgets,
+                probabilities,
+                self._reconfiguration_weight,
+            )
+            span.tag(chosen=len(chosen))
         stage_seconds["select"] = time.perf_counter() - started
 
         problems = validate_selection(
@@ -165,7 +179,13 @@ class Tuner:
     ) -> ApplicationReport:
         """Apply a proposed result through a tuning executor."""
         executor = executor or SequentialExecutor()
-        return executor.execute(result.delta, self._db)
+        with self._tracer.span("execute", executor=executor.name) as span:
+            report = executor.execute(result.delta, self._db)
+            span.tag(
+                actions=len(result.delta.actions),
+                work_ms=round(report.total_work_ms, 3),
+            )
+        return report
 
     def tune(
         self,

@@ -1,6 +1,5 @@
 """Tests for tuning triggers."""
 
-import numpy as np
 import pytest
 
 from repro.configuration.constraints import ConstraintSet, SlaConstraint

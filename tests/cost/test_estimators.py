@@ -7,7 +7,6 @@ from repro.cost.calibration import calibration_queries, run_startup_calibration
 from repro.cost.learned import LearnedCostModel
 from repro.cost.logical import LogicalCostModel
 from repro.cost.physical import PhysicalCostModel
-from repro.dbms.segments import EncodingType
 from repro.dbms.storage_tiers import StorageTier
 from repro.errors import CalibrationError
 from repro.workload.predicate import Predicate

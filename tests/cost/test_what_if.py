@@ -1,6 +1,5 @@
 """Tests for the what-if optimizer: zero-side-effect hypothetical costing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the query executor, buffer pool, and timing model."""
 
-import numpy as np
 import pytest
 
 from repro.dbms.executor import BufferPool

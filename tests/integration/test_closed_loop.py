@@ -1,7 +1,5 @@
 """Integration tests: the full Figure-1 pipeline in a closed loop."""
 
-import pytest
-
 from repro import (
     ClosedLoopSimulation,
     ConstraintSet,

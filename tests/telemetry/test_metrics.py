@@ -1,0 +1,99 @@
+"""Tests for counters, gauges, intervals, and the metric registry."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, MetricRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    registry = MetricRegistry()
+    c = registry.counter("hits")
+    assert registry.counter("hits") is c
+    c.inc()
+    c.inc(2.5)
+    assert c.value == pytest.approx(3.5)
+    assert registry.read("hits") == pytest.approx(3.5)
+    assert registry.read("absent", default=-1.0) == -1.0
+
+
+def test_counter_rejects_decrease():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1.0)
+
+
+def test_gauge_direct_and_callback_backed():
+    registry = MetricRegistry()
+    g = registry.gauge("depth")
+    g.set(4.0)
+    assert g.value == 4.0
+
+    backing = [10.0]
+    cb = registry.gauge("size", lambda: backing[0])
+    assert cb.value == 10.0
+    backing[0] = 12.0
+    assert cb.value == 12.0
+    with pytest.raises(ValueError):
+        cb.set(1.0)
+
+
+def test_counter_gauge_name_collision_rejected():
+    registry = MetricRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    registry.gauge("y")
+    with pytest.raises(ValueError):
+        registry.counter("y")
+
+
+def test_interval_deltas_and_restart():
+    registry = MetricRegistry()
+    c = registry.counter("work")
+    c.inc(5)
+    interval = registry.interval()
+    c.inc(3)
+    # a counter born mid-interval counts from zero
+    registry.counter("late").inc(2)
+    assert interval.deltas() == {"work": 3.0, "late": 2.0}
+    interval.restart()
+    assert interval.deltas() == {"work": 0.0, "late": 0.0}
+    c.inc(1)
+    assert interval.deltas()["work"] == 1.0
+
+
+def test_adopt_shares_the_object_across_registries():
+    private = MetricRegistry()
+    shared = MetricRegistry()
+    c = private.counter("cache_hits")
+    shared.adopt(c)
+    c.inc()
+    assert shared.read("cache_hits") == 1.0
+    # same object again is a no-op
+    shared.adopt(c)
+    # a different object under the same name needs replace=True
+    other = Counter("cache_hits")
+    with pytest.raises(ValueError):
+        shared.adopt(other)
+    shared.adopt(other, replace=True)
+    assert shared.read("cache_hits") == 0.0
+
+
+def test_adopt_replace_crosses_metric_kinds():
+    registry = MetricRegistry()
+    registry.counter("size")
+    g = Gauge("size")
+    g.set(7.0)
+    registry.adopt(g, replace=True)
+    assert "size" in registry.gauge_names()
+    assert "size" not in registry.counter_names()
+    assert registry.read("size") == 7.0
+
+
+def test_snapshots_and_contains():
+    registry = MetricRegistry()
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(3.0)
+    assert "a" in registry and "b" in registry and "c" not in registry
+    assert registry.snapshot_counters() == {"a": 2.0}
+    assert registry.snapshot_gauges() == {"b": 3.0}
+    assert registry.snapshot() == {"a": 2.0, "b": 3.0}

@@ -1,0 +1,49 @@
+"""Tests for the sink layer: ring, JSONL export, and fan-out."""
+
+from repro.telemetry import JsonlSink, MultiSink, RingSink, read_jsonl
+
+
+def test_ring_sink_is_bounded():
+    ring = RingSink(capacity=3)
+    for i in range(5):
+        ring.emit({"type": "event", "i": i})
+    assert len(ring) == 3
+    assert [r["i"] for r in ring.records()] == [2, 3, 4]
+    assert ring.capacity == 3
+    ring.clear()
+    assert len(ring) == 0
+
+
+def test_ring_sink_filters_by_type():
+    ring = RingSink()
+    ring.emit({"type": "span", "name": "a"})
+    ring.emit({"type": "event", "kind": "skip"})
+    assert [r["type"] for r in ring.records(type="span")] == ["span"]
+    assert len(ring.records()) == 2
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "out" / "telemetry.jsonl"
+    sink = JsonlSink(path)
+    sink.emit({"type": "span", "name": "pass", "tags": {"n": 1}})
+    sink.emit({"type": "event", "message": "tuned"})
+    sink.close()
+    assert sink.records_written == 2
+    records = read_jsonl(path)
+    assert records[0] == {"type": "span", "name": "pass", "tags": {"n": 1}}
+    assert records[1]["message"] == "tuned"
+
+
+def test_jsonl_serializes_non_json_values(tmp_path):
+    path = tmp_path / "odd.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit({"type": "event", "value": complex(1, 2)})
+    assert "(1+2j)" in read_jsonl(path)[0]["value"]
+
+
+def test_multi_sink_fans_out():
+    a, b = RingSink(), RingSink()
+    multi = MultiSink([a, b])
+    multi.emit({"type": "event", "x": 1})
+    assert len(a) == len(b) == 1
+    multi.close()

@@ -1,0 +1,95 @@
+"""End-to-end: one driver, one telemetry spine, a deep span tree.
+
+The acceptance bar for the telemetry spine: a full ``Driver.tune_now()``
+pass yields a span tree with at least three nesting levels (tuning pass
+-> feature -> tuner phase), the deprecated monitor shim still works, and
+SKIP decisions surface as structured events.
+"""
+
+from repro.core.driver import Driver, DriverConfig
+from repro.core.events import EventKind
+from repro.core.organizer import OrganizerConfig
+from repro.core.triggers import NeverTrigger
+from repro.telemetry import TelemetryConfig
+from repro.tuning.features import CompressionFeature, IndexSelectionFeature
+
+
+def _attach(retail_suite, **telemetry_kwargs):
+    db = retail_suite.database
+    driver = Driver(
+        [IndexSelectionFeature(), CompressionFeature()],
+        triggers=[NeverTrigger()],
+        config=DriverConfig(
+            organizer=OrganizerConfig(horizon_bins=3, min_history_bins=3),
+            telemetry=TelemetryConfig(**telemetry_kwargs),
+        ),
+    )
+    db.plugin_host.attach(driver)
+    return db, driver
+
+
+def _warm_up(retail_suite, db, driver, bins=4, per_bin=25):
+    for i in range(bins):
+        for q in retail_suite.mix.sample_queries(per_bin, seed=100 + i):
+            db.execute(q)
+        driver.on_tick(db.clock.now_ms)
+
+
+def test_tune_now_produces_a_three_level_span_tree(retail_suite):
+    db, driver = _attach(retail_suite)
+    _warm_up(retail_suite, db, driver)
+    report = driver.tune_now()
+    assert report is not None
+
+    span = driver.telemetry.last_span("tuning_pass")
+    assert span is not None
+    assert span.max_depth >= 3
+    assert span.tags["trigger"] == "manual"
+    feature = span.find("feature")
+    assert feature is not None
+    for phase in ("enumerate", "assess", "select"):
+        assert feature.find(phase) is not None, phase
+    # cache accounting now comes from registry interval deltas
+    assert span.tags["cache_misses"] > 0
+
+    # the shared registry carries executor and what-if counters alike
+    registry = driver.telemetry.registry
+    assert registry.read("exec_queries") > 0
+    assert registry.read("whatif_cache_misses") > 0
+
+
+def test_disabled_telemetry_keeps_the_loop_working(retail_suite):
+    db, driver = _attach(retail_suite, enabled=False)
+    _warm_up(retail_suite, db, driver)
+    report = driver.tune_now()
+    assert report is not None
+    assert driver.telemetry.last_span() is None
+    assert len(driver.telemetry.ring) == 0
+    # KPI interval accounting (monitor shim) still works when disabled
+    assert driver.monitor.latest is not None
+
+
+def test_skip_decisions_are_structured_events(retail_suite):
+    db, driver = _attach(retail_suite)
+    # no warm-up: not enough history bins yet
+    driver.on_tick(db.clock.now_ms)
+    assert driver.organizer.tick() is None
+    skip = driver.events.latest(EventKind.SKIP)
+    assert skip is not None
+    assert "history bins" in skip.message
+    assert skip.data["required_bins"] == 3
+    assert skip.data["history_bins"] < 3
+    # and the event was mirrored into the telemetry ring as a record
+    kinds = [r["kind"] for r in driver.telemetry.ring.records(type="event")]
+    assert "skip" in kinds
+
+
+def test_detach_unbinds_executor_telemetry(retail_suite):
+    db, driver = _attach(retail_suite)
+    _warm_up(retail_suite, db, driver, bins=1, per_bin=5)
+    before = driver.telemetry.registry.read("exec_queries")
+    assert before > 0
+    db.plugin_host.detach(driver.name)
+    for q in retail_suite.mix.sample_queries(5, seed=1):
+        db.execute(q)
+    assert driver.telemetry.registry.read("exec_queries") == before

@@ -56,6 +56,31 @@ def test_order_command_small(capsys):
     assert "W_0" in out
 
 
+def test_trace_command_small(capsys, tmp_path):
+    jsonl = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "trace",
+                "--rows", "4000",
+                "--bins", "5",
+                "--features", "2",
+                "--seed", "3",
+                "--sample-every", "16",
+                "--jsonl", str(jsonl),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "span tree of the last tuning pass" in out
+    assert "tuning_pass" in out
+    assert "enumerate" in out and "assess" in out and "select" in out
+    assert "metric registry:" in out
+    assert "whatif_cache_misses" in out
+    assert jsonl.exists()
+
+
 def test_unknown_suite_rejected():
     with pytest.raises(SystemExit):
         main(["order", "--suite", "nope"])

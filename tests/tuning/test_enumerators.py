@@ -20,7 +20,6 @@ from repro.tuning.enumerators import (
     workload_tables,
 )
 
-from tests.conftest import make_forecast
 
 
 def test_workload_tables(retail_suite, retail_forecast):

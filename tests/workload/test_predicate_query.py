@@ -3,7 +3,7 @@
 import pytest
 
 from repro.workload.predicate import Predicate
-from repro.workload.query import Query, QueryTemplate
+from repro.workload.query import Query
 
 
 def test_predicate_validation():
