@@ -24,7 +24,10 @@ framework end to end, including every substrate it depends on:
   closed-loop simulation harness;
 - :mod:`repro.telemetry` — the telemetry spine: hierarchical spans (on
   the simulated and the wall clock), a shared metric registry, and
-  pluggable sinks every component reports through.
+  pluggable sinks every component reports through;
+- :mod:`repro.faults` — seeded fault injection and recovery: action
+  failures with retry/backoff, rollback of failed passes, and the
+  organizer's per-feature quarantine breaker.
 
 Quickstart::
 
@@ -59,6 +62,7 @@ from repro.cost import (
     WhatIfOptimizer,
 )
 from repro.dbms import Database, DataType, EncodingType, StorageTier, TableSchema
+from repro.faults import FaultConfig, FaultInjector, FeatureQuarantine, RetryPolicy
 from repro.forecasting import Forecast, WorkloadAnalyzer, WorkloadPredictor
 from repro.ordering import (
     DependenceAnalyzer,
@@ -89,6 +93,9 @@ __all__ = [
     "Driver",
     "DriverConfig",
     "EncodingType",
+    "FaultConfig",
+    "FaultInjector",
+    "FeatureQuarantine",
     "Forecast",
     "LPOrderOptimizer",
     "LearnedCostModel",
@@ -101,6 +108,7 @@ __all__ = [
     "Query",
     "RecursiveTuningPlanner",
     "ResourceBudget",
+    "RetryPolicy",
     "SlaConstraint",
     "StorageTier",
     "TableSchema",

@@ -10,6 +10,9 @@ Commands:
                     and print the LP-optimized tuning order;
 - ``trace``       — run a short warm-up, force one tuning pass, and dump
                     its telemetry span tree plus the metric registry;
+- ``faults``      — run the closed loop twice, fault-free and under a
+                    seeded failure rate, and compare convergence plus the
+                    fault/rollback/quarantine record;
 - ``components``  — list every registered exchangeable component.
 """
 
@@ -252,6 +255,100 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro import (
+        ClosedLoopSimulation,
+        ConstraintSet,
+        Driver,
+        DriverConfig,
+        FaultConfig,
+        OrganizerConfig,
+        ResourceBudget,
+    )
+    from repro.configuration import INDEX_MEMORY
+    from repro.core import EventKind, PeriodicTrigger
+    from repro.kpi.metrics import FAULT_KPIS
+    from repro.tuning import standard_features
+    from repro.util.units import MIB
+    from repro.workload import generate_trace
+
+    def run(faults):
+        suite = _build_suite(args.suite, args.rows, args.seed)
+        db = suite.database
+        trace = generate_trace(
+            suite.families,
+            suite.rates,
+            args.bins,
+            bin_duration_ms=60_000,
+            seed=args.seed,
+        )
+        features = standard_features(include_sort_order=args.sort_order)
+        driver = Driver(
+            features[: args.features] if args.features else features,
+            constraints=ConstraintSet(
+                [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
+            ),
+            triggers=[PeriodicTrigger(every_ms=args.tune_every_bins * 60_000)],
+            config=DriverConfig(
+                organizer=OrganizerConfig(horizon_bins=3, min_history_bins=3),
+                faults=faults,
+            ),
+        )
+        db.plugin_host.attach(driver)
+        records = ClosedLoopSimulation(db, trace, seed=args.seed).run()
+        return records, driver
+
+    faults = FaultConfig(
+        seed=args.fault_seed,
+        failure_rate=args.failure_rate,
+        transient_fraction=args.transient_fraction,
+    )
+    print(f"fault-free run: {args.bins} bins of the {args.suite} workload ...")
+    clean_records, _ = run(None)
+    print(f"faulty run: failure rate {args.failure_rate:.0%}, "
+          f"transient fraction {args.transient_fraction:.0%}, "
+          f"fault seed {args.fault_seed} ...")
+    faulty_records, driver = run(faults)
+
+    print("\nbin  queries  clean_ms  faulty_ms  tuned")
+    for clean, faulty in zip(clean_records, faulty_records):
+        marker = "  *" if faulty.reconfigured else ""
+        print(f"{faulty.index:3d}  {faulty.queries_executed:7d}  "
+              f"{clean.mean_query_ms:8.4f}  {faulty.mean_query_ms:9.4f}"
+              f"{marker}")
+
+    tail = max(1, len(clean_records) // 4)
+    clean_cost = sum(
+        r.mean_query_ms for r in clean_records[-tail:]
+    ) / tail
+    faulty_cost = sum(
+        r.mean_query_ms for r in faulty_records[-tail:]
+    ) / tail
+    gap = faulty_cost / clean_cost - 1.0 if clean_cost > 0 else 0.0
+
+    print("\nfault record:")
+    snap = driver.telemetry.registry.snapshot()
+    for name in FAULT_KPIS:
+        print(f"  {name:22s} {snap.get(name, 0.0):.0f}")
+
+    shown = [
+        e
+        for e in driver.events.events()
+        if e.kind in (EventKind.FAULT, EventKind.ROLLBACK,
+                      EventKind.QUARANTINE)
+    ]
+    if shown:
+        print("\nfault / rollback / quarantine events:")
+        for event in shown:
+            print(f"  [{event.at_ms / 60_000:5.1f} min] "
+                  f"{event.kind.value:10s} {event.message}")
+
+    print(f"\nfinal cost (mean over the last {tail} bins): "
+          f"{clean_cost:.4f} ms fault-free vs {faulty_cost:.4f} ms "
+          f"faulty ({100 * gap:+.2f}%)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -306,6 +403,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--jsonl", default=None,
                        help="also export every telemetry record to this file")
     trace.set_defaults(run=_cmd_trace)
+
+    faults = commands.add_parser(
+        "faults", help="compare fault-free and faulty closed-loop runs"
+    )
+    common(faults)
+    faults.add_argument("--bins", type=int, default=24)
+    faults.add_argument("--tune-every-bins", type=int, default=3)
+    faults.add_argument("--failure-rate", type=float, default=0.10,
+                        help="per-action injected failure probability")
+    faults.add_argument("--transient-fraction", type=float, default=0.75,
+                        help="fraction of failures that are retryable")
+    faults.add_argument("--fault-seed", type=int, default=2,
+                        help="seed of the fault injector's random stream")
+    faults.set_defaults(run=_cmd_faults)
     return parser
 
 

@@ -42,10 +42,21 @@ class ConfigurationDelta:
 
     def apply_raw(self, db: Database) -> "ConfigurationDelta":
         """Unaccounted application; returns the inverse delta (which, when
-        itself applied raw, restores the previous configuration)."""
+        itself applied raw, restores the previous configuration).
+
+        Exception-safe: if an action raises mid-delta, the actions already
+        applied are undone (via their collected inverses, in reverse) before
+        the exception propagates, so a failed delta never leaves the
+        database half-mutated.
+        """
         inverse: list[Action] = []
-        for action in self.actions:
-            inverse.extend(action.apply_raw(db))
+        try:
+            for action in self.actions:
+                inverse.extend(action.apply_raw(db))
+        except Exception:
+            for undo in reversed(inverse):
+                undo.apply_raw(db)
+            raise
         inverse.reverse()
         return ConfigurationDelta(inverse)
 

@@ -23,12 +23,15 @@ from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.database import Database
 from repro.dbms.plugin import Plugin
 from repro.errors import PluginError
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.recovery import RetryPolicy
 from repro.forecasting.analyzer import AnalyzerConfig, WorkloadAnalyzer
 from repro.forecasting.models.ensemble import ModelFactory
 from repro.forecasting.models.seasonal import SeasonalNaive
 from repro.forecasting.predictor import WorkloadPredictor
 from repro.kpi.monitor import RuntimeKPIMonitor
 from repro.telemetry import Telemetry, TelemetryConfig
+from repro.tuning.executors.sequential import SequentialExecutor
 from repro.tuning.features.base import FeatureTuner
 from repro.tuning.selectors.base import Selector
 from repro.tuning.tuner import Tuner
@@ -53,6 +56,10 @@ class DriverConfig:
     #: the telemetry spine (spans, metric registry, sinks) shared by every
     #: component the driver wires up; see docs/telemetry.md
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: inject seeded action/probe faults when set; see docs/robustness.md
+    faults: FaultConfig | None = None
+    #: backoff policy for retrying transient action failures
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 class Driver(Plugin):
@@ -113,11 +120,26 @@ class Driver(Plugin):
             self.cost_maintenance = AdaptiveCostMaintenancePlugin()
             self.cost_maintenance.on_attach(database)
             run_design_exploration(database, self.cost_maintenance.model)
+        # seeded fault injection (off unless configured): the injector
+        # gates executor applications and perturbs what-if probes, with
+        # its counters in the shared registry
+        self.injector: FaultInjector | None = None
+        if self._config.faults is not None:
+            self.injector = FaultInjector(
+                self._config.faults, registry=self.telemetry.registry
+            )
         # one shared what-if optimizer: the organizer, the dependence
         # analyzer, and every feature's default assessor price through the
         # same epoch-keyed cost cache (and its KPI counters)
         self.optimizer = WhatIfOptimizer(
-            database, registry=self.telemetry.registry
+            database, registry=self.telemetry.registry, injector=self.injector
+        )
+        # one failure-aware executor for every tuning application:
+        # retries transients, rolls back on permanent failure
+        self.executor = SequentialExecutor(
+            injector=self.injector,
+            retry=self._config.retry,
+            telemetry=self.telemetry,
         )
         self.tuners = []
         for feature in self._features:
@@ -148,6 +170,7 @@ class Driver(Plugin):
             triggers=self._triggers,
             config=self._config.organizer,
             optimizer=self.optimizer,
+            executor=self.executor,
             telemetry=self.telemetry,
         )
         # sampled per-query spans + exec work counters from the executor

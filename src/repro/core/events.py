@@ -26,6 +26,9 @@ class EventKind(enum.Enum):
     ORDER_PLANNED = "order_planned"
     APPLY = "apply"
     ERROR = "error"
+    FAULT = "fault"
+    ROLLBACK = "rollback"
+    QUARANTINE = "quarantine"
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from repro.core.triggers import (
     TuningTrigger,
 )
 from repro.dbms.database import Database
+from repro.faults.quarantine import Admission, FeatureQuarantine
 from repro.forecasting.predictor import WorkloadPredictor
 from repro.kpi.metrics import (
     WHATIF_CACHE_EVICTIONS,
@@ -67,6 +68,10 @@ class OrganizerConfig:
     #: when set, tune only the features whose single-tuning one-time costs
     #: fit this budget, ranked by impact per cost (Section III-A)
     tuning_time_budget_ms: float | None = None
+    #: quarantine a feature after this many consecutive failed applications
+    quarantine_after: int = 3
+    #: simulated ms a quarantined feature waits before a probation attempt
+    quarantine_probation_ms: float = 30 * 60_000.0
 
 
 @dataclass
@@ -79,6 +84,8 @@ class OrganizerRunReport:
     record_id: int | None = None
     tuned_features: tuple[str, ...] = ()
     skipped_features: tuple[str, ...] = field(default_factory=tuple)
+    #: features excluded from this pass by the quarantine breaker
+    quarantined_features: tuple[str, ...] = field(default_factory=tuple)
 
 
 class Organizer:
@@ -126,6 +133,13 @@ class Organizer:
         self._monitor.attach_whatif_cache(self._optimizer)
         self._optimizer.bind_registry(self._telemetry.registry, replace=True)
         self._executor = executor
+        # per-feature circuit breaker: graceful degradation when a
+        # feature's applications keep failing (see repro.faults)
+        self._quarantine = FeatureQuarantine(
+            threshold=self._config.quarantine_after,
+            probation_ms=self._config.quarantine_probation_ms,
+            registry=self._telemetry.registry,
+        )
         self._planner = RecursiveTuningPlanner(
             db,
             tuners,
@@ -160,6 +174,10 @@ class Organizer:
     @property
     def last_tuning_ms(self) -> float | None:
         return self._last_tuning_ms
+
+    @property
+    def quarantine(self) -> FeatureQuarantine:
+        return self._quarantine
 
     @property
     def cached_order(self) -> tuple[str, ...] | None:
@@ -253,6 +271,86 @@ class Organizer:
         )
         return tuple(name for name in order if name in allowed)
 
+    def _admit_features(
+        self, subset: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Filter ``subset`` through the quarantine breaker.
+
+        Returns ``(admitted, quarantined)`` and logs a QUARANTINE event
+        for every blocked feature and every probation re-admission."""
+        now = self._db.clock.now_ms
+        admitted: list[str] = []
+        quarantined: list[str] = []
+        for name in subset:
+            admission = self._quarantine.admit(name, now)
+            if admission is Admission.QUARANTINED:
+                quarantined.append(name)
+                self._events.log(
+                    now,
+                    EventKind.QUARANTINE,
+                    f"feature {name!r} quarantined for another "
+                    f"{self._quarantine.remaining_ms(name, now):.0f} ms",
+                    feature=name,
+                    state="quarantined",
+                    remaining_ms=self._quarantine.remaining_ms(name, now),
+                )
+                continue
+            if admission is Admission.PROBATION:
+                self._events.log(
+                    now,
+                    EventKind.QUARANTINE,
+                    f"feature {name!r} re-admitted on probation",
+                    feature=name,
+                    state="probation",
+                )
+            admitted.append(name)
+        return tuple(admitted), tuple(quarantined)
+
+    def _record_run_outcomes(self, report: RecursiveTuningReport) -> None:
+        """Feed per-feature application outcomes into the breaker and
+        emit FAULT/ROLLBACK/QUARANTINE events for failed runs."""
+        now = self._db.clock.now_ms
+        for run in report.runs:
+            if not run.failed:
+                if self._quarantine.record_success(run.feature):
+                    self._events.log(
+                        now,
+                        EventKind.QUARANTINE,
+                        f"feature {run.feature!r} recovered: "
+                        "quarantine closed after probation success",
+                        feature=run.feature,
+                        state="closed",
+                    )
+                continue
+            self._events.log(
+                now,
+                EventKind.FAULT,
+                f"feature {run.feature!r} application failed: {run.failure}",
+                feature=run.feature,
+                action=run.report.failed_action,
+                retries=run.report.retries,
+            )
+            self._events.log(
+                now,
+                EventKind.ROLLBACK,
+                f"rolled back {run.report.rollback_actions} actions of "
+                f"feature {run.feature!r}",
+                feature=run.feature,
+                actions=run.report.rollback_actions,
+                work_ms=run.report.rollback_work_ms,
+            )
+            if self._quarantine.record_failure(run.feature, now):
+                self._events.log(
+                    now,
+                    EventKind.QUARANTINE,
+                    f"feature {run.feature!r} quarantined after "
+                    f"{self._quarantine.consecutive_failures(run.feature)} "
+                    "consecutive failures",
+                    feature=run.feature,
+                    state="opened",
+                    probation_ms=self._config.quarantine_probation_ms,
+                )
+
     def run_tuning(
         self, decision: TriggerDecision | None = None
     ) -> OrganizerRunReport | None:
@@ -313,14 +411,28 @@ class Organizer:
                 )
                 pass_span.tag(skipped="time budget admits no feature")
                 return None
+            subset, quarantined = self._admit_features(subset)
+            if not subset:
+                self._events.log(
+                    self._db.clock.now_ms,
+                    EventKind.SKIP,
+                    "tuning skipped: all features quarantined",
+                    quarantined=list(quarantined),
+                )
+                pass_span.tag(skipped="all features quarantined")
+                return None
             self._runs_since_refresh += 1
 
             report = self._planner.run(
                 forecast, order=subset, executor=self._executor
             )
             self._last_tuning_ms = self._db.clock.now_ms
+            self._record_run_outcomes(report)
 
-            predicted = sum(r.result.predicted_benefit_ms for r in report.runs)
+            # failed runs were rolled back: they contribute no actions,
+            # no predicted benefit, and no feedback training pairs
+            ok_runs = [r for r in report.runs if not r.failed]
+            predicted = sum(r.result.predicted_benefit_ms for r in ok_runs)
             measured = report.initial_cost_ms - report.final_cost_ms
             record = ConfigurationRecord(
                 instance=ConfigurationInstance.capture(self._db),
@@ -329,7 +441,7 @@ class Organizer:
                 feature=None,
                 action_summaries=[
                     summary
-                    for r in report.runs
+                    for r in ok_runs
                     for summary in r.report.action_summaries
                 ],
                 predicted_benefit_ms=predicted,
@@ -339,7 +451,7 @@ class Organizer:
             record_id = self._store.append(record)
             # also store one record per feature so per-feature feedback
             # learning (LearnedFeedbackAssessor) has training pairs
-            for r in report.runs:
+            for r in ok_runs:
                 self._store.append(
                     ConfigurationRecord(
                         instance=record.instance,
@@ -361,6 +473,8 @@ class Organizer:
                 cache_hits=cache_hits,
                 cache_misses=cache_misses,
             )
+            if report.failed_features:
+                pass_span.tag(failed_features=len(report.failed_features))
             self._events.log(
                 self._db.clock.now_ms,
                 EventKind.TUNING_FINISHED,
@@ -385,4 +499,5 @@ class Organizer:
             record_id=record_id,
             tuned_features=subset,
             skipped_features=skipped,
+            quarantined_features=quarantined,
         )

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.configuration.delta import ConfigurationDelta
 from repro.cost.base import CostEstimator
@@ -38,6 +38,9 @@ from repro.kpi.metrics import (
 )
 from repro.telemetry.metrics import MetricRegistry
 from repro.workload.query import Query
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 #: Default bound on cached ``(config_epoch, query)`` cost entries.
 DEFAULT_CACHE_SIZE = 4096
@@ -77,6 +80,7 @@ class WhatIfOptimizer:
         estimator: CostEstimator | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         registry: MetricRegistry | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         """With ``estimator=None`` costs are *measured* by probe-mode
         execution against real data (exact in the simulator); otherwise the
@@ -90,11 +94,16 @@ class WhatIfOptimizer:
         (the driver passes its shared one); without it the optimizer keeps
         a private registry and can be surfaced later via
         :meth:`bind_registry`.
+
+        ``injector`` perturbs measured probe costs with seeded latency
+        spikes (see :meth:`FaultInjector.probe_spike_ms`), modelling the
+        measurement noise of what-if probing on a loaded system.
         """
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         self._db = database
         self._estimator = estimator
+        self._injector = injector
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple[int, Query], float] = OrderedDict()
         self._registry = registry if registry is not None else MetricRegistry()
@@ -179,6 +188,10 @@ class WhatIfOptimizer:
         table = self._db.table(query.table)
         result = self._db.executor.execute(query, table, probe=True)
         cost = result.report.elapsed_ms
+        if self._injector is not None:
+            # a spiked probe caches the spiked cost — exactly what a
+            # noisy measurement would do on a production system
+            cost += self._injector.probe_spike_ms()
         if self._cache_size > 0:
             self._cache[key] = cost
             if len(self._cache) > self._cache_size:
@@ -237,7 +250,16 @@ class WhatIfOptimizer:
         pool = self._db.executor.buffer_pool
         saved_epoch = self._db.config_epoch
         saved_pool = (pool.entry_count, pool.used_bytes)
-        inverse = delta.apply_raw(self._db)
+        try:
+            inverse = delta.apply_raw(self._db)
+        except Exception:
+            # delta.apply_raw undid its own partial prefix; fix the epoch
+            # the same way a normal exit would
+            if (pool.entry_count, pool.used_bytes) == saved_pool:
+                self._db.restore_config_epoch(saved_epoch)
+            else:
+                self._db.bump_config_epoch()
+            raise
         try:
             yield self
         finally:

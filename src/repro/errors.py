@@ -69,6 +69,56 @@ class TuningError(ReproError):
     """A tuner pipeline stage failed."""
 
 
+class ActionError(TuningError):
+    """A configuration action failed to apply.
+
+    Carries the fault class the recovery machinery keys on: *transient*
+    failures (lock timeouts, resource spikes) are worth retrying with
+    backoff, *permanent* ones (out of memory, corrupted structure) are
+    not and force a rollback of the surrounding pass.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        action: str | None = None,
+        transient: bool = False,
+    ) -> None:
+        super().__init__(message)
+        #: description of the failing action, when known
+        self.action = action
+        #: True for failures that may succeed on retry
+        self.transient = transient
+
+
+class TuningAbortedError(TuningError):
+    """A tuning application failed mid-pass and was rolled back.
+
+    Raised by the failure-aware tuning executors after they restored the
+    pre-pass configuration. Carries the :class:`~repro.tuning.executors
+    .base.ApplicationReport` of the aborted pass (what was applied, what
+    was rolled back, retries spent) so callers can account for the wasted
+    work; the tuner additionally attaches the proposed
+    ``TuningResult`` and feature name on the way up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        report: object | None = None,
+        cause: ActionError | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: the executor's ApplicationReport of the aborted application
+        self.report = report
+        #: the ActionError that triggered the abort
+        self.cause = cause
+        #: feature being tuned (attached by Tuner.apply)
+        self.feature: str | None = None
+        #: the proposed TuningResult (attached by Tuner.apply)
+        self.result: object | None = None
+
+
 class SelectionError(TuningError):
     """A selector could not produce a feasible selection."""
 

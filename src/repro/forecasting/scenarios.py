@@ -108,7 +108,11 @@ def reduce_templates(forecast: Forecast, max_templates: int) -> Forecast:
     … can mitigate this problem in exchange for possibly less accuracy."
     Templates are ranked by probability-weighted frequency mass; the kept
     templates' frequencies are rescaled so each scenario's total execution
-    mass is preserved (the reduced workload represents the full one).
+    mass is preserved (the reduced workload represents the full one). A
+    scenario whose mass falls entirely on dropped templates keeps its
+    total too: its executions are redistributed over the kept templates
+    proportionally to their global mass (uniformly if that is zero), so
+    no scenario silently becomes empty.
     """
     if max_templates < 1:
         raise ForecastError("max_templates must be at least 1")
@@ -118,6 +122,7 @@ def reduce_templates(forecast: Forecast, max_templates: int) -> Forecast:
     )
     if len(mass) <= max_templates:
         return forecast
+    kept_mass_total = sum(mass[key] for key in keep)
     scenarios = []
     for scenario in forecast.scenarios:
         total = scenario.total_executions
@@ -127,12 +132,25 @@ def reduce_templates(forecast: Forecast, max_templates: int) -> Forecast:
             if key in keep
         }
         kept_total = sum(kept.values())
-        scale = total / kept_total if kept_total > 0 else 1.0
+        if kept_total > 0:
+            scale = total / kept_total
+            reduced = {key: frequency * scale for key, frequency in kept.items()}
+        elif total > 0:
+            # every frequency of this scenario fell on dropped templates;
+            # spread its mass over the kept ones instead of losing it
+            if kept_mass_total > 0:
+                reduced = {
+                    key: total * mass[key] / kept_mass_total for key in keep
+                }
+            else:
+                reduced = {key: total / len(keep) for key in keep}
+        else:
+            reduced = {}
         scenarios.append(
             WorkloadScenario(
                 scenario.name,
                 scenario.probability,
-                {key: frequency * scale for key, frequency in kept.items()},
+                reduced,
             )
         )
     return Forecast(

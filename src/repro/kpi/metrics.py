@@ -29,6 +29,38 @@ WHATIF_CACHE_EVICTIONS = "whatif_cache_evictions"
 WHATIF_CACHE_HIT_RATE = "whatif_cache_hit_rate"
 WHATIF_CACHE_SIZE = "whatif_cache_size"
 
+# fault/recovery counters (tuning-loop robustness; see repro.faults and
+# docs/robustness.md). The injector owns the faults_* names, the
+# failure-aware executors the action_*/rollback* names, and the
+# organizer's feature quarantine the quarantine_* names. All live in the
+# shared telemetry MetricRegistry, so `python -m repro trace` and the
+# organizer's per-pass interval reads see them without bespoke wiring.
+FAULTS_INJECTED = "faults_injected"
+FAULTS_TRANSIENT = "faults_transient"
+FAULTS_PERMANENT = "faults_permanent"
+FAULT_LATENCY_SPIKES = "fault_latency_spikes"
+FAULT_PROBE_SPIKES = "fault_probe_spikes"
+ACTION_RETRIES = "action_retries"
+ACTION_FAILURES = "action_failures"
+ROLLBACKS = "rollbacks"
+ROLLBACK_ACTIONS = "rollback_actions"
+QUARANTINE_OPENED = "quarantine_opened"
+QUARANTINE_CLOSED = "quarantine_closed"
+
+FAULT_KPIS = (
+    FAULTS_INJECTED,
+    FAULTS_TRANSIENT,
+    FAULTS_PERMANENT,
+    FAULT_LATENCY_SPIKES,
+    FAULT_PROBE_SPIKES,
+    ACTION_RETRIES,
+    ACTION_FAILURES,
+    ROLLBACKS,
+    ROLLBACK_ACTIONS,
+    QUARANTINE_OPENED,
+    QUARANTINE_CLOSED,
+)
+
 # system-specific KPIs (simulated hardware view)
 CPU_UTILIZATION = "cpu_utilization"
 MEMORY_UTILIZATION = "memory_utilization"

@@ -30,6 +30,11 @@ from repro.errors import OrderingError
 from repro.forecasting.scenarios import Forecast
 from repro.tuning.tuner import Tuner
 
+#: Stand-in ratio when one ordering drives the pair cost to zero: the
+#: true ratio would be infinite (or 1/∞), so a large finite value keeps
+#: the LP bounded while preserving reciprocity d(a,b) · d(b,a) = 1.
+MAX_DEPENDENCE_RATIO = 1e6
+
 
 @dataclass(frozen=True)
 class DependenceMatrix:
@@ -47,13 +52,21 @@ class DependenceMatrix:
     def d(self, a: str, b: str) -> float:
         """Dependence ratio d_{A,B} = W_{B,A} / W_{A,B} (>1 ⇒ A first).
 
-        A zero pair cost means the workload is empty (or fully optimized
-        away); the order is then indifferent and the ratio is 1.
+        Degenerate pair costs keep the ratio consistent and reciprocal
+        (d(a,b) · d(b,a) = 1 always): when both orderings drive the cost
+        to zero, the order is indifferent (1); when only ``A, B`` does,
+        tuning A first is maximally preferable
+        (:data:`MAX_DEPENDENCE_RATIO`); when only ``B, A`` does, the
+        reverse (its reciprocal).
         """
         w_ab = self.w_pair[(a, b)]
         w_ba = self.w_pair[(b, a)]
-        if w_ab <= 0:
+        if w_ab <= 0 and w_ba <= 0:
             return 1.0
+        if w_ab <= 0:
+            return MAX_DEPENDENCE_RATIO
+        if w_ba <= 0:
+            return 1.0 / MAX_DEPENDENCE_RATIO
         return w_ba / w_ab
 
     def impact(self, a: str) -> float:
@@ -64,11 +77,19 @@ class DependenceMatrix:
         return self.w_empty / self.w_single[a]
 
     def objective_coefficient(self, a: str, b: str) -> float:
-        """The LP objective weight of y_{A,B}: d_{A,B} · W_∅ / W_{A,B};
-        zero when the pair cost vanishes (no gain to order for)."""
+        """The LP objective weight of y_{A,B}: d_{A,B} · W_∅ / W_{A,B}.
+
+        Aligned with :meth:`d` in the degenerate cases: zero when both
+        pair costs vanish (no gain to order for), and the capped ratio
+        itself when only ``W_{A,B}`` does (the ``W_∅ / W_{A,B}`` factor
+        would diverge the same way, so the cap absorbs it).
+        """
         w_ab = self.w_pair[(a, b)]
-        if w_ab <= 0:
+        w_ba = self.w_pair[(b, a)]
+        if w_ab <= 0 and w_ba <= 0:
             return 0.0
+        if w_ab <= 0:
+            return MAX_DEPENDENCE_RATIO
         return self.d(a, b) * self.w_empty / w_ab
 
     def ordered_pairs(self) -> list[tuple[str, str]]:

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.configuration.constraints import ConstraintSet
 from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.database import Database
-from repro.errors import OrderingError
+from repro.errors import OrderingError, TuningAbortedError
 from repro.forecasting.scenarios import Forecast
 from repro.ordering.dependence import DependenceAnalyzer, DependenceMatrix
 from repro.ordering.lp import LPOrderOptimizer, OrderingSolution
@@ -33,6 +33,10 @@ class FeatureRunRecord:
     report: ApplicationReport
     cost_before_ms: float
     cost_after_ms: float
+    #: True when the application failed permanently and was rolled back
+    failed: bool = False
+    #: failure message of the aborting error, when failed
+    failure: str | None = None
 
 
 @dataclass
@@ -56,6 +60,11 @@ class RecursiveTuningReport:
     @property
     def total_reconfiguration_ms(self) -> float:
         return sum(run.report.total_work_ms for run in self.runs)
+
+    @property
+    def failed_features(self) -> tuple[str, ...]:
+        """Features whose application was rolled back this pass."""
+        return tuple(run.feature for run in self.runs if run.failed)
 
 
 class RecursiveTuningPlanner:
@@ -128,18 +137,31 @@ class RecursiveTuningPlanner:
         current = initial
         for name in order:
             tuner = self._tuners[name]
-            with self._tracer.span("feature", name=name) as span:
-                result, report = tuner.tune(
-                    forecast, self._constraints, executor
-                )
+            failed = False
+            failure: str | None = None
+            try:
+                with self._tracer.span("feature", name=name) as span:
+                    result, report = tuner.tune(
+                        forecast, self._constraints, executor
+                    )
+                    after = self._optimizer.scenario_cost_ms(
+                        forecast.expected, sample_queries
+                    )
+                    span.tag(
+                        candidates=result.candidate_count,
+                        chosen=len(result.chosen),
+                        cost_before_ms=round(current, 3),
+                        cost_after_ms=round(after, 3),
+                    )
+            except TuningAbortedError as exc:
+                # the executor rolled the pass back; record the aborted
+                # run and continue with the remaining features
+                failed = True
+                failure = str(exc)
+                result = exc.result  # type: ignore[assignment]
+                report = exc.report  # type: ignore[assignment]
                 after = self._optimizer.scenario_cost_ms(
                     forecast.expected, sample_queries
-                )
-                span.tag(
-                    candidates=result.candidate_count,
-                    chosen=len(result.chosen),
-                    cost_before_ms=round(current, 3),
-                    cost_after_ms=round(after, 3),
                 )
             runs.append(
                 FeatureRunRecord(
@@ -148,6 +170,8 @@ class RecursiveTuningPlanner:
                     report=report,
                     cost_before_ms=current,
                     cost_after_ms=after,
+                    failed=failed,
+                    failure=failure,
                 )
             )
             current = after

@@ -2,17 +2,22 @@
 
 The delta order is already cost-aware (drops before creates, encodings
 before index builds), so sequential application is the safe default.
+Each action runs through the shared failure machinery of
+:class:`~repro.tuning.executors.base.TuningExecutor`: transient faults
+retry with backoff, a permanent fault rolls back every action applied
+so far before the abort propagates.
 """
 
 from __future__ import annotations
 
+from repro.configuration.actions import Action
 from repro.configuration.delta import ConfigurationDelta
 from repro.dbms.database import Database
 from repro.tuning.executors.base import ApplicationReport, TuningExecutor
 
 
 class SequentialExecutor(TuningExecutor):
-    """Applies actions one after another through the accounted path."""
+    """Applies actions one after another, accounting each as it lands."""
 
     name = "sequential"
 
@@ -20,8 +25,17 @@ class SequentialExecutor(TuningExecutor):
         report = ApplicationReport(
             strategy=self.name, started_ms=db.clock.now_ms
         )
+        saved = self._snapshot(db)
+        inverse_stack: list[Action] = []
         for action in delta.actions:
-            cost = action.apply(db)
+            try:
+                cost, inverse = self._apply_action(action, db, report)
+            except Exception as exc:
+                self._abort(db, inverse_stack, saved, report, action, exc)
+            inverse_stack.extend(inverse)
+            db.clock.advance(cost)
+            db.counters.reconfigurations += 1
+            db.counters.total_reconfiguration_ms += cost
             report.action_summaries.append(action.describe())
             report.action_costs_ms.append(cost)
         report.finished_ms = db.clock.now_ms

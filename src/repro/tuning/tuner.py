@@ -16,6 +16,7 @@ from repro.configuration.constraints import ConstraintSet
 from repro.configuration.delta import ConfigurationDelta
 from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.database import Database
+from repro.errors import TuningAbortedError
 from repro.forecasting.scenarios import Forecast
 from repro.telemetry import Telemetry, Tracer
 from repro.tuning.assessment import Assessment
@@ -177,10 +178,21 @@ class Tuner:
         result: TuningResult,
         executor: TuningExecutor | None = None,
     ) -> ApplicationReport:
-        """Apply a proposed result through a tuning executor."""
+        """Apply a proposed result through a tuning executor.
+
+        On a permanent action failure the executor rolls the pass back
+        and raises :class:`~repro.errors.TuningAbortedError`; the tuner
+        attaches the feature name and the proposed result so callers
+        (planner, organizer) can account for the aborted pass.
+        """
         executor = executor or SequentialExecutor()
         with self._tracer.span("execute", executor=executor.name) as span:
-            report = executor.execute(result.delta, self._db)
+            try:
+                report = executor.execute(result.delta, self._db)
+            except TuningAbortedError as exc:
+                exc.feature = self.feature_name
+                exc.result = result
+                raise
             span.tag(
                 actions=len(result.delta.actions),
                 work_ms=round(report.total_work_ms, 3),

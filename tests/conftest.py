@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.dbms import Database, DataType, TableSchema
+from repro.errors import ActionError
 from repro.forecasting.scenarios import (
     EXPECTED_SCENARIO,
     WORST_CASE_SCENARIO,
@@ -70,6 +71,32 @@ def make_forecast(
         bin_duration_ms=60_000.0,
         sample_queries=sample_queries,
     )
+
+
+class ScriptedInjector:
+    """Duck-typed fault injector failing per a fixed outcome script.
+
+    Each ``before_apply`` call consumes the next outcome: ``"ok"``,
+    ``"transient"``, or ``"permanent"``; an exhausted script means "ok".
+    """
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+
+    def before_apply(self, action):
+        outcome = self.outcomes.pop(0) if self.outcomes else "ok"
+        if outcome == "transient":
+            raise ActionError(
+                "scripted transient", action=action.describe(), transient=True
+            )
+        if outcome == "permanent":
+            raise ActionError(
+                "scripted permanent", action=action.describe(), transient=False
+            )
+        return 0.0
+
+    def probe_spike_ms(self):
+        return 0.0
 
 
 @pytest.fixture

@@ -1,0 +1,188 @@
+"""Organizer-level graceful degradation: faults, rollback, quarantine."""
+
+from repro.configuration.config import ConfigurationInstance
+from repro.configuration.constraints import (
+    INDEX_MEMORY,
+    ConstraintSet,
+    ResourceBudget,
+)
+from repro.core.driver import Driver, DriverConfig
+from repro.core.events import EventKind
+from repro.core.organizer import Organizer, OrganizerConfig
+from repro.core.triggers import NeverTrigger
+from repro.errors import ActionError
+from repro.faults import FaultConfig, QuarantineState
+from repro.forecasting.analyzer import WorkloadAnalyzer
+from repro.forecasting.models import NaiveLastValue
+from repro.forecasting.predictor import WorkloadPredictor
+from repro.kpi.metrics import ROLLBACKS
+from repro.tuning.executors import SequentialExecutor
+from repro.tuning.features import IndexSelectionFeature
+from repro.tuning.tuner import Tuner
+from repro.util.units import MIB
+
+PROBATION_MS = 5_000.0
+
+
+class SwitchableInjector:
+    """Fails every application permanently while ``failing`` is True."""
+
+    def __init__(self):
+        self.failing = True
+
+    def before_apply(self, action):
+        if self.failing:
+            raise ActionError(
+                "switched-on permanent fault",
+                action=action.describe(),
+                transient=False,
+            )
+        return 0.0
+
+    def probe_spike_ms(self):
+        return 0.0
+
+
+def _organizer(retail_suite, injector):
+    db = retail_suite.database
+    predictor = WorkloadPredictor(db, WorkloadAnalyzer(NaiveLastValue))
+    for i in range(4):
+        for q in retail_suite.mix.sample_queries(25, seed=100 + i):
+            db.execute(q)
+        predictor.observe()
+    organizer = Organizer(
+        db,
+        predictor,
+        [Tuner(IndexSelectionFeature(), db)],
+        constraints=ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)]),
+        config=OrganizerConfig(
+            horizon_bins=3,
+            min_history_bins=3,
+            quarantine_after=2,
+            quarantine_probation_ms=PROBATION_MS,
+        ),
+        executor=SequentialExecutor(injector=injector),
+    )
+    return db, organizer
+
+
+def test_failed_pass_rolls_back_and_logs_events(retail_suite):
+    injector = SwitchableInjector()
+    db, organizer = _organizer(retail_suite, injector)
+    before = ConfigurationInstance.capture(db)
+    report = organizer.run_tuning()
+    assert report is not None
+    assert report.tuning.failed_features == ("index_selection",)
+    # the rollback left the configuration untouched
+    assert ConfigurationInstance.capture(db) == before
+    assert db.index_bytes() == 0
+    kinds = [e.kind for e in organizer.events.events()]
+    assert EventKind.FAULT in kinds
+    assert EventKind.ROLLBACK in kinds
+    fault = organizer.events.latest(EventKind.FAULT)
+    assert fault.data["feature"] == "index_selection"
+    assert fault.data["action"] is not None
+    # a failed feature contributes nothing to the aggregate record
+    overall = organizer.store.history()[0]
+    assert overall.action_summaries == []
+    assert overall.predicted_benefit_ms == 0.0
+    # and no per-feature feedback record is stored
+    assert len(organizer.store) == 1
+
+
+def test_quarantine_opens_after_threshold_and_blocks(retail_suite):
+    injector = SwitchableInjector()
+    db, organizer = _organizer(retail_suite, injector)
+    organizer.run_tuning()
+    assert organizer.quarantine.state("index_selection") is (
+        QuarantineState.CLOSED
+    )
+    organizer.run_tuning()  # second consecutive failure opens (threshold 2)
+    assert organizer.quarantine.state("index_selection") is QuarantineState.OPEN
+    opened = [
+        e
+        for e in organizer.events.events(EventKind.QUARANTINE)
+        if e.data.get("state") == "opened"
+    ]
+    assert len(opened) == 1
+    # while quarantined, the pass skips entirely
+    assert organizer.run_tuning() is None
+    skip = organizer.events.latest(EventKind.SKIP)
+    assert "quarantined" in skip.message
+    blocked = [
+        e
+        for e in organizer.events.events(EventKind.QUARANTINE)
+        if e.data.get("state") == "quarantined"
+    ]
+    assert blocked and blocked[-1].data["remaining_ms"] > 0
+
+
+def test_probation_readmits_and_success_closes(retail_suite):
+    injector = SwitchableInjector()
+    db, organizer = _organizer(retail_suite, injector)
+    organizer.run_tuning()
+    organizer.run_tuning()  # opens
+    db.clock.advance(PROBATION_MS)
+    injector.failing = False  # the fault condition cleared
+    report = organizer.run_tuning()
+    assert report is not None
+    assert report.tuning.failed_features == ()
+    assert db.index_bytes() > 0
+    states = [
+        e.data.get("state")
+        for e in organizer.events.events(EventKind.QUARANTINE)
+    ]
+    assert "probation" in states
+    assert "closed" in states
+    assert organizer.quarantine.state("index_selection") is (
+        QuarantineState.CLOSED
+    )
+
+
+def test_probation_failure_reopens(retail_suite):
+    injector = SwitchableInjector()
+    db, organizer = _organizer(retail_suite, injector)
+    organizer.run_tuning()
+    organizer.run_tuning()  # opens
+    db.clock.advance(PROBATION_MS)
+    report = organizer.run_tuning()  # probation attempt, still failing
+    assert report is not None
+    assert report.tuning.failed_features == ("index_selection",)
+    assert organizer.quarantine.state("index_selection") is QuarantineState.OPEN
+    opened = [
+        e
+        for e in organizer.events.events(EventKind.QUARANTINE)
+        if e.data.get("state") == "opened"
+    ]
+    assert len(opened) == 2
+
+
+def test_driver_wires_fault_injection_end_to_end(retail_suite):
+    db = retail_suite.database
+    driver = Driver(
+        [IndexSelectionFeature()],
+        constraints=ConstraintSet([ResourceBudget(INDEX_MEMORY, 1 * MIB)]),
+        triggers=[NeverTrigger()],
+        config=DriverConfig(
+            organizer=OrganizerConfig(horizon_bins=2, min_history_bins=2),
+            faults=FaultConfig(
+                seed=9, failure_rate=1.0, transient_fraction=0.0
+            ),
+        ),
+    )
+    db.plugin_host.attach(driver)
+    for i in range(3):
+        for q in retail_suite.mix.sample_queries(15, seed=50 + i):
+            db.execute(q)
+        db.plugin_host.tick(db.clock.now_ms)
+    before = ConfigurationInstance.capture(db)
+    report = driver.tune_now()
+    assert report is not None
+    assert report.tuning.failed_features == ("index_selection",)
+    assert ConfigurationInstance.capture(db) == before
+    # fault and rollback counters surface through the shared registry
+    snap = driver.telemetry.registry.snapshot()
+    assert snap["faults_injected"] >= 1
+    assert snap[ROLLBACKS] == 1
+    assert driver.events.events(EventKind.FAULT)
+    assert driver.events.events(EventKind.ROLLBACK)

@@ -1,0 +1,87 @@
+"""Tests for the per-feature quarantine circuit breaker."""
+
+import pytest
+
+from repro.faults import Admission, FeatureQuarantine, QuarantineState
+from repro.kpi.metrics import QUARANTINE_CLOSED, QUARANTINE_OPENED
+from repro.telemetry.metrics import MetricRegistry
+
+
+def test_opens_after_k_consecutive_failures():
+    q = FeatureQuarantine(threshold=3, probation_ms=1000.0)
+    assert not q.record_failure("idx", 0.0)
+    assert not q.record_failure("idx", 1.0)
+    assert q.state("idx") is QuarantineState.CLOSED
+    assert q.record_failure("idx", 2.0)  # third failure opens
+    assert q.state("idx") is QuarantineState.OPEN
+    assert q.admit("idx", 3.0) is Admission.QUARANTINED
+    assert q.quarantined_features() == ("idx",)
+
+
+def test_success_resets_the_failure_streak():
+    q = FeatureQuarantine(threshold=2)
+    q.record_failure("idx", 0.0)
+    q.record_success("idx")
+    assert not q.record_failure("idx", 1.0)  # streak restarted
+    assert q.state("idx") is QuarantineState.CLOSED
+    assert q.consecutive_failures("idx") == 1
+
+
+def test_probation_after_window_then_close_on_success():
+    q = FeatureQuarantine(threshold=1, probation_ms=1000.0)
+    q.record_failure("idx", 0.0)
+    assert q.admit("idx", 500.0) is Admission.QUARANTINED
+    assert q.remaining_ms("idx", 500.0) == 500.0
+    assert q.admit("idx", 1000.0) is Admission.PROBATION
+    assert q.state("idx") is QuarantineState.HALF_OPEN
+    assert q.record_success("idx")  # closed from probation
+    assert q.state("idx") is QuarantineState.CLOSED
+    assert q.admit("idx", 1001.0) is Admission.ADMITTED
+
+
+def test_probation_failure_reopens_immediately():
+    q = FeatureQuarantine(threshold=3, probation_ms=1000.0)
+    for i in range(3):
+        q.record_failure("idx", float(i))
+    assert q.admit("idx", 2000.0) is Admission.PROBATION
+    # one failure on probation re-opens, regardless of the threshold
+    assert q.record_failure("idx", 2000.0)
+    assert q.state("idx") is QuarantineState.OPEN
+    assert q.remaining_ms("idx", 2000.0) == 1000.0
+
+
+def test_features_are_independent():
+    q = FeatureQuarantine(threshold=1)
+    q.record_failure("idx", 0.0)
+    assert q.admit("idx", 0.0) is Admission.QUARANTINED
+    assert q.admit("compression", 0.0) is Admission.ADMITTED
+    assert q.state("compression") is QuarantineState.CLOSED
+
+
+def test_counters_track_open_and_close():
+    registry = MetricRegistry()
+    q = FeatureQuarantine(threshold=1, probation_ms=100.0, registry=registry)
+    q.record_failure("idx", 0.0)
+    q.admit("idx", 100.0)
+    q.record_success("idx")
+    q.record_failure("idx", 200.0)
+    snap = registry.snapshot()
+    assert snap[QUARANTINE_OPENED] == 2
+    assert snap[QUARANTINE_CLOSED] == 1
+
+
+def test_snapshot_view():
+    q = FeatureQuarantine(threshold=1, probation_ms=100.0)
+    q.record_failure("idx", 42.0)
+    snap = q.snapshot()
+    assert snap["idx"]["state"] == "open"
+    assert snap["idx"]["consecutive_failures"] == 1
+    assert snap["idx"]["opened_at_ms"] == 42.0
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"threshold": 0}, {"probation_ms": -1.0}]
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        FeatureQuarantine(**kwargs)

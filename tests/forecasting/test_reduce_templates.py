@@ -39,6 +39,43 @@ def test_preserves_total_execution_mass():
         )
 
 
+def test_scenario_outside_kept_set_keeps_its_mass():
+    """A scenario whose frequencies all fall on dropped templates must not
+    silently end up with zero executions (the old bug)."""
+    forecast = Forecast(
+        scenarios=(
+            WorkloadScenario("expected", 0.7, {"a": 100.0, "b": 90.0, "c": 1.0}),
+            WorkloadScenario("night", 0.3, {"c": 50.0}),
+        ),
+        horizon_bins=4,
+        bin_duration_ms=1000.0,
+        sample_queries={},
+    )
+    reduced = reduce_templates(forecast, max_templates=2)
+    # a and b carry the most probability-weighted mass; c is dropped
+    assert set(reduced.expected.frequencies) == {"a", "b"}
+    night = reduced.scenario("night")
+    # the night scenario's 50 executions are redistributed, not lost
+    assert night.total_executions == pytest.approx(50.0)
+    assert set(night.frequencies) == {"a", "b"}
+    # redistribution follows the global mass ratio (70 vs 63)
+    assert night.frequencies["a"] > night.frequencies["b"] > 0
+
+
+def test_empty_scenario_stays_empty():
+    forecast = Forecast(
+        scenarios=(
+            WorkloadScenario("expected", 0.5, {"a": 10.0, "b": 5.0, "c": 1.0}),
+            WorkloadScenario("idle", 0.5, {}),
+        ),
+        horizon_bins=4,
+        bin_duration_ms=1000.0,
+        sample_queries={},
+    )
+    reduced = reduce_templates(forecast, max_templates=2)
+    assert reduced.scenario("idle").total_executions == 0.0
+
+
 def test_noop_when_already_small():
     original = _forecast(n_templates=2)
     assert reduce_templates(original, max_templates=5) is original

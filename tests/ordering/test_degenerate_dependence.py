@@ -1,0 +1,74 @@
+"""Degenerate dependence ratios: zero pair costs must stay consistent.
+
+The old behaviour returned 1.0 for ``d(a, b)`` when ``W_{A,B} <= 0`` but
+``w_ba / 0 -> ZeroDivisionError`` (or a huge value) for the reverse pair,
+breaking the reciprocity invariant d(a,b) · d(b,a) = 1 the LP relies on.
+"""
+
+import pytest
+
+from repro.ordering.dependence import (
+    MAX_DEPENDENCE_RATIO,
+    DependenceMatrix,
+    ordering_objective,
+)
+
+
+def _matrix(w_ab: float, w_ba: float, w_empty: float = 100.0) -> DependenceMatrix:
+    return DependenceMatrix(
+        features=("a", "b"),
+        w_empty=w_empty,
+        w_single={"a": 50.0, "b": 60.0},
+        w_pair={("a", "b"): w_ab, ("b", "a"): w_ba},
+        tuning_cost_ms={"a": 1.0, "b": 1.0},
+    )
+
+
+def test_zero_forward_cost_yields_max_ratio():
+    matrix = _matrix(w_ab=0.0, w_ba=5.0)
+    assert matrix.d("a", "b") == MAX_DEPENDENCE_RATIO
+    assert matrix.d("b", "a") == 1.0 / MAX_DEPENDENCE_RATIO
+
+
+@pytest.mark.parametrize(
+    ("w_ab", "w_ba"),
+    [(0.0, 5.0), (5.0, 0.0), (0.0, 0.0), (3.0, 7.0)],
+)
+def test_reciprocity_holds_in_all_cases(w_ab, w_ba):
+    matrix = _matrix(w_ab=w_ab, w_ba=w_ba)
+    assert matrix.d("a", "b") * matrix.d("b", "a") == pytest.approx(1.0)
+
+
+def test_both_zero_means_order_indifferent():
+    matrix = _matrix(w_ab=0.0, w_ba=0.0)
+    assert matrix.d("a", "b") == 1.0
+    assert matrix.d("b", "a") == 1.0
+    # no gain to order for, so the objective contributes nothing
+    assert matrix.objective_coefficient("a", "b") == 0.0
+    assert matrix.objective_coefficient("b", "a") == 0.0
+
+
+def test_objective_coefficient_aligns_with_capped_ratio():
+    matrix = _matrix(w_ab=0.0, w_ba=5.0)
+    # the coefficient's W_∅ / W_{A,B} factor would diverge identically,
+    # so the cap absorbs it instead of multiplying infinities
+    assert matrix.objective_coefficient("a", "b") == MAX_DEPENDENCE_RATIO
+    # the reverse direction is a regular finite value
+    assert matrix.objective_coefficient("b", "a") == pytest.approx(
+        matrix.d("b", "a") * matrix.w_empty / 5.0
+    )
+
+
+def test_ordering_objective_prefers_the_zero_cost_direction():
+    matrix = _matrix(w_ab=0.0, w_ba=5.0)
+    assert ordering_objective(matrix, ("a", "b")) > ordering_objective(
+        matrix, ("b", "a")
+    )
+
+
+def test_positive_costs_unchanged_by_the_fix():
+    matrix = _matrix(w_ab=4.0, w_ba=10.0)
+    assert matrix.d("a", "b") == pytest.approx(2.5)
+    assert matrix.objective_coefficient("a", "b") == pytest.approx(
+        2.5 * 100.0 / 4.0
+    )
