@@ -69,6 +69,7 @@ from repro.ordering import (
     LPOrderOptimizer,
     RecursiveTuningPlanner,
 )
+from repro.plan import PhysicalPlan, PlanStep, QueryPlanner, StepKind
 from repro.telemetry import (
     MetricRegistry,
     Telemetry,
@@ -104,12 +105,16 @@ __all__ = [
     "Organizer",
     "OrganizerConfig",
     "PhysicalCostModel",
+    "PhysicalPlan",
+    "PlanStep",
     "Predicate",
     "Query",
+    "QueryPlanner",
     "RecursiveTuningPlanner",
     "ResourceBudget",
     "RetryPolicy",
     "SlaConstraint",
+    "StepKind",
     "StorageTier",
     "TableSchema",
     "Telemetry",

@@ -249,6 +249,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         else "sampling off"
     )
     print(f"\nsampled query spans: {sampled} of {total} queries ({rate})")
+
+    stats = db.planner.cache_stats
+    print(
+        f"compiled-plan cache: {stats.hits} hits, {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate), {stats.size} plans cached "
+        f"at plan epoch {db.plan_epoch}"
+    )
     if args.jsonl:
         driver.telemetry.close()
         print(f"telemetry records exported to {args.jsonl}")

@@ -175,6 +175,11 @@ class Driver(Plugin):
         )
         # sampled per-query spans + exec work counters from the executor
         database.executor.bind_telemetry(self.telemetry)
+        if self.telemetry.enabled:
+            # compiled-plan compile/cache counters from the shared planner
+            database.planner.bind_registry(
+                self.telemetry.registry, replace=True
+            )
         self.events.log(
             database.clock.now_ms,
             EventKind.OBSERVE,

@@ -104,6 +104,10 @@ def run_design_exploration(
             if already_indexed:
                 continue
             created = table.create_index([column])
+            # the index is built on the table directly (unaccounted), so
+            # the plan epoch must be bumped by hand — probes and feature
+            # extraction would otherwise run stale compiled plans
+            db.bump_plan_epoch()
             try:
                 for query in queries:
                     if query.table != table.name:
@@ -117,6 +121,7 @@ def run_design_exploration(
                 table.drop_index(
                     [column], [chunk.chunk_id for chunk in created]
                 )
+                db.bump_plan_epoch()
     if observations:
         model.refit()
     return observations

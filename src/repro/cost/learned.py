@@ -16,8 +16,8 @@ import numpy as np
 from repro.cost.base import CostEstimator
 from repro.dbms.database import Database
 from repro.dbms.knobs import SCAN_THREADS_KNOB
-from repro.dbms.operators import choose_index_plan
 from repro.dbms.storage_tiers import TIER_LATENCY_MULTIPLIER
+from repro.plan.ir import StepKind
 from repro.errors import CalibrationError
 from repro.workload.query import Query
 
@@ -77,11 +77,10 @@ class LearnedCostModel(CostEstimator):
         if not query.predicates:
             scanned = rows
         chunks = table.chunks()
-        indexed = sum(
-            1
-            for c in chunks
-            if choose_index_plan(c, list(query.predicates)) is not None
-        )
+        # the compiled plan (shared with the executor and the physical
+        # model) already knows which chunks go through an index probe
+        plan = db.planner.plan_for(query, table)
+        indexed = plan.count(StepKind.INDEX_PROBE)
         tier_mult = (
             float(
                 np.mean([TIER_LATENCY_MULTIPLIER[c.tier] for c in chunks])

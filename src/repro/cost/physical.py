@@ -1,11 +1,14 @@
 """The hardware-dependent (physical) cost model.
 
-Walks the same per-chunk plan choice as the executor but *estimates* row
+Prices the *same compiled plan* the executor runs — obtained from the
+shared :class:`~repro.plan.planner.QueryPlanner` — but *estimates* row
 counts from chunk statistics instead of touching data: it sees encodings,
 indexes, tiers, buffer-pool residency, and the thread knob. This is the
 "hardware-dependent cost model … necessary to ensure a maximum of
-precision" of Section II-A.d; its errors against observed runtimes come
-purely from selectivity estimation.
+precision" of Section II-A.d; because access-path choice is compiled once
+and shared, its errors against observed runtimes come purely from
+selectivity estimation, never from the model picking a different plan
+than the engine.
 """
 
 from __future__ import annotations
@@ -13,88 +16,68 @@ from __future__ import annotations
 from repro.cost.base import CostEstimator
 from repro.dbms.database import Database
 from repro.dbms.knobs import SCAN_THREADS_KNOB
-from repro.dbms.operators import (
-    _PRUNE_CHECK_UNITS,
-    choose_index_plan,
-    chunk_can_be_pruned,
-)
-from repro.dbms.storage_tiers import StorageTier
+from repro.dbms.operators import _PRUNE_CHECK_UNITS
+from repro.plan.binder import resolve_tier
+from repro.plan.ir import PlanStep, StepKind
 from repro.workload.query import Query
 
 
 class PhysicalCostModel(CostEstimator):
-    """Analytic per-chunk estimation mirroring the execution engine."""
+    """Analytic pricing of compiled plans from chunk statistics."""
 
     name = "physical"
 
     def __init__(self, database: Database) -> None:
         self._db = database
 
+    def _estimate_step(
+        self, chunk, step: PlanStep
+    ) -> tuple[float, float, float]:
+        """Estimated ``(scan_units, probe_units, rows_out)`` of one step."""
+        if step.kind is StepKind.PRUNE:
+            return _PRUNE_CHECK_UNITS * step.predicate_count, 0.0, 0.0
+        scan_units = 0.0
+        probe_units = 0.0
+        if step.kind is StepKind.INDEX_PROBE:
+            live = chunk.row_count * step.estimated_selectivity
+            # bind-time index lookup: indexes are rebuilt by re-encodes and
+            # sorts, so the plan stores key columns, not index objects
+            index = chunk.index(step.index_key)
+            probe_units += index.probe_cost_units(
+                step.probed_columns, int(live)
+            )
+        else:
+            live = float(chunk.row_count)
+        for pred in step.scan_predicates:
+            segment = chunk.segment(pred.column)
+            scan_units += segment.scan_units(int(live))
+            scan_units += segment.scan_overhead_units()
+            live *= chunk.statistics(pred.column).selectivity(
+                pred.op, pred.value
+            )
+        return scan_units, probe_units, live
+
     def estimate_query_ms(self, query: Query) -> float:
         db = self._db
         table = db.table(query.table)
         hardware = db.hardware
         threads = int(db.knobs.get(SCAN_THREADS_KNOB))
+        pool = db.executor.buffer_pool
         total = hardware.overhead_ms()
         matched_total = 0.0
         output_bytes = 0.0
 
-        for chunk in table.chunks():
-            tier = chunk.tier
-            if tier is not StorageTier.DRAM and db.executor.buffer_pool.peek(
-                (table.name, chunk.chunk_id)
-            ):
-                tier = StorageTier.DRAM
-
-            if query.predicates and chunk_can_be_pruned(
-                chunk, list(query.predicates)
-            ):
-                total += hardware.scan_ms(
-                    _PRUNE_CHECK_UNITS * len(query.predicates), tier, threads
-                )
-                continue
-
-            scan_units = 0.0
-            probe_units = 0.0
-            plan = choose_index_plan(chunk, list(query.predicates))
-            if plan is not None:
-                live = chunk.row_count * plan.estimated_selectivity
-                probe_units += plan.index.probe_cost_units(
-                    plan.probed_columns, int(live)
-                )
-                for pred in plan.residual:
-                    segment = chunk.segment(pred.column)
-                    scan_units += segment.scan_units(int(live))
-                    scan_units += segment.scan_overhead_units()
-                    live *= chunk.statistics(pred.column).selectivity(
-                        pred.op, pred.value
-                    )
-            else:
-                live = float(chunk.row_count)
-                for pred in query.predicates:
-                    segment = chunk.segment(pred.column)
-                    scan_units += segment.scan_units(int(live))
-                    scan_units += segment.scan_overhead_units()
-                    live *= chunk.statistics(pred.column).selectivity(
-                        pred.op, pred.value
-                    )
-
+        plan = db.planner.plan_for(query, table)
+        for chunk, step in zip(table.chunks(), plan.steps, strict=True):
+            # analytic pricing never mutates the pool: peek, don't admit
+            tier, _hit = resolve_tier(chunk, table.name, pool, admit=False)
+            scan_units, probe_units, live = self._estimate_step(chunk, step)
             total += hardware.scan_ms(scan_units, tier, threads)
             total += hardware.probe_ms(probe_units, tier)
             matched_total += live
-            if query.aggregate is None:
-                projected = (
-                    query.projection
-                    if query.projection is not None
-                    else table.schema.column_names
-                )
-                # Per-value output width from catalog statistics; decoding
-                # segments just to read dtype widths would defeat the
-                # purpose of an analytic model.
-                width = sum(
-                    chunk.statistics(name).avg_item_bytes for name in projected
-                )
-                output_bytes += live * width
+            # per-row projected width comes from the plan (chunk statistics
+            # at compile time); zero for aggregates
+            output_bytes += live * step.output_width
 
         if query.aggregate is not None:
             total += hardware.aggregate_ms(matched_total)

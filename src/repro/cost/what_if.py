@@ -175,6 +175,10 @@ class WhatIfOptimizer:
     # pricing
 
     def query_cost_ms(self, query: Query) -> float:
+        """Cost of one query under the current (possibly hypothetical)
+        configuration. Measured probes run through the executor, so they
+        share the database's compiled-plan cache: re-pricing a query the
+        engine has planned under the same plan epoch skips compilation."""
         if self._estimator is not None:
             return self._estimator.estimate_query_ms(query)
         if self._cache_size > 0:

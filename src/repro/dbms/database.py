@@ -24,6 +24,7 @@ from repro.dbms.segments import EncodingType
 from repro.dbms.storage_tiers import StorageTier, migration_cost_ms
 from repro.dbms.table import DEFAULT_TARGET_CHUNK_SIZE, Table
 from repro.errors import PlacementError
+from repro.plan.planner import QueryPlanner
 from repro.util.timer import SimulatedClock
 from repro.workload.query import Query
 from repro.workload.sql import parse_sql
@@ -78,7 +79,8 @@ class Database:
         self.catalog = Catalog()
         self.knobs = KnobRegistry(standard_knobs())
         self.plan_cache = QueryPlanCache(plan_cache_capacity)
-        self.executor = QueryExecutor(self.hardware, self.knobs)
+        self.planner = QueryPlanner(epoch_fn=lambda: self._plan_epoch)
+        self.executor = QueryExecutor(self.hardware, self.knobs, self.planner)
         self.plugin_host = PluginHost(self)
         self.counters = RuntimeCounters()
         self._default_encoding = default_encoding
@@ -89,6 +91,21 @@ class Database:
         self._epoch_alloc = 0
         self._epoch_transitions: OrderedDict[tuple[int, str], int] = (
             OrderedDict()
+        )
+        # plan-epoch machinery: a coarser epoch identifying only the
+        # *structural* state compiled plans depend on (physical design,
+        # schema, knobs) — buffer-pool traffic bumps the config epoch but
+        # not this one, since plans resolve tiers at bind time; see
+        # bump_plan_epoch
+        self._plan_epoch = 0
+        self._plan_epoch_alloc = 0
+        self._plan_epoch_transitions: OrderedDict[tuple[int, str], int] = (
+            OrderedDict()
+        )
+        # config epoch -> plan epoch, so restoring a config epoch after an
+        # exact what-if rollback restores the matching plan epoch too
+        self._plan_epoch_of_config: OrderedDict[int, int] = OrderedDict(
+            {0: 0}
         )
 
     # ------------------------------------------------------------------
@@ -122,11 +139,15 @@ class Database:
         qualify; anything time- or randomness-dependent does not).
         """
         if token is not None:
+            # a tokened bump describes a structural mutation (raw action
+            # application), which invalidates compiled plans as well
+            self.bump_plan_epoch(token)
             key = (self._config_epoch, token)
             known = self._epoch_transitions.get(key)
             if known is not None:
                 self._epoch_transitions.move_to_end(key)
                 self._config_epoch = known
+                self._note_plan_epoch()
                 return known
             self._epoch_alloc += 1
             self._epoch_transitions[key] = self._epoch_alloc
@@ -135,13 +156,71 @@ class Database:
         else:
             self._epoch_alloc += 1
         self._config_epoch = self._epoch_alloc
+        self._note_plan_epoch()
         return self._config_epoch
+
+    @property
+    def plan_epoch(self) -> int:
+        """Identity of the current *structural* state compiled plans see.
+
+        Coarser than :attr:`config_epoch`: physical design (indexes,
+        encodings, sort orders, placements), schema, and knob changes bump
+        it, but buffer-pool traffic does not — compiled plans resolve
+        storage tier and pool residency at bind time, so they survive pool
+        movement (see :mod:`repro.plan.binder`). Two queries planned at the
+        same plan epoch are guaranteed to compile to identical plans,
+        which is what lets the planner's cache key on
+        ``(plan_epoch, query)``. Appends are covered separately by the
+        planner's chunk-count guard.
+        """
+        return self._plan_epoch
+
+    def bump_plan_epoch(self, token: str | None = None) -> int:
+        """Mark the structural state as changed; returns the plan epoch.
+
+        Same memoisation contract as :meth:`bump_config_epoch`: tokened
+        transitions are remembered so the what-if optimizer re-exploring a
+        hypothetical configuration lands back on a plan epoch it has
+        compiled under before, and cached plans for that state are reused.
+        """
+        if token is not None:
+            key = (self._plan_epoch, token)
+            known = self._plan_epoch_transitions.get(key)
+            if known is not None:
+                self._plan_epoch_transitions.move_to_end(key)
+                self._plan_epoch = known
+                return known
+            self._plan_epoch_alloc += 1
+            self._plan_epoch_transitions[key] = self._plan_epoch_alloc
+            if len(self._plan_epoch_transitions) > _EPOCH_MEMO_CAPACITY:
+                self._plan_epoch_transitions.popitem(last=False)
+        else:
+            self._plan_epoch_alloc += 1
+        self._plan_epoch = self._plan_epoch_alloc
+        return self._plan_epoch
+
+    def _note_plan_epoch(self) -> None:
+        """Record which plan epoch the current config epoch maps to."""
+        mapping = self._plan_epoch_of_config
+        mapping[self._config_epoch] = self._plan_epoch
+        mapping.move_to_end(self._config_epoch)
+        if len(mapping) > _EPOCH_MEMO_CAPACITY:
+            mapping.popitem(last=False)
 
     def restore_config_epoch(self, epoch: int) -> None:
         """Reset the epoch after the caller restored the exact physical
         state that ``epoch`` described (what-if rollback). The allocation
-        counter is *not* rewound, so epochs stay unambiguous."""
+        counter is *not* rewound, so epochs stay unambiguous. The plan
+        epoch that was current at ``epoch`` is restored alongside; if that
+        mapping has aged out, a fresh plan epoch is allocated instead
+        (plans recompile — safe, never stale)."""
         self._config_epoch = epoch
+        known = self._plan_epoch_of_config.get(epoch)
+        if known is not None:
+            self._plan_epoch = known
+        else:
+            self.bump_plan_epoch()
+        self._note_plan_epoch()
 
     # ------------------------------------------------------------------
     # schema and data
@@ -200,6 +279,10 @@ class Database:
         self.clock.advance(cost_ms)
         self.counters.reconfigurations += 1
         self.counters.total_reconfiguration_ms += cost_ms
+        # accounted primitives mutate the structural state directly (the
+        # tokened bump in Action.apply_raw does not run on this path), so
+        # compiled plans must be invalidated here
+        self.bump_plan_epoch()
         self.bump_config_epoch()
         return cost_ms
 
@@ -305,6 +388,7 @@ class Database:
         """KPI source: counters plus current memory/tier state."""
         snap = self.counters.snapshot()
         snap["config_epoch"] = float(self._config_epoch)
+        snap["plan_epoch"] = float(self._plan_epoch)
         snap["memory_bytes"] = float(self.memory_bytes())
         snap["index_bytes"] = float(self.index_bytes())
         snap["now_ms"] = self.clock.now_ms

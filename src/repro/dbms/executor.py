@@ -1,10 +1,14 @@
 """Query execution with simulated timing.
 
-The executor runs queries against real chunk data (so results, match counts,
-and selectivities are genuine) and prices the work via the
-:class:`~repro.dbms.hardware.HardwareProfile`: encoding-weighted scan units,
-index probe units, tier multipliers (softened by buffer pool hits), thread
-parallelism from the ``scan_threads`` knob, and output materialisation.
+The executor runs *compiled plans* against real chunk data (so results,
+match counts, and selectivities are genuine): each query is first turned
+into a :class:`~repro.plan.ir.PhysicalPlan` by the shared
+:class:`~repro.plan.planner.QueryPlanner` — cached across repeated
+queries — and the executor's job is purely to run each per-chunk step and
+price the work via the :class:`~repro.dbms.hardware.HardwareProfile`:
+encoding-weighted scan units, index probe units, tier multipliers
+(resolved at bind time, softened by buffer pool hits), thread parallelism
+from the ``scan_threads`` knob, and output materialisation.
 
 The reported :class:`ExecutionReport` is the "observed runtime" that the
 plan cache records and the adaptive cost models learn from.
@@ -28,11 +32,12 @@ from repro.dbms.operators import (
     AggregateSpec,
     WorkSummary,
     compute_aggregate,
-    evaluate_chunk,
+    execute_step,
 )
-from repro.dbms.storage_tiers import StorageTier
 from repro.dbms.table import Table
 from repro.errors import ExecutionError
+from repro.plan.binder import resolve_tier
+from repro.plan.planner import QueryPlanner
 from repro.workload.query import Query
 
 
@@ -127,10 +132,14 @@ class QueryExecutor:
         self,
         hardware: HardwareProfile,
         knobs: KnobRegistry,
+        planner: QueryPlanner | None = None,
     ) -> None:
         self._hardware = hardware
         self._knobs = knobs
         self._buffer_pool = BufferPool(knobs.get(BUFFER_POOL_KNOB))
+        # a standalone executor (no owning Database) gets a private planner
+        # with no epoch source, which compiles fresh on every query
+        self._planner = planner if planner is not None else QueryPlanner()
         self._telemetry: "Telemetry | None" = None
         self._counters = None
         self._query_seq = 0
@@ -138,6 +147,10 @@ class QueryExecutor:
     @property
     def buffer_pool(self) -> BufferPool:
         return self._buffer_pool
+
+    @property
+    def planner(self) -> QueryPlanner:
+        return self._planner
 
     def bind_telemetry(self, telemetry: "Telemetry | None") -> None:
         """Attach (or detach, with ``None``) the telemetry spine.
@@ -240,27 +253,22 @@ class QueryExecutor:
         agg_values: list[np.ndarray] = []
         out_columns: dict[str, list[np.ndarray]] = {name: [] for name in projected}
 
-        # one predicate list for the whole execution, not one per chunk
-        predicates = list(query.predicates)
-        for chunk in table.chunks():
-            result = evaluate_chunk(chunk, predicates)
+        plan = self._planner.plan_for(query, table)
+        for chunk, step in zip(table.chunks(), plan.steps, strict=True):
+            result = execute_step(chunk, step)
             work.chunks_visited += 1
             if result.used_index:
                 work.chunks_via_index += 1
-            work.per_chunk.append((chunk.chunk_id, result.used_index))
+            work.per_chunk.append((chunk.chunk_id, step.kind))
 
-            tier = chunk.tier
-            if tier is not StorageTier.DRAM:
-                key = (table.name, chunk.chunk_id)
-                if probe:
-                    hit = self._buffer_pool.peek(key)
-                else:
-                    hit = self._buffer_pool.access(key, chunk.data_bytes())
-                if hit:
-                    work.buffer_hits += 1
-                    tier = StorageTier.DRAM
-                else:
-                    work.buffer_misses += 1
+            # tier and pool residency are bind-time facts, not plan facts
+            tier, hit = resolve_tier(
+                chunk, table.name, self._buffer_pool, admit=not probe
+            )
+            if hit is True:
+                work.buffer_hits += 1
+            elif hit is False:
+                work.buffer_misses += 1
 
             work.scan_units += result.scan_units
             work.probe_units += result.probe_units
@@ -277,11 +285,15 @@ class QueryExecutor:
                         chunk.segment(agg_spec.column).take(matched)
                     )
             else:
-                for name in projected:
-                    values = chunk.segment(name).take(matched)
-                    work.output_bytes += float(values.nbytes)
-                    if materialize:
-                        out_columns[name].append(values)
+                # output sized from the plan's per-row statistics width, so
+                # non-materialised runs never decode segments just to count
+                # bytes — and pricing matches the cost model exactly
+                work.output_bytes += len(matched) * step.output_width
+                if materialize:
+                    for name in projected:
+                        out_columns[name].append(
+                            chunk.segment(name).take(matched)
+                        )
 
         aggregate_value: float | str | None = None
         aggregate_ms = 0.0

@@ -1,15 +1,22 @@
-"""Per-chunk physical operators: plan choice and predicate evaluation.
+"""Per-chunk physical operators: plan-step choice and execution.
 
-For every chunk the executor either scans segments (work weighted by their
-encoding) or probes an index covering a prefix of the predicates and
-evaluates the rest on the index result. Plan choice is selectivity-aware:
-an index probe expected to return a large fraction of the chunk is worse
-than a scan, so the planner estimates the covered predicates' selectivity
-from chunk statistics and falls back to scanning above a cutoff.
+For every chunk the planner either prunes (zone-map statistics disprove a
+predicate), probes an index covering a prefix of the predicates (the rest
+evaluated on the probe result), or scans segments (work weighted by their
+encoding). Plan choice is selectivity-aware: an index probe expected to
+return a large fraction of the chunk is worse than a scan, so the choice
+estimates the covered predicates' selectivity from chunk statistics and
+falls back to scanning above a cutoff.
 
-The chosen path and its work counts are returned to the executor, which
-applies tier multipliers, buffer pool effects, and thread parallelism before
-converting work into simulated time.
+This module provides the two halves the plan layer composes:
+:func:`compile_chunk_step` turns the per-chunk choice into an immutable
+:class:`~repro.plan.ir.PlanStep` (called by
+:class:`~repro.plan.planner.QueryPlanner`, the single place access paths
+are chosen), and :func:`execute_step` runs a compiled step against the
+chunk's real data, returning matched positions plus work counts. The
+executor applies tier multipliers, buffer pool effects, and thread
+parallelism to those counts before converting work into simulated time;
+the physical cost model prices the same steps from statistics instead.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import numpy as np
 from repro.dbms.chunk import Chunk
 from repro.dbms.index import SortedCompositeIndex
 from repro.dbms.segments import _compare_array
+from repro.plan.ir import PlanStep, StepKind
 from repro.workload.predicate import Predicate
 
 #: An index probe expected to match more than this fraction of the chunk is
@@ -199,37 +207,88 @@ def chunk_can_be_pruned(chunk: Chunk, predicates: list[Predicate]) -> bool:
     return False
 
 
-def evaluate_chunk(chunk: Chunk, predicates: list[Predicate]) -> ChunkScanResult:
-    """Find matching row positions in one chunk, via index probe if possible.
-    Chunks whose statistics disprove any predicate are pruned outright."""
-    result = ChunkScanResult(positions=np.arange(chunk.row_count, dtype=np.int64))
-    if not predicates:
-        return result
+def compile_chunk_step(
+    chunk: Chunk,
+    predicates: list[Predicate] | tuple[Predicate, ...],
+    output_width: float = 0.0,
+) -> PlanStep:
+    """Choose the access path for one chunk and freeze it into a step.
 
-    if chunk_can_be_pruned(chunk, predicates):
-        result.positions = result.positions[:0]
-        result.scan_units = _PRUNE_CHECK_UNITS * len(predicates)
-        return result
-
-    plan = choose_index_plan(chunk, predicates)
-    if plan is not None:
-        positions = plan.index.lookup(
-            plan.equal_values, plan.range_predicates
-        ).astype(np.int64)
-        result.used_index = True
-        result.probe_units = plan.index.probe_cost_units(
-            plan.probed_columns, len(positions)
+    This is the *only* place prune/index/scan decisions are made: the
+    :class:`~repro.plan.planner.QueryPlanner` calls it per chunk, and the
+    executor and cost models consume the resulting steps instead of
+    re-deriving the choice. ``output_width`` is the per-row projected
+    output byte width the caller computed from chunk statistics (0 when
+    the query aggregates instead of projecting).
+    """
+    count = len(predicates)
+    if predicates and chunk_can_be_pruned(chunk, list(predicates)):
+        return PlanStep(
+            chunk_id=chunk.chunk_id,
+            kind=StepKind.PRUNE,
+            predicate_count=count,
         )
-        result.predicates_evaluated = len(plan.covered)
+    plan = choose_index_plan(chunk, list(predicates)) if predicates else None
+    if plan is not None:
+        return PlanStep(
+            chunk_id=chunk.chunk_id,
+            kind=StepKind.INDEX_PROBE,
+            predicate_count=count,
+            scan_predicates=tuple(plan.residual),
+            index_key=plan.index.columns,
+            equal_values=tuple(plan.equal_values),
+            range_predicates=tuple(plan.range_predicates),
+            covered_count=len(plan.covered),
+            estimated_selectivity=plan.estimated_selectivity,
+            output_width=output_width,
+        )
+    return PlanStep(
+        chunk_id=chunk.chunk_id,
+        kind=StepKind.FULL_SCAN,
+        predicate_count=count,
+        scan_predicates=tuple(predicates),
+        output_width=output_width,
+    )
+
+
+def execute_step(chunk: Chunk, step: PlanStep) -> ChunkScanResult:
+    """Run one compiled step against the chunk's real data.
+
+    The index named by ``step.index_key`` is looked up at execution time
+    (bind), so steps survive index rebuilds from re-encodes and sorts.
+    """
+    if step.kind is StepKind.PRUNE:
+        return ChunkScanResult(
+            positions=np.empty(0, dtype=np.int64),
+            scan_units=_PRUNE_CHECK_UNITS * step.predicate_count,
+        )
+    if step.kind is StepKind.INDEX_PROBE:
+        index = chunk.index(step.index_key)
+        positions = index.lookup(
+            step.equal_values, step.range_predicates
+        ).astype(np.int64)
+        result = ChunkScanResult(
+            positions=positions,
+            probe_units=index.probe_cost_units(
+                step.probed_columns, len(positions)
+            ),
+            used_index=True,
+            predicates_evaluated=step.covered_count,
+        )
         result.positions = _evaluate_residual(
-            chunk, positions, plan.residual, result
+            chunk, positions, list(step.scan_predicates), result
         )
         return result
 
     # Sequential scan: evaluate each predicate on the still-live rows.
+    result = ChunkScanResult(
+        positions=np.arange(chunk.row_count, dtype=np.int64)
+    )
+    if not step.scan_predicates:
+        return result
     mask = np.ones(chunk.row_count, dtype=bool)
     live = chunk.row_count
-    for pred in predicates:
+    for pred in step.scan_predicates:
         segment = chunk.segment(pred.column)
         result.scan_units += segment.scan_units(live)
         result.scan_units += segment.scan_overhead_units()
@@ -240,6 +299,16 @@ def evaluate_chunk(chunk: Chunk, predicates: list[Predicate]) -> ChunkScanResult
             break
     result.positions = np.flatnonzero(mask)
     return result
+
+
+def evaluate_chunk(chunk: Chunk, predicates: list[Predicate]) -> ChunkScanResult:
+    """Find matching row positions in one chunk, via index probe if possible.
+    Chunks whose statistics disprove any predicate are pruned outright.
+
+    Convenience wrapper compiling and executing a single-chunk step; the
+    executor proper runs whole compiled plans instead (see
+    :mod:`repro.plan`)."""
+    return execute_step(chunk, compile_chunk_step(chunk, predicates))
 
 
 @dataclass
@@ -289,4 +358,5 @@ class WorkSummary:
     chunks_via_index: int = 0
     buffer_hits: int = 0
     buffer_misses: int = 0
-    per_chunk: list[tuple[int, bool]] = field(default_factory=list)
+    #: ``(chunk_id, access-path kind)`` per chunk, in execution order
+    per_chunk: list[tuple[int, StepKind]] = field(default_factory=list)

@@ -10,6 +10,11 @@ turns into forecasts.
 The predictor builds time series by periodically *snapshotting* the cache
 and diffing counts — the cache itself stores only aggregates, like its
 real-world counterparts.
+
+Not to be confused with :class:`repro.plan.cache.CompiledPlanCache`, which
+memoises *how to execute* a query (the compiled
+:class:`~repro.plan.ir.PhysicalPlan`); this cache records *execution
+history* per template for the workload predictor.
 """
 
 from __future__ import annotations

@@ -29,6 +29,23 @@ WHATIF_CACHE_EVICTIONS = "whatif_cache_evictions"
 WHATIF_CACHE_HIT_RATE = "whatif_cache_hit_rate"
 WHATIF_CACHE_SIZE = "whatif_cache_size"
 
+# compiled-plan cache KPIs (see repro.plan.planner). The counter names
+# are owned by the planner — the plan layer sits below the DBMS substrate
+# and cannot import this package — and are re-exported here so KPI
+# consumers have one import site; the monitor derives the interval hit
+# rate from the counters.
+from repro.plan.planner import (  # noqa: E402, F401  (re-export)
+    PLAN_CACHE_EVICTIONS,
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_INVALIDATIONS,
+    PLAN_CACHE_MISSES,
+    PLAN_CACHE_SIZE,
+    PLAN_COMPILE_CHUNKS,
+    PLAN_COMPILES,
+)
+
+PLAN_CACHE_HIT_RATE = "plan_cache_hit_rate"
+
 # fault/recovery counters (tuning-loop robustness; see repro.faults and
 # docs/robustness.md). The injector owns the faults_* names, the
 # failure-aware executors the action_*/rollback* names, and the
@@ -79,6 +96,13 @@ DBMS_KPIS = (
     WHATIF_CACHE_EVICTIONS,
     WHATIF_CACHE_HIT_RATE,
     WHATIF_CACHE_SIZE,
+    PLAN_COMPILES,
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES,
+    PLAN_CACHE_EVICTIONS,
+    PLAN_CACHE_INVALIDATIONS,
+    PLAN_CACHE_HIT_RATE,
+    PLAN_CACHE_SIZE,
 )
 SYSTEM_KPIS = (CPU_UTILIZATION, MEMORY_UTILIZATION, CACHE_MISS_RATE)
 

@@ -29,6 +29,9 @@ from repro.kpi.metrics import (
     INDEX_MEMORY_BYTES,
     MEAN_QUERY_MS,
     MEMORY_BYTES,
+    PLAN_CACHE_HIT_RATE,
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES,
     QUERIES_EXECUTED,
     RECONFIGURATION_MS,
     THROUGHPUT_QPS,
@@ -108,6 +111,12 @@ class RuntimeKPIMonitor:
             hits = values.get(WHATIF_CACHE_HITS, 0.0)
             priced = hits + values.get(WHATIF_CACHE_MISSES, 0.0)
             values[WHATIF_CACHE_HIT_RATE] = hits / priced if priced else 0.0
+        if PLAN_CACHE_HITS in metrics or PLAN_CACHE_MISSES in metrics:
+            hits = values.get(PLAN_CACHE_HITS, 0.0)
+            looked_up = hits + values.get(PLAN_CACHE_MISSES, 0.0)
+            values[PLAN_CACHE_HIT_RATE] = (
+                hits / looked_up if looked_up else 0.0
+            )
 
         elapsed_ms = current["now_ms"] - previous["now_ms"]
         queries = current["queries_executed"] - previous["queries_executed"]

@@ -1,0 +1,24 @@
+"""The unified physical-plan layer.
+
+One :class:`~repro.plan.planner.QueryPlanner` compiles ``(query, table,
+plan epoch)`` into a :class:`~repro.plan.ir.PhysicalPlan` that the query
+executor executes, the physical cost model prices, and the what-if
+optimizer's probe path reuses — see :doc:`docs/planner` for the
+lifecycle.
+"""
+
+from repro.plan.binder import resolve_tier
+from repro.plan.cache import CompiledPlanCache, PlanCacheStats
+from repro.plan.ir import PhysicalPlan, PlanStep, StepKind
+from repro.plan.planner import DEFAULT_PLAN_CACHE_SIZE, QueryPlanner
+
+__all__ = [
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "CompiledPlanCache",
+    "PhysicalPlan",
+    "PlanCacheStats",
+    "PlanStep",
+    "QueryPlanner",
+    "StepKind",
+    "resolve_tier",
+]

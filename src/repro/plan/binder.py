@@ -1,0 +1,49 @@
+"""Bind-time resolution: the plan facts that must stay out of the plan.
+
+A chunk's effective storage tier depends on the buffer pool's *current*
+contents, which change with every admission — baking it into a compiled
+plan would force a recompile on every pool movement. Instead, every plan
+consumer resolves the tier per execution through :func:`resolve_tier`,
+with the same semantics the executor and the cost model historically
+shared: a non-DRAM chunk that hits the pool behaves as DRAM for this
+access.
+
+``admit=True`` is the executor's accounted path (misses admit the chunk,
+hits refresh LRU order); ``admit=False`` is the side-effect-free peek used
+by probe-mode execution and analytic pricing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dbms.storage_tiers import StorageTier
+
+if TYPE_CHECKING:
+    from repro.dbms.chunk import Chunk
+    from repro.dbms.executor import BufferPool
+
+
+def resolve_tier(
+    chunk: "Chunk",
+    table_name: str,
+    pool: "BufferPool",
+    admit: bool,
+) -> tuple[StorageTier, bool | None]:
+    """Effective tier of ``chunk`` for one access, and the pool outcome.
+
+    Returns ``(tier, hit)`` where ``hit`` is ``None`` for DRAM-resident
+    chunks (the pool is not consulted), ``True`` for a buffer-pool hit
+    (tier softened to DRAM), and ``False`` for a miss.
+    """
+    tier = chunk.tier
+    if tier is StorageTier.DRAM:
+        return tier, None
+    key = (table_name, chunk.chunk_id)
+    if admit:
+        hit = pool.access(key, chunk.data_bytes())
+    else:
+        hit = pool.peek(key)
+    if hit:
+        return StorageTier.DRAM, True
+    return tier, False

@@ -1,0 +1,102 @@
+"""The compiled-plan cache: epoch-keyed LRU of :class:`PhysicalPlan`.
+
+Mirrors the what-if cost cache pattern (:mod:`repro.cost.what_if`): keys
+are ``(plan_epoch, query)``, where the database's *plan epoch* identifies
+the structural state plans depend on — physical design (indexes,
+encodings, sort orders, placements) and schema, but **not** buffer-pool
+traffic, which compiled plans survive because tiers are resolved at bind
+time. Every structural mutation bumps the plan epoch, so stale plans are
+never served; entries for dead epochs simply age out of the LRU.
+
+This cache stores *how to execute* a query and must not be confused with
+:class:`repro.dbms.plan_cache.QueryPlanCache`, which stores *execution
+history* per template for the workload predictor.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.plan.ir import PhysicalPlan
+
+if TYPE_CHECKING:
+    from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Cumulative counters of the compiled-plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache; 0 when unused."""
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
+            "size": float(self.size),
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CompiledPlanCache:
+    """A bounded LRU mapping ``(plan_epoch, query)`` to compiled plans."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be non-negative")
+        self._capacity = capacity
+        self._plans: OrderedDict[tuple[int, "Query"], PhysicalPlan] = (
+            OrderedDict()
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def resize(self, capacity: int) -> None:
+        """Change the LRU bound; shrinking evicts oldest entries first."""
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be non-negative")
+        self._capacity = capacity
+        while len(self._plans) > self._capacity:
+            self._plans.popitem(last=False)
+
+    def get(self, epoch: int, query: "Query") -> PhysicalPlan | None:
+        plan = self._plans.get((epoch, query))
+        if plan is not None:
+            self._plans.move_to_end((epoch, query))
+        return plan
+
+    def put(self, epoch: int, query: "Query", plan: PhysicalPlan) -> int:
+        """Store a plan; returns the number of entries evicted to fit."""
+        if self._capacity == 0:
+            return 0
+        self._plans[(epoch, query)] = plan
+        evicted = 0
+        while len(self._plans) > self._capacity:
+            self._plans.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def discard(self, epoch: int, query: "Query") -> None:
+        self._plans.pop((epoch, query), None)
+
+    def clear(self) -> None:
+        self._plans.clear()

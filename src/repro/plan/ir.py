@@ -1,0 +1,122 @@
+"""The physical-plan intermediate representation.
+
+A :class:`PhysicalPlan` is the compiled form of one query against one
+table's current physical design: an ordered list of per-chunk
+:class:`PlanStep` objects, one per chunk, each choosing exactly one of
+three access paths:
+
+- :attr:`StepKind.PRUNE` — zone-map statistics disprove a predicate, so
+  the chunk is skipped after charging only the metadata check;
+- :attr:`StepKind.INDEX_PROBE` — a composite index covers a predicate
+  prefix; the probe result is filtered by the residual predicates;
+- :attr:`StepKind.FULL_SCAN` — sequential predicate evaluation over the
+  chunk's segments.
+
+The IR deliberately contains only *compile-time-stable* facts: step
+kinds, index key columns (not index objects — indexes are rebuilt by
+re-encodes and sorts, so they are looked up again at bind time), residual
+predicate order, estimated selectivities, and per-row output widths from
+chunk statistics. Storage tier and buffer-pool residency are **not** part
+of a plan — they change with every pool admission and are resolved at
+bind time by whoever consumes the plan (see :mod:`repro.plan.binder`).
+That split is what lets one compiled plan be shared by the query executor
+(which runs it against real data), the physical cost model (which prices
+it from statistics), and the what-if optimizer's probe path — and lets it
+stay cached across buffer-pool traffic.
+
+Like :mod:`repro.workload.query`, this module imports nothing from the
+DBMS substrate, so every layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.workload.predicate import Predicate
+from repro.workload.query import Query
+
+
+class StepKind(enum.Enum):
+    """The access path a plan chose for one chunk."""
+
+    PRUNE = "prune"
+    INDEX_PROBE = "index_probe"
+    FULL_SCAN = "full_scan"
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """The compiled access path for one chunk.
+
+    For ``INDEX_PROBE`` steps, ``index_key``/``equal_values``/
+    ``range_predicates`` describe the probe and ``scan_predicates`` holds
+    the residual predicates evaluated on the probe result (in evaluation
+    order). For ``FULL_SCAN`` steps, ``scan_predicates`` is the full
+    predicate list in evaluation order. ``PRUNE`` steps carry only
+    ``predicate_count`` (the zone-map checks charged).
+    """
+
+    chunk_id: int
+    kind: StepKind
+    #: number of query predicates (PRUNE steps charge one zone-map check each)
+    predicate_count: int
+    #: predicates evaluated by scanning segments, in evaluation order
+    scan_predicates: tuple[Predicate, ...] = ()
+    #: key columns of the probed index (INDEX_PROBE only)
+    index_key: tuple[str, ...] | None = None
+    #: literals of the equality prefix of the probe
+    equal_values: tuple[object, ...] = ()
+    #: ``(op, value)`` range bounds on the column after the prefix
+    range_predicates: tuple[tuple[str, object], ...] = ()
+    #: number of predicates the probe covers
+    covered_count: int = 0
+    #: estimated fraction of chunk rows the probe returns
+    estimated_selectivity: float = 1.0
+    #: per-row projected output bytes from chunk statistics (0 for aggregates)
+    output_width: float = 0.0
+
+    @property
+    def probed_columns(self) -> int:
+        """Index key columns the probe actually constrains."""
+        return len(self.equal_values) + (1 if self.range_predicates else 0)
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """One compiled query plan: per-chunk steps plus identifying metadata."""
+
+    table: str
+    query: Query
+    steps: tuple[PlanStep, ...]
+    #: chunk count of the table at compile time; a mismatch at lookup time
+    #: (rows were appended) invalidates the plan without an epoch bump
+    chunk_count: int
+    #: the database's plan epoch the plan was compiled under
+    plan_epoch: int
+
+    def step_kinds(self) -> tuple[StepKind, ...]:
+        """Per-chunk access-path kinds, in chunk order."""
+        return tuple(step.kind for step in self.steps)
+
+    def count(self, kind: StepKind) -> int:
+        return sum(1 for step in self.steps if step.kind is kind)
+
+    @property
+    def pruned_chunks(self) -> int:
+        return self.count(StepKind.PRUNE)
+
+    @property
+    def index_chunks(self) -> int:
+        return self.count(StepKind.INDEX_PROBE)
+
+    @property
+    def scanned_chunks(self) -> int:
+        return self.count(StepKind.FULL_SCAN)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalPlan(table={self.table!r}, chunks={self.chunk_count}, "
+            f"prune={self.pruned_chunks}, index={self.index_chunks}, "
+            f"scan={self.scanned_chunks}, epoch={self.plan_epoch})"
+        )

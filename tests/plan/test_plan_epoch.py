@@ -1,0 +1,89 @@
+"""Tests for the plan epoch: identity of the structural state plans see.
+
+The plan epoch is the key half of the compiled-plan cache's
+``(plan_epoch, query)`` keys. Its contract is deliberately coarser than
+the config epoch's: structural mutations must bump it, buffer-pool
+traffic must *not* (compiled plans resolve tiers at bind time), and exact
+what-if rollback must restore it so cached plans stay reusable across
+re-explored hypothetical configurations.
+"""
+
+from repro.configuration.actions import CreateIndexAction
+from repro.configuration.delta import ConfigurationDelta
+from repro.cost.what_if import WhatIfOptimizer
+from repro.dbms.knobs import SCAN_THREADS_KNOB
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+from repro.workload import Predicate, Query
+
+from tests.conftest import make_small_database
+
+
+def test_every_accounted_primitive_bumps_the_plan_epoch():
+    db = make_small_database(rows=1_000)
+    for mutate in (
+        lambda: db.create_index("events", ["user"]),
+        lambda: db.set_encoding("events", "user", EncodingType.DICTIONARY),
+        lambda: db.move_chunk("events", 0, StorageTier.NVM),
+        lambda: db.sort_chunk("events", 0, "user"),
+        lambda: db.set_knob(SCAN_THREADS_KNOB, 4),
+        lambda: db.drop_index("events", ["user"]),
+    ):
+        epoch = db.plan_epoch
+        mutate()
+        assert db.plan_epoch != epoch
+
+
+def test_buffer_traffic_bumps_config_epoch_but_not_plan_epoch():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    db.move_chunk("events", 0, StorageTier.SSD)
+    config_epoch = db.config_epoch
+    plan_epoch = db.plan_epoch
+    db.execute("SELECT COUNT(*) FROM events")
+    assert db.config_epoch != config_epoch
+    assert db.plan_epoch == plan_epoch
+
+
+def test_raw_actions_bump_the_plan_epoch_only_on_real_mutation():
+    db = make_small_database(rows=1_000)
+    epoch = db.plan_epoch
+    CreateIndexAction("events", ("user",)).apply_raw(db)
+    assert db.plan_epoch != epoch
+    # re-creating an index that already exists is a no-op
+    epoch = db.plan_epoch
+    CreateIndexAction("events", ("user",)).apply_raw(db)
+    assert db.plan_epoch == epoch
+
+
+def test_hypothetical_restores_the_plan_epoch_on_exact_rollback():
+    db = make_small_database(rows=1_000)
+    optimizer = WhatIfOptimizer(db)
+    before = db.plan_epoch
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    with optimizer.hypothetical(delta):
+        assert db.plan_epoch != before
+    assert db.plan_epoch == before
+
+
+def test_reexploring_a_hypothetical_state_reuses_compiled_plans():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    optimizer = WhatIfOptimizer(db, cache_size=0)  # isolate plan caching
+    delta = ConfigurationDelta([CreateIndexAction("events", ("user",))])
+    query = Query("events", (Predicate("user", "=", 7),))
+
+    with optimizer.hypothetical(delta):
+        first_epoch = db.plan_epoch
+        optimizer.query_cost_ms(query)
+    hits = db.planner.cache_stats.hits
+    with optimizer.hypothetical(delta):
+        # the memoised tokened transition lands on the same plan epoch,
+        # so the probe executes the plan compiled on the first visit
+        assert db.plan_epoch == first_epoch
+        optimizer.query_cost_ms(query)
+    assert db.planner.cache_stats.hits == hits + 1
+
+
+def test_runtime_snapshot_exposes_the_plan_epoch():
+    db = make_small_database(rows=1_000)
+    snap = db.runtime_snapshot()
+    assert snap["plan_epoch"] == float(db.plan_epoch)

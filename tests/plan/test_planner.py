@@ -1,0 +1,186 @@
+"""Tests for the QueryPlanner: compilation, caching, and invalidation."""
+
+from repro.dbms.executor import QueryExecutor
+from repro.dbms.knobs import KnobRegistry, standard_knobs
+from repro.dbms.segments import EncodingType
+from repro.dbms.storage_tiers import StorageTier
+from repro.plan import StepKind
+from repro.telemetry.metrics import MetricRegistry
+from repro.workload import Predicate, Query
+
+from tests.conftest import make_small_database
+
+import numpy as np
+
+
+def test_compile_chooses_prune_index_and_scan_per_chunk():
+    db = make_small_database(rows=5_000, chunk_size=1_000)
+    table = db.table("events")
+    # index only chunk 0: an equality on id is highly selective there,
+    # while chunks whose zone maps exclude the literal are pruned
+    db.create_index("events", ["id"], chunk_ids=[0])
+
+    plan = db.planner.plan_for(
+        Query("events", (Predicate("id", "=", 100),)), table
+    )
+    kinds = plan.step_kinds()
+    assert kinds[0] is StepKind.INDEX_PROBE
+    assert all(kind is StepKind.PRUNE for kind in kinds[1:])
+
+    # a predicate no zone map can exclude falls back to scanning
+    plan = db.planner.plan_for(
+        Query("events", (Predicate("user", "<", 200),)), table
+    )
+    assert all(kind is StepKind.FULL_SCAN for kind in plan.step_kinds())
+
+
+def test_index_probe_steps_carry_residual_predicates():
+    db = make_small_database(rows=1_000, chunk_size=1_000)
+    db.create_index("events", ["user"])
+    query = Query(
+        "events",
+        (Predicate("user", "=", 7), Predicate("value", "<", 5.0)),
+    )
+    plan = db.planner.plan_for(query, db.table("events"))
+    (step,) = plan.steps
+    assert step.kind is StepKind.INDEX_PROBE
+    assert step.index_key == ("user",)
+    assert step.equal_values == (7,)
+    assert [p.column for p in step.scan_predicates] == ["value"]
+
+
+def test_plan_for_caches_until_a_structural_change():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    table = db.table("events")
+    query = Query("events", (Predicate("user", "=", 7),))
+
+    first = db.planner.plan_for(query, table)
+    second = db.planner.plan_for(query, table)
+    assert second is first  # served from the cache, not recompiled
+    stats = db.planner.cache_stats
+    assert (stats.hits, stats.misses) == (1, 1)
+
+    db.create_index("events", ["user"])
+    third = db.planner.plan_for(query, table)
+    assert third is not first
+    assert third.index_chunks == len(table.chunks())
+    assert db.planner.cache_stats.misses == 2
+
+
+def test_buffer_pool_traffic_does_not_invalidate_cached_plans():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    db.move_chunk("events", 0, StorageTier.SSD)
+    query = Query("events", (Predicate("user", "=", 7),))
+
+    db.execute(query)  # compiles; pool admission bumps the config epoch
+    config_epoch = db.config_epoch
+    plan_epoch = db.plan_epoch
+    hits_before = db.planner.cache_stats.hits
+    db.execute(query)
+    # the pool hit bumps the config epoch again, but the plan epoch —
+    # and therefore the cached compiled plan — survives
+    assert db.config_epoch != config_epoch
+    assert db.plan_epoch == plan_epoch
+    assert db.planner.cache_stats.hits == hits_before + 1
+
+
+def test_appending_rows_invalidates_via_the_chunk_count_guard():
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    table = db.table("events")
+    query = Query("events", (Predicate("user", "=", 7),))
+    first = db.planner.plan_for(query, table)
+    assert first.chunk_count == 2
+
+    rows = 1_000
+    table.append(
+        {
+            "id": np.arange(rows) + 2_000,
+            "user": np.zeros(rows, dtype=np.int64),
+            "kind": np.array(["view"] * rows),
+            "value": np.zeros(rows),
+        }
+    )
+    second = db.planner.plan_for(query, table)
+    assert second.chunk_count == 3
+    assert db.planner.cache_stats.invalidations == 1
+
+
+def test_lru_eviction_and_resize():
+    db = make_small_database(rows=1_000, chunk_size=1_000)
+    table = db.table("events")
+    db.planner.resize_cache(2)
+    queries = [
+        Query("events", (Predicate("user", "=", value),))
+        for value in (1, 2, 3)
+    ]
+    for query in queries:
+        db.planner.plan_for(query, table)
+    assert db.planner.cache_stats.evictions == 1
+    assert len(db.planner.cache_stats.as_dict()) == 6
+    # the oldest entry was evicted: replanning it misses
+    misses = db.planner.cache_stats.misses
+    db.planner.plan_for(queries[0], table)
+    assert db.planner.cache_stats.misses == misses + 1
+
+    db.planner.resize_cache(0)  # disables caching entirely
+    before = db.planner.cache_stats.hits
+    db.planner.plan_for(queries[2], table)
+    db.planner.plan_for(queries[2], table)
+    assert db.planner.cache_stats.hits == before
+
+
+def test_cache_keys_on_literals_not_templates():
+    # prune and index choice depend on literal values, so two queries of
+    # the same template must compile (and cache) separately
+    db = make_small_database(rows=2_000, chunk_size=1_000)
+    table = db.table("events")
+    narrow = db.planner.plan_for(
+        Query("events", (Predicate("id", "<", 100),)), table
+    )
+    wide = db.planner.plan_for(
+        Query("events", (Predicate("id", "<", 1_900),)), table
+    )
+    assert narrow.pruned_chunks == 1
+    assert wide.pruned_chunks == 0
+    assert db.planner.cache_stats.misses == 2
+
+
+def test_encoding_and_sort_changes_recompile_plans():
+    db = make_small_database(rows=1_000, chunk_size=1_000)
+    table = db.table("events")
+    query = Query("events", (Predicate("user", "=", 7),))
+    db.planner.plan_for(query, table)
+
+    misses = db.planner.cache_stats.misses
+    db.set_encoding("events", "user", EncodingType.DICTIONARY)
+    db.planner.plan_for(query, table)
+    assert db.planner.cache_stats.misses == misses + 1
+
+    misses = db.planner.cache_stats.misses
+    db.sort_chunk("events", 0, "user")
+    db.planner.plan_for(query, table)
+    assert db.planner.cache_stats.misses == misses + 1
+
+
+def test_bind_registry_shares_the_counter_objects():
+    db = make_small_database(rows=1_000, chunk_size=1_000)
+    shared = MetricRegistry()
+    db.planner.bind_registry(shared)
+    db.planner.plan_for(
+        Query("events", (Predicate("user", "=", 7),)), db.table("events")
+    )
+    assert shared.read("plan_compiles") == 1.0
+    assert shared.read("plan_cache_misses") == 1.0
+    assert shared.read("plan_cache_size") == 1.0
+
+
+def test_standalone_executor_compiles_fresh_every_time():
+    db = make_small_database(rows=1_000, chunk_size=1_000)
+    executor = QueryExecutor(db.hardware, KnobRegistry(standard_knobs()))
+    query = Query("events", (Predicate("user", "=", 7),))
+    table = db.table("events")
+    executor.execute(query, table)
+    executor.execute(query, table)
+    stats = executor.planner.cache_stats
+    assert stats.hits == 0
+    assert executor.planner.registry.read("plan_compiles") == 2.0
