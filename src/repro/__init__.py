@@ -27,7 +27,10 @@ framework end to end, including every substrate it depends on:
   pluggable sinks every component reports through;
 - :mod:`repro.faults` — seeded fault injection and recovery: action
   failures with retry/backoff, rollback of failed passes, and the
-  organizer's per-feature quarantine breaker.
+  organizer's per-feature quarantine breaker;
+- :mod:`repro.guard` — guarded reconfiguration: commit probation with a
+  retained-inverse-action ledger, a runtime regression watchdog that
+  rolls bad commits back, and forecast-miss escalation.
 
 Quickstart::
 
@@ -64,6 +67,7 @@ from repro.cost import (
 from repro.dbms import Database, DataType, EncodingType, StorageTier, TableSchema
 from repro.faults import FaultConfig, FaultInjector, FeatureQuarantine, RetryPolicy
 from repro.forecasting import Forecast, WorkloadAnalyzer, WorkloadPredictor
+from repro.guard import CommitGuard, CommitLedger, GuardConfig
 from repro.ordering import (
     DependenceAnalyzer,
     LPOrderOptimizer,
@@ -85,6 +89,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "ClosedLoopSimulation",
+    "CommitGuard",
+    "CommitLedger",
     "ConfigurationDelta",
     "ConfigurationInstance",
     "ConstraintSet",
@@ -98,6 +104,7 @@ __all__ = [
     "FaultInjector",
     "FeatureQuarantine",
     "Forecast",
+    "GuardConfig",
     "LPOrderOptimizer",
     "LearnedCostModel",
     "LogicalCostModel",

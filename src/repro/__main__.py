@@ -13,6 +13,9 @@ Commands:
 - ``faults``      — run the closed loop twice, fault-free and under a
                     seeded failure rate, and compare convergence plus the
                     fault/rollback/quarantine record;
+- ``guard``       — run the closed loop with a mid-trace dominance swap
+                    and print the guarded-commit record: probation
+                    ledger, forecast-miss escalations, and GUARD events;
 - ``components``  — list every registered exchangeable component.
 """
 
@@ -356,6 +359,93 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_guard(args: argparse.Namespace) -> int:
+    from repro import (
+        ClosedLoopSimulation,
+        ConstraintSet,
+        Driver,
+        DriverConfig,
+        OrganizerConfig,
+        ResourceBudget,
+    )
+    from repro.configuration import INDEX_MEMORY
+    from repro.core import EventKind, PeriodicTrigger
+    from repro.kpi.metrics import GUARD_KPIS
+    from repro.tuning import standard_features
+    from repro.util.units import MIB
+    from repro.workload import generate_trace
+    from repro.workload.drift import swap_dominance
+
+    suite = _build_suite(args.suite, args.rows, args.seed)
+    db = suite.database
+    trace = generate_trace(
+        suite.families,
+        suite.rates,
+        args.bins,
+        bin_duration_ms=60_000,
+        seed=args.seed,
+    )
+    swapped = None
+    if args.swap_at > 0:
+        by_rate = sorted(suite.rates, key=lambda n: suite.rates[n].base)
+        family_a = args.swap_a or by_rate[-1]
+        family_b = args.swap_b or by_rate[0]
+        trace = swap_dominance(trace, family_a, family_b, args.swap_at)
+        swapped = (family_a, family_b)
+
+    features = standard_features(include_sort_order=args.sort_order)
+    driver = Driver(
+        features[: args.features] if args.features else features,
+        constraints=ConstraintSet(
+            [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
+        ),
+        triggers=[PeriodicTrigger(every_ms=args.tune_every_bins * 60_000)],
+        config=DriverConfig(
+            organizer=OrganizerConfig(horizon_bins=4, min_history_bins=4)
+        ),
+    )
+    db.plugin_host.attach(driver)
+
+    print(f"simulating {args.bins} bins of the {args.suite} workload "
+          "under the commit guard")
+    if swapped:
+        print(f"dominance swap at bin {args.swap_at}: "
+              f"{swapped[0]} <-> {swapped[1]}")
+    print("bin  queries  mean_ms   tuned")
+    for record in ClosedLoopSimulation(db, trace, seed=args.seed).run():
+        marker = "  *" if record.reconfigured else ""
+        print(f"{record.index:3d}  {record.queries_executed:7d}  "
+              f"{record.mean_query_ms:8.4f}{marker}")
+
+    print("\nguard record:")
+    snap = driver.telemetry.registry.snapshot()
+    for name in GUARD_KPIS:
+        print(f"  {name:22s} {snap.get(name, 0.0):.0f}")
+
+    ledger = driver.organizer.guard.ledger.snapshot()
+    if ledger:
+        print("\ncommit ledger:")
+        for entry in ledger:
+            print(f"  commit #{entry['commit_id']} at "
+                  f"{entry['committed_at_ms'] / 60_000:5.1f} min: "
+                  f"{entry['resolution']} "
+                  f"({entry['inverse_actions']} inverse actions retained, "
+                  f"baseline {entry['baseline_ms']:.3f} ms)")
+
+    shown = [
+        e
+        for e in driver.events.events()
+        if e.kind in (EventKind.GUARD, EventKind.ROLLBACK,
+                      EventKind.QUARANTINE)
+    ]
+    if shown:
+        print("\nguard / rollback / quarantine events:")
+        for event in shown:
+            print(f"  [{event.at_ms / 60_000:5.1f} min] "
+                  f"{event.kind.value:10s} {event.message}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -424,6 +514,20 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--fault-seed", type=int, default=2,
                         help="seed of the fault injector's random stream")
     faults.set_defaults(run=_cmd_faults)
+
+    guard = commands.add_parser(
+        "guard", help="show the guarded-commit record of a drifting run"
+    )
+    common(guard)
+    guard.add_argument("--bins", type=int, default=24)
+    guard.add_argument("--tune-every-bins", type=int, default=8)
+    guard.add_argument("--swap-at", type=int, default=12,
+                       help="swap family dominance at this bin (0 = off)")
+    guard.add_argument("--swap-a", default=None,
+                       help="first swapped family (default: highest rate)")
+    guard.add_argument("--swap-b", default=None,
+                       help="second swapped family (default: lowest rate)")
+    guard.set_defaults(run=_cmd_guard)
     return parser
 
 

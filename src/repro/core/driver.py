@@ -211,6 +211,16 @@ class Driver(Plugin):
         db = self.database
         self.predictor.observe()
         self.monitor.sample()
+        # the commit guard runs every tick, not every check interval: a
+        # regressing commit rolls back as soon as the evidence is in, and
+        # a forecast miss escalates without waiting for a trigger pass
+        guard_report = self.organizer.guard_tick()
+        if guard_report is not None:
+            self.events.log(
+                db.clock.now_ms,
+                EventKind.APPLY,
+                f"applied escalation tuning pass over {guard_report.order}",
+            )
         if self.cost_maintenance is not None:
             self.cost_maintenance.on_tick(now_ms)
         self._ticks += 1

@@ -29,6 +29,7 @@ class EventKind(enum.Enum):
     FAULT = "fault"
     ROLLBACK = "rollback"
     QUARANTINE = "quarantine"
+    GUARD = "guard"
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from repro.configuration.store import (
 from repro.cost.what_if import WhatIfOptimizer
 from repro.core.events import EventKind, EventLog
 from repro.core.triggers import (
+    FORECAST_MISS_TRIGGER,
     ForecastDriftTrigger,
     SlaViolationTrigger,
     TriggerContext,
@@ -31,6 +32,10 @@ from repro.core.triggers import (
 from repro.dbms.database import Database
 from repro.faults.quarantine import Admission, FeatureQuarantine
 from repro.forecasting.predictor import WorkloadPredictor
+from repro.guard.forecast_miss import ForecastMissVerdict
+from repro.guard.guard import CommitGuard, GuardConfig
+from repro.guard.ledger import ProbationCommit
+from repro.guard.regression import RegressionVerdict
 from repro.kpi.metrics import (
     WHATIF_CACHE_EVICTIONS,
     WHATIF_CACHE_HITS,
@@ -44,7 +49,8 @@ from repro.ordering.recursive import (
     RecursiveTuningReport,
 )
 from repro.telemetry import Telemetry
-from repro.tuning.executors.base import TuningExecutor
+from repro.tuning.executors.base import ApplicationReport, TuningExecutor
+from repro.tuning.executors.sequential import SequentialExecutor
 from repro.tuning.tuner import Tuner
 
 
@@ -72,6 +78,9 @@ class OrganizerConfig:
     quarantine_after: int = 3
     #: simulated ms a quarantined feature waits before a probation attempt
     quarantine_probation_ms: float = 30 * 60_000.0
+    #: guarded-commit protocol: probation windows, regression watchdog,
+    #: and forecast-miss escalation (see repro.guard, docs/robustness.md)
+    guard: GuardConfig = field(default_factory=GuardConfig)
 
 
 @dataclass
@@ -129,8 +138,9 @@ class Organizer:
         self._optimizer = optimizer or WhatIfOptimizer(db)
         # surface the shared optimizer's cache counters both through the
         # monitor (interval KPIs) and through the telemetry registry (for
-        # the per-pass interval reads in run_tuning)
-        self._monitor.attach_whatif_cache(self._optimizer)
+        # the per-pass interval reads in run_tuning); both binds are
+        # no-ops when the driver already wired one shared registry
+        self._optimizer.bind_registry(self._monitor.registry, replace=True)
         self._optimizer.bind_registry(self._telemetry.registry, replace=True)
         self._executor = executor
         # per-feature circuit breaker: graceful degradation when a
@@ -147,6 +157,14 @@ class Organizer:
             order_optimizer=LPOrderOptimizer(),
             optimizer=self._optimizer,
             telemetry=self._telemetry,
+        )
+        # the commit guard: probation ledger, regression watchdog, and
+        # forecast-miss escalation, driven from guard_tick()
+        self._guard = CommitGuard(
+            self._monitor,
+            config=self._config.guard,
+            registry=self._telemetry.registry,
+            events=self._events,
         )
         self._last_tuning_ms: float | None = None
         self._cached_order: tuple[str, ...] | None = None
@@ -178,6 +196,10 @@ class Organizer:
     @property
     def quarantine(self) -> FeatureQuarantine:
         return self._quarantine
+
+    @property
+    def guard(self) -> CommitGuard:
+        return self._guard
 
     @property
     def cached_order(self) -> tuple[str, ...] | None:
@@ -260,6 +282,91 @@ class Organizer:
                     "tuning deferred: waiting for a low-utilization window",
                 )
                 return None
+        return self.run_tuning(decision)
+
+    # ------------------------------------------------------------------
+    # the guarded-commit hook (driven every driver tick)
+
+    def guard_tick(self) -> OrganizerRunReport | None:
+        """Per-tick guard hook: regression watchdog, then escalation.
+
+        Runs more often than :meth:`tick` (every monitor sample, not
+        every trigger evaluation): a regressing commit is rolled back as
+        soon as the evidence is in, and a forecast miss re-tunes
+        immediately instead of waiting for the next periodic trigger.
+        Returns the escalation pass report when one ran.
+        """
+        if not self._config.guard.enabled:
+            return None
+        now = self._db.clock.now_ms
+        confirmed = self._guard.check_regression(now)
+        if confirmed is not None:
+            commit, verdict = confirmed
+            self._rollback_commit(commit, verdict)
+        miss = self._guard.check_forecast_miss(now, self._predictor)
+        if miss is not None:
+            return self._escalate(miss)
+        return None
+
+    def _rollback_commit(
+        self, commit: ProbationCommit, verdict: RegressionVerdict
+    ) -> ApplicationReport:
+        """Undo a probation commit through the executor recovery path."""
+        executor = self._executor or SequentialExecutor(
+            telemetry=self._telemetry
+        )
+        report = executor.rollback(
+            self._db,
+            list(commit.inverse_actions),
+            (commit.saved_epoch, commit.saved_pool),
+        )
+        now = self._db.clock.now_ms
+        _, offenders = self._guard.resolve_rollback(now)
+        self._events.log(
+            now,
+            EventKind.ROLLBACK,
+            f"rolled back commit #{commit.commit_id}: "
+            f"{report.rollback_actions} inverse actions undone "
+            f"({verdict.metric} regressed {verdict.regression:.0%})",
+            commit_id=commit.commit_id,
+            actions=report.rollback_actions,
+            work_ms=report.rollback_work_ms,
+            regression=verdict.regression,
+        )
+        # a rolled-back commit counts against its features in the same
+        # breaker failed applications feed; a repeat offender — commits
+        # that keep regressing despite applying cleanly — is force-opened
+        for feature in commit.features:
+            opened = self._quarantine.record_failure(feature, now)
+            if feature in offenders and not opened:
+                opened = self._quarantine.open(feature, now)
+            if opened:
+                self._events.log(
+                    now,
+                    EventKind.QUARANTINE,
+                    f"feature {feature!r} quarantined after its commits "
+                    "kept regressing runtime KPIs",
+                    feature=feature,
+                    state="opened",
+                    probation_ms=self._config.quarantine_probation_ms,
+                )
+        return report
+
+    def _escalate(self, verdict: ForecastMissVerdict) -> OrganizerRunReport | None:
+        """Re-tune now: the workload left the forecast envelope.
+
+        The cached tuning order was computed for the old mix, so it is
+        invalidated first — the escalation pass re-measures dependencies
+        and re-solves the ordering LP against the fresh forecast.
+        """
+        self._cached_order = None
+        decision = TriggerDecision(
+            True,
+            FORECAST_MISS_TRIGGER,
+            f"observed mix {verdict.distance:.2f} TV from nearest "
+            f"scenario {verdict.nearest_scenario!r}",
+            {"distance": verdict.distance},
+        )
         return self.run_tuning(decision)
 
     def _feature_subset(self, order: tuple[str, ...]) -> tuple[str, ...]:
@@ -364,6 +471,9 @@ class Organizer:
         now = self._db.clock.now_ms
         decision = decision or TriggerDecision(True, "manual", "manual request")
         forecast = self._predictor.forecast(self._config.horizon_bins)
+        # the forecast this pass tunes for is also the envelope the guard
+        # later judges the live workload against (forecast-miss detection)
+        self._guard.note_forecast(forecast)
         # per-pass metric deltas come from a registry interval read, so any
         # counter a component registers (cache, executor, future
         # subsystems) is automatically measurable over the pass
@@ -423,6 +533,9 @@ class Organizer:
                 return None
             self._runs_since_refresh += 1
 
+            # pre-pass state for a possible post-commit (guard) rollback:
+            # the same snapshot the executors take per application
+            pre_pass = TuningExecutor.snapshot(self._db)
             report = self._planner.run(
                 forecast, order=subset, executor=self._executor
             )
@@ -464,6 +577,22 @@ class Organizer:
                         measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
                     )
                 )
+            # the committed pass enters probation: its inverse actions are
+            # retained instead of discarded, so a confirmed KPI regression
+            # can undo it bit-identically (see repro.guard)
+            saved_epoch, saved_pool = pre_pass
+            self._guard.open_probation(
+                self._db.clock.now_ms,
+                features=tuple(
+                    r.feature for r in ok_runs if r.report.action_summaries
+                ),
+                inverse_actions=tuple(
+                    a for r in ok_runs for a in r.report.inverse_actions
+                ),
+                saved_epoch=saved_epoch,
+                saved_pool=saved_pool,
+                record_id=record_id,
+            )
             deltas = interval.deltas()
             cache_hits = int(deltas.get(WHATIF_CACHE_HITS, 0.0))
             cache_misses = int(deltas.get(WHATIF_CACHE_MISSES, 0.0))

@@ -43,6 +43,14 @@ class TriggerDecision:
     details: dict[str, float] = field(default_factory=dict)
 
 
+#: trigger name of guard-initiated escalation passes. Not a
+#: :class:`TuningTrigger` — the commit guard escalates out of band from
+#: its per-tick hook (see repro.guard) instead of waiting for the
+#: organizer's trigger evaluation, which is the point: the live workload
+#: left the forecast envelope *now*.
+FORECAST_MISS_TRIGGER = "forecast_miss"
+
+
 class TuningTrigger(ABC):
     """One policy that can demand a tuning run."""
 

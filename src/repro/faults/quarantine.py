@@ -115,6 +115,25 @@ class FeatureQuarantine:
             return True
         return False
 
+    def open(self, feature: str, now_ms: float) -> bool:
+        """Force the breaker open, bypassing the failure threshold.
+
+        Used by outer watchdogs that identify a misbehaving feature
+        through evidence the per-application counter cannot see — e.g.
+        the commit guard flagging a repeat offender whose commits keep
+        regressing runtime KPIs despite applying cleanly. Returns True
+        when the breaker newly opened (re-opening an OPEN breaker only
+        restarts its probation window and is not counted again).
+        """
+        st = self._state(feature)
+        already_open = st.state is QuarantineState.OPEN
+        st.state = QuarantineState.OPEN
+        st.opened_at_ms = now_ms
+        if already_open:
+            return False
+        self._opened.inc()
+        return True
+
     def record_success(self, feature: str) -> bool:
         """Record one successful application; returns True when the
         breaker closed from probation on this call."""

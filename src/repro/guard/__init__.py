@@ -1,0 +1,29 @@
+"""Guarded reconfiguration: commit probation, regression watchdog, and
+forecast-miss escalation (see docs/robustness.md)."""
+
+from repro.guard.forecast_miss import (
+    ForecastMissDetector,
+    ForecastMissVerdict,
+    total_variation,
+)
+from repro.guard.guard import CommitGuard, GuardConfig
+from repro.guard.ledger import CommitLedger, CommitResolution, ProbationCommit
+from repro.guard.regression import (
+    RegressionDetector,
+    RegressionStatus,
+    RegressionVerdict,
+)
+
+__all__ = [
+    "CommitGuard",
+    "CommitLedger",
+    "CommitResolution",
+    "ForecastMissDetector",
+    "ForecastMissVerdict",
+    "GuardConfig",
+    "ProbationCommit",
+    "RegressionDetector",
+    "RegressionStatus",
+    "RegressionVerdict",
+    "total_variation",
+]

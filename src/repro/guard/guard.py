@@ -1,0 +1,361 @@
+"""The commit guard: probation, watchdog, and escalation in one place.
+
+PR 3 made action *application* fault-tolerant; the guard makes tuning
+*decisions* fault-tolerant. Every committed pass enters a probation
+window during which its inverse actions are retained
+(:class:`~repro.guard.ledger.CommitLedger`); a
+:class:`~repro.guard.regression.RegressionDetector` watches the
+post-commit runtime KPIs against the pre-commit baseline, and a
+:class:`~repro.guard.forecast_miss.ForecastMissDetector` watches the
+observed template mix against the forecast the pass was tuned for. The
+organizer drives the guard from its per-tick hook and performs the
+actual rollback / re-tune; the guard owns the state machine, events,
+and ``guard_*`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.configuration.actions import Action
+from repro.core.events import EventKind, EventLog
+from repro.forecasting.predictor import WorkloadPredictor
+from repro.forecasting.scenarios import Forecast
+from repro.guard.forecast_miss import (
+    ForecastMissDetector,
+    ForecastMissVerdict,
+)
+from repro.guard.ledger import (
+    CommitLedger,
+    CommitResolution,
+    ProbationCommit,
+)
+from repro.guard.regression import RegressionDetector, RegressionVerdict
+from repro.kpi.metrics import (
+    GUARD_COMMITS,
+    GUARD_ESCALATIONS,
+    GUARD_FORECAST_MISSES,
+    GUARD_PASSED,
+    GUARD_REGRESSIONS,
+    GUARD_ROLLBACKS,
+    GUARD_SUPERSEDED,
+    MEAN_QUERY_MS,
+)
+from repro.kpi.monitor import RuntimeKPIMonitor
+from repro.telemetry.metrics import MetricRegistry
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Policy parameters of the guarded-commit protocol."""
+
+    #: master switch; when off the organizer never opens probation
+    enabled: bool = True
+    #: KPI the regression watchdog compares (lower is better)
+    metric: str = MEAN_QUERY_MS
+    #: pre-commit busy samples averaged into the baseline
+    baseline_samples: int = 4
+    #: busy post-commit samples required before any regression verdict
+    min_samples: int = 3
+    #: post-commit samples after which an unconfirmed commit passes
+    probation_samples: int = 8
+    #: relative KPI regression over baseline that confirms a bad commit
+    regression_bound: float = 0.30
+    #: consecutive rolled-back commits of one feature before the guard
+    #: flags it as a repeat offender (the organizer then force-opens the
+    #: feature-quarantine breaker for it)
+    repeat_offender_after: int = 2
+    #: total-variation distance beyond which the observed mix is a miss.
+    #: Calibration: a dominance swap of the retail suite's heaviest and
+    #: lightest families moves ~0.25 TV, while Poisson noise on a stable
+    #: mix (averaged over the observed window) stays under ~0.1
+    tv_threshold: float = 0.20
+    #: consecutive missing observations before escalation
+    miss_patience: int = 2
+    #: recent bins averaged into the observed template mix
+    observed_window_bins: int = 3
+    #: simulated ms between forecast-miss escalations
+    escalation_cooldown_ms: float = 3 * 60_000.0
+
+
+class CommitGuard:
+    """Tracks probation commits and the forecast envelope.
+
+    The guard never mutates the database itself — it reports CONFIRMED
+    regressions and escalations to the organizer, which rolls back
+    through the executor's recovery path and re-tunes. That keeps all
+    reconfiguration accounting on the one code path PR 3 already tests.
+    """
+
+    def __init__(
+        self,
+        monitor: RuntimeKPIMonitor,
+        config: GuardConfig | None = None,
+        registry: MetricRegistry | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self._monitor = monitor
+        self._config = config or GuardConfig()
+        self._events = events if events is not None else EventLog()
+        registry = registry if registry is not None else MetricRegistry()
+        self._ledger = CommitLedger()
+        self._detector = RegressionDetector(
+            metric=self._config.metric,
+            regression_bound=self._config.regression_bound,
+            min_samples=self._config.min_samples,
+        )
+        self._miss_detector = ForecastMissDetector(
+            threshold=self._config.tv_threshold,
+            patience=self._config.miss_patience,
+        )
+        self._forecast: Forecast | None = None
+        self._last_escalation_ms: float | None = None
+        #: feature → consecutive commits of it the watchdog rolled back
+        self._regression_streaks: dict[str, int] = {}
+        self._commits = registry.counter(GUARD_COMMITS)
+        self._passed = registry.counter(GUARD_PASSED)
+        self._superseded = registry.counter(GUARD_SUPERSEDED)
+        self._regressions = registry.counter(GUARD_REGRESSIONS)
+        self._rollbacks = registry.counter(GUARD_ROLLBACKS)
+        self._misses = registry.counter(GUARD_FORECAST_MISSES)
+        self._escalations = registry.counter(GUARD_ESCALATIONS)
+
+    @property
+    def config(self) -> GuardConfig:
+        return self._config
+
+    @property
+    def ledger(self) -> CommitLedger:
+        return self._ledger
+
+    @property
+    def active_commit(self) -> ProbationCommit | None:
+        return self._ledger.active
+
+    @property
+    def miss_streak(self) -> int:
+        return self._miss_detector.streak
+
+    def regression_streak(self, feature: str) -> int:
+        """Consecutive rolled-back commits ``feature`` contributed to."""
+        return self._regression_streaks.get(feature, 0)
+
+    # ------------------------------------------------------------------
+    # probation lifecycle
+
+    def note_forecast(self, forecast: Forecast) -> None:
+        """Adopt ``forecast`` as the envelope the live workload is judged
+        against; resets the miss streak (the new configuration was tuned
+        for this forecast, so drift evidence starts over)."""
+        self._forecast = forecast
+        self._miss_detector.reset()
+
+    def open_probation(
+        self,
+        now_ms: float,
+        *,
+        features: tuple[str, ...],
+        inverse_actions: tuple[Action, ...],
+        saved_epoch: int,
+        saved_pool: tuple[int, int],
+        record_id: int | None = None,
+    ) -> ProbationCommit | None:
+        """Put a freshly committed pass on probation.
+
+        Returns ``None`` (no probation) when the guard is disabled or
+        the pass applied nothing reversible. The KPI baseline is taken
+        *now*, from the monitor history — which at commit time still
+        contains only pre-pass samples.
+        """
+        if not self._config.enabled or not inverse_actions:
+            return None
+        baseline_ms, baseline_count = self._detector.baseline(
+            self._monitor.history(), self._config.baseline_samples
+        )
+        commit, superseded = self._ledger.open(
+            now_ms,
+            features=features,
+            inverse_actions=inverse_actions,
+            saved_epoch=saved_epoch,
+            saved_pool=saved_pool,
+            baseline_ms=baseline_ms,
+            baseline_sample_count=baseline_count,
+            record_id=record_id,
+        )
+        self._commits.inc()
+        if superseded is not None:
+            self._superseded.inc()
+            self._events.log(
+                now_ms,
+                EventKind.GUARD,
+                f"commit #{superseded.commit_id} superseded by "
+                f"commit #{commit.commit_id} before its probation ended",
+                commit_id=superseded.commit_id,
+                state="superseded",
+                superseded_by=commit.commit_id,
+            )
+        self._events.log(
+            now_ms,
+            EventKind.GUARD,
+            f"commit #{commit.commit_id} on probation: "
+            f"{len(inverse_actions)} inverse actions retained, "
+            f"baseline {baseline_ms:.2f} ms over {baseline_count} samples",
+            commit_id=commit.commit_id,
+            state="on_probation",
+            features=list(features),
+            inverse_actions=len(inverse_actions),
+            baseline_ms=baseline_ms,
+            baseline_samples=baseline_count,
+        )
+        return commit
+
+    # ------------------------------------------------------------------
+    # watchdogs
+
+    def _post_commit_samples(self, commit: ProbationCommit) -> list:
+        return [
+            s
+            for s in self._monitor.history()
+            if s.at_ms > commit.committed_at_ms
+        ]
+
+    def check_regression(
+        self, now_ms: float
+    ) -> tuple[ProbationCommit, RegressionVerdict] | None:
+        """Evaluate the active probation commit against post-commit KPIs.
+
+        Returns ``(commit, verdict)`` only on a CONFIRMED regression —
+        the caller then rolls back and calls :meth:`resolve_rollback`.
+        An unconfirmed commit whose probation window has elapsed
+        (``probation_samples`` post-commit samples) graduates here:
+        resolved PASSED, rollback material dropped.
+        """
+        commit = self._ledger.active
+        if commit is None:
+            return None
+        post = self._post_commit_samples(commit)
+        verdict = self._detector.evaluate(commit.baseline_ms, post)
+        if verdict.confirmed:
+            self._regressions.inc()
+            self._events.log(
+                now_ms,
+                EventKind.GUARD,
+                f"commit #{commit.commit_id} regression confirmed: "
+                f"{verdict.metric} {commit.baseline_ms:.2f} -> "
+                f"{verdict.observed_ms:.2f} ms "
+                f"(+{verdict.regression:.0%} over {verdict.sample_count} "
+                "samples)",
+                commit_id=commit.commit_id,
+                state="regression_confirmed",
+                metric=verdict.metric,
+                baseline_ms=commit.baseline_ms,
+                observed_ms=verdict.observed_ms,
+                regression=verdict.regression,
+                samples=verdict.sample_count,
+            )
+            return commit, verdict
+        if len(post) >= self._config.probation_samples:
+            self._ledger.resolve(CommitResolution.PASSED, now_ms)
+            self._passed.inc()
+            for feature in commit.features:
+                self._regression_streaks.pop(feature, None)
+            self._events.log(
+                now_ms,
+                EventKind.GUARD,
+                f"commit #{commit.commit_id} passed probation "
+                f"({verdict.metric} {verdict.observed_ms:.2f} ms vs "
+                f"baseline {commit.baseline_ms:.2f} ms)",
+                commit_id=commit.commit_id,
+                state="passed",
+                observed_ms=verdict.observed_ms,
+                baseline_ms=commit.baseline_ms,
+            )
+        return None
+
+    def resolve_rollback(
+        self, now_ms: float
+    ) -> tuple[ProbationCommit, tuple[str, ...]]:
+        """Mark the active commit rolled back (after the caller restored
+        the pre-commit configuration through the executor).
+
+        Returns ``(commit, repeat_offenders)``: features whose last
+        ``repeat_offender_after`` commits were all rolled back. The
+        organizer force-opens the quarantine breaker for those — a
+        feature the cost model keeps getting wrong must stop tuning, not
+        keep oscillating. A flagged feature's streak resets so it gets a
+        clean slate after its quarantine probation.
+        """
+        commit = self._ledger.resolve(CommitResolution.ROLLED_BACK, now_ms)
+        self._rollbacks.inc()
+        offenders: list[str] = []
+        for feature in commit.features:
+            streak = self._regression_streaks.get(feature, 0) + 1
+            if streak >= self._config.repeat_offender_after:
+                offenders.append(feature)
+                self._regression_streaks.pop(feature, None)
+            else:
+                self._regression_streaks[feature] = streak
+        return commit, tuple(offenders)
+
+    def check_forecast_miss(
+        self, now_ms: float, predictor: WorkloadPredictor
+    ) -> ForecastMissVerdict | None:
+        """Compare the observed template mix against the noted forecast.
+
+        Returns the verdict only when it escalates (``miss_patience``
+        consecutive observations outside the envelope, and no escalation
+        within the cooldown). No forecast noted, an all-idle observation
+        window, or a forecast with no mass all yield ``None`` — absence
+        of evidence never escalates.
+        """
+        if not self._config.enabled or self._forecast is None:
+            return None
+        if (
+            self._last_escalation_ms is not None
+            and now_ms - self._last_escalation_ms
+            < self._config.escalation_cooldown_ms
+        ):
+            return None
+        observed = predictor.recent_scenario(
+            self._config.observed_window_bins,
+            self._forecast.horizon_bins,
+            name="observed",
+        ).frequencies
+        if sum(observed.values()) <= 0:
+            return None
+        verdict = self._miss_detector.observe(self._forecast, observed)
+        if not verdict.miss:
+            return None
+        self._misses.inc()
+        if not verdict.escalate:
+            return None
+        self._escalations.inc()
+        self._last_escalation_ms = now_ms
+        self._events.log(
+            now_ms,
+            EventKind.GUARD,
+            f"forecast miss escalated: observed mix is {verdict.distance:.2f}"
+            f" TV from nearest scenario {verdict.nearest_scenario!r} "
+            f"for {self._config.miss_patience} consecutive observations",
+            state="forecast_miss",
+            distance=verdict.distance,
+            nearest_scenario=verdict.nearest_scenario,
+            threshold=self._config.tv_threshold,
+        )
+        return verdict
+
+    # ------------------------------------------------------------------
+    # inspection
+
+    def snapshot(self) -> dict[str, object]:
+        """Guard state view for logs and the CLI."""
+        return {
+            "enabled": self._config.enabled,
+            "active_commit": (
+                self._ledger.active.commit_id
+                if self._ledger.active is not None
+                else None
+            ),
+            "miss_streak": self._miss_detector.streak,
+            "ledger": self._ledger.snapshot(),
+        }

@@ -1,0 +1,121 @@
+"""Runtime regression detection for committed tuning passes.
+
+The paper's runtime KPIs exist "for determining the impact of adjusted
+configurations" (Section II-A.e). The detector operationalises that:
+given the pre-commit KPI baseline and the windowed post-commit samples,
+it decides whether the committed configuration made the workload
+*measurably worse* — noise-aware, so a single slow bin never condemns a
+good commit:
+
+- idle samples (no queries executed in the interval) carry no evidence
+  and are excluded from both windows;
+- a verdict needs at least ``min_samples`` busy post-commit samples;
+- the regression must exceed a *relative* bound over the baseline
+  (``observed > baseline * (1 + regression_bound)``), which scales with
+  the workload instead of chasing absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.kpi.metrics import MEAN_QUERY_MS, QUERIES_EXECUTED, KPISample
+
+
+class RegressionStatus(enum.Enum):
+    """Outcome of one regression check against a probation commit."""
+
+    #: not enough busy samples (or no usable baseline) for a verdict yet
+    PENDING = "pending"
+    #: enough evidence, and the KPI stayed within the bound
+    CLEAR = "clear"
+    #: enough evidence, and the KPI regressed beyond the bound
+    CONFIRMED = "confirmed"
+
+
+@dataclass(frozen=True)
+class RegressionVerdict:
+    """One windowed KPI comparison against the pre-commit baseline."""
+
+    status: RegressionStatus
+    metric: str
+    baseline_ms: float
+    observed_ms: float
+    #: busy (non-idle) post-commit samples the observation is based on
+    sample_count: int
+
+    @property
+    def regression(self) -> float:
+        """Relative KPI regression over the baseline (0 when no baseline)."""
+        if self.baseline_ms <= 0:
+            return 0.0
+        return self.observed_ms / self.baseline_ms - 1.0
+
+    @property
+    def confirmed(self) -> bool:
+        return self.status is RegressionStatus.CONFIRMED
+
+
+class RegressionDetector:
+    """Noise-aware windowed KPI comparison against a pre-commit baseline."""
+
+    def __init__(
+        self,
+        metric: str = MEAN_QUERY_MS,
+        regression_bound: float = 0.30,
+        min_samples: int = 3,
+    ) -> None:
+        if regression_bound <= 0:
+            raise ValueError("regression_bound must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        self.metric = metric
+        self.regression_bound = regression_bound
+        self.min_samples = min_samples
+
+    @staticmethod
+    def busy(samples: Sequence[KPISample]) -> list[KPISample]:
+        """Samples whose interval actually executed queries."""
+        return [s for s in samples if s.get(QUERIES_EXECUTED) > 0]
+
+    def baseline(self, samples: Sequence[KPISample], last_n: int) -> tuple[float, int]:
+        """Mean of the metric over the last ``last_n`` busy samples.
+
+        Returns ``(baseline, sample_count)``; ``(0.0, 0)`` when no busy
+        sample exists — an unusable baseline that keeps every later
+        verdict :attr:`RegressionStatus.PENDING` (no evidence, no
+        rollback).
+        """
+        busy = self.busy(samples)[-last_n:]
+        if not busy:
+            return 0.0, 0
+        return sum(s.get(self.metric) for s in busy) / len(busy), len(busy)
+
+    def evaluate(
+        self, baseline_ms: float, samples: Sequence[KPISample]
+    ) -> RegressionVerdict:
+        """Compare post-commit ``samples`` against ``baseline_ms``."""
+        busy = self.busy(samples)
+        if baseline_ms <= 0 or len(busy) < self.min_samples:
+            return RegressionVerdict(
+                status=RegressionStatus.PENDING,
+                metric=self.metric,
+                baseline_ms=baseline_ms,
+                observed_ms=0.0,
+                sample_count=len(busy),
+            )
+        observed = sum(s.get(self.metric) for s in busy) / len(busy)
+        confirmed = observed > baseline_ms * (1.0 + self.regression_bound)
+        return RegressionVerdict(
+            status=(
+                RegressionStatus.CONFIRMED
+                if confirmed
+                else RegressionStatus.CLEAR
+            ),
+            metric=self.metric,
+            baseline_ms=baseline_ms,
+            observed_ms=observed,
+            sample_count=len(busy),
+        )

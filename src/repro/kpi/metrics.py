@@ -78,6 +78,27 @@ FAULT_KPIS = (
     QUARANTINE_CLOSED,
 )
 
+# guarded-commit counters (decision-level robustness; see repro.guard and
+# docs/robustness.md). The commit guard owns all guard_* names; they live
+# in the shared telemetry MetricRegistry like the fault counters above.
+GUARD_COMMITS = "guard_commits"
+GUARD_PASSED = "guard_passed"
+GUARD_SUPERSEDED = "guard_superseded"
+GUARD_REGRESSIONS = "guard_regressions"
+GUARD_ROLLBACKS = "guard_rollbacks"
+GUARD_FORECAST_MISSES = "guard_forecast_misses"
+GUARD_ESCALATIONS = "guard_escalations"
+
+GUARD_KPIS = (
+    GUARD_COMMITS,
+    GUARD_PASSED,
+    GUARD_SUPERSEDED,
+    GUARD_REGRESSIONS,
+    GUARD_ROLLBACKS,
+    GUARD_FORECAST_MISSES,
+    GUARD_ESCALATIONS,
+)
+
 # system-specific KPIs (simulated hardware view)
 CPU_UTILIZATION = "cpu_utilization"
 MEMORY_UTILIZATION = "memory_utilization"

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import islice
-from typing import TYPE_CHECKING
 
 from repro.configuration.constraints import SlaConstraint
 from repro.dbms.database import Database
@@ -43,9 +42,6 @@ from repro.kpi.metrics import (
 )
 from repro.kpi.system import derive_system_kpis
 from repro.telemetry.metrics import MetricRegistry
-
-if TYPE_CHECKING:
-    from repro.cost.what_if import WhatIfOptimizer
 
 
 class RuntimeKPIMonitor:
@@ -75,23 +71,6 @@ class RuntimeKPIMonitor:
     def registry(self) -> MetricRegistry:
         """The registry whose metrics are folded into each sample."""
         return self._registry
-
-    def attach_whatif_cache(self, optimizer: "WhatIfOptimizer") -> None:
-        """Deprecated shim: surface ``optimizer``'s cost-cache counters as
-        interval KPIs.
-
-        The counters now live in the telemetry registry, so this just
-        adopts them into the monitor's registry (replacing a previously
-        attached optimizer's counters) — the generic registry-derived KPI
-        path does the rest. Prefer constructing the monitor with the
-        shared registry; kept for backward compatibility.
-        """
-        optimizer.bind_registry(self._registry, replace=True)
-        # baseline the newly adopted counters at their current values so
-        # the in-progress interval only reports post-attach activity
-        # (matching the old attach-time snapshot semantics)
-        for name, value in self._registry.snapshot_counters().items():
-            self._last_metric_snapshot.setdefault(name, value)
 
     def sample(self) -> KPISample:
         """Close one monitoring interval and derive its KPIs."""

@@ -4,6 +4,7 @@ from repro.tuning.assessors.base import Assessor
 from repro.tuning.assessors.buffer_pool import BufferPoolAssessor
 from repro.tuning.assessors.cost_model import CostModelAssessor
 from repro.tuning.assessors.learned_feedback import LearnedFeedbackAssessor
+from repro.tuning.assessors.miscalibrated import MiscalibratedAssessor
 from repro.tuning.assessors.sort_benefit import SortBenefitAssessor
 
 __all__ = [
@@ -11,5 +12,6 @@ __all__ = [
     "BufferPoolAssessor",
     "CostModelAssessor",
     "LearnedFeedbackAssessor",
+    "MiscalibratedAssessor",
     "SortBenefitAssessor",
 ]

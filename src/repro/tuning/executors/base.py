@@ -84,6 +84,10 @@ class ApplicationReport:
     rollback_work_ms: float = 0.0
     #: description of the action whose failure aborted the pass
     failed_action: str | None = None
+    #: inverse actions of the applied pass, in application order — kept on
+    #: a *clean* pass so the commit guard can retain them for probation
+    #: (see repro.guard); empty after a rollback consumed them
+    inverse_actions: list[Action] = field(default_factory=list)
 
     @property
     def total_work_ms(self) -> float:
@@ -153,9 +157,13 @@ class TuningExecutor(ABC):
     # shared failure machinery
 
     @staticmethod
-    def _snapshot(db: Database) -> tuple[int, tuple[int, int]]:
+    def snapshot(db: Database) -> tuple[int, tuple[int, int]]:
         """Pre-pass state needed for an exact rollback: the config epoch
-        and the buffer-pool fingerprint proving the restore was exact."""
+        and the buffer-pool fingerprint proving the restore was exact.
+
+        Public because the commit guard captures the same snapshot
+        before a pass it may later have to undo (see :meth:`rollback`).
+        """
         pool = db.executor.buffer_pool
         return db.config_epoch, (pool.entry_count, pool.used_bytes)
 
@@ -234,6 +242,28 @@ class TuningExecutor(ABC):
         self._rollbacks_counter.inc()
         if inverse_stack:
             self._rollback_actions_counter.inc(len(inverse_stack))
+
+    def rollback(
+        self,
+        db: Database,
+        inverse_actions: list[Action],
+        saved: tuple[int, tuple[int, int]],
+        strategy: str = "guard_rollback",
+    ) -> ApplicationReport:
+        """Public rollback entry point for *post-commit* rollbacks.
+
+        The commit guard retains a clean pass's inverse actions and its
+        pre-pass snapshot (see :meth:`_snapshot`); when the pass later
+        turns out to regress runtime KPIs, the organizer undoes it here —
+        through the exact machinery a failed application already uses,
+        so clock/counter accounting and the config-epoch restore rules
+        are identical. Returns the finalised report of the rollback.
+        """
+        report = ApplicationReport(strategy=strategy, started_ms=db.clock.now_ms)
+        self._rollback(db, list(inverse_actions), saved, report)
+        report.finished_ms = db.clock.now_ms
+        report.elapsed_ms = report.finished_ms - report.started_ms
+        return report
 
     def _abort(
         self,

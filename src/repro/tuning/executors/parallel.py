@@ -60,7 +60,7 @@ class ParallelExecutor(TuningExecutor):
         report = ApplicationReport(
             strategy=self.name, started_ms=db.clock.now_ms
         )
-        saved = self._snapshot(db)
+        saved = self.snapshot(db)
         inverse_stack: list[Action] = []
         actions = list(delta.actions)
         for start in range(0, len(actions), self._worker_count):
@@ -80,4 +80,7 @@ class ParallelExecutor(TuningExecutor):
             self._account_batch(db, report, batch, costs)
         report.finished_ms = db.clock.now_ms
         report.elapsed_ms = report.finished_ms - report.started_ms
+        # a clean pass hands its inverse actions to the caller: the commit
+        # guard retains them for the probation window (see repro.guard)
+        report.inverse_actions = inverse_stack
         return report

@@ -25,7 +25,7 @@ class SequentialExecutor(TuningExecutor):
         report = ApplicationReport(
             strategy=self.name, started_ms=db.clock.now_ms
         )
-        saved = self._snapshot(db)
+        saved = self.snapshot(db)
         inverse_stack: list[Action] = []
         for action in delta.actions:
             try:
@@ -40,4 +40,7 @@ class SequentialExecutor(TuningExecutor):
             report.action_costs_ms.append(cost)
         report.finished_ms = db.clock.now_ms
         report.elapsed_ms = report.finished_ms - report.started_ms
+        # a clean pass hands its inverse actions to the caller: the commit
+        # guard retains them for the probation window (see repro.guard)
+        report.inverse_actions = inverse_stack
         return report

@@ -7,9 +7,24 @@ families. Each injector returns a modified *copy* of the trace.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping
 
 from repro.workload.trace import WorkloadTrace
+
+
+def _scale_count(count: int, factor: float) -> int:
+    """Scale one bin count, never silently zeroing a live family.
+
+    ``int(round(...))`` banker's-rounds small products to 0 (e.g.
+    ``1 * 0.5``), making mild shifts vanish entirely. Round half-up
+    instead, with a floor of 1 whenever the original count was nonzero
+    and the factor is positive — a scaled-down family stays present in
+    the mix. A factor of 0 (or less) still removes it explicitly.
+    """
+    if count <= 0 or factor <= 0:
+        return 0
+    return max(1, math.floor(count * factor + 0.5))
 
 
 def apply_shift(
@@ -22,7 +37,7 @@ def apply_shift(
             continue
         for name, factor in factors.items():
             if name in b.counts:
-                b.counts[name] = int(round(b.counts[name] * factor))
+                b.counts[name] = _scale_count(b.counts[name], factor)
     return shifted
 
 
@@ -39,7 +54,9 @@ def apply_spike(
     spiked = trace.copy()
     for b in spiked.bins:
         if at_bin <= b.index < at_bin + duration_bins:
-            b.counts[family] = int(round(b.counts.get(family, 0) * magnitude))
+            b.counts[family] = _scale_count(
+                b.counts.get(family, 0), magnitude
+            )
     return spiked
 
 

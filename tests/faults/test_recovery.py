@@ -29,6 +29,19 @@ def test_backoff_grows_exponentially_and_caps():
     assert policy.total_backoff_ms == 50.0 + 100.0 + 150.0 + 150.0 + 150.0
 
 
+def test_total_backoff_is_capped_per_delay():
+    # a steep multiplier hits the cap from the second retry on: the
+    # exhausted-sequence total must sum the *capped* delays, not the
+    # uncapped exponential
+    policy = RetryPolicy(
+        max_retries=4, base_backoff_ms=10.0, multiplier=10.0,
+        max_backoff_ms=100.0,
+    )
+    assert policy.total_backoff_ms == 10.0 + 100.0 + 100.0 + 100.0
+    # zero retries wait for nothing
+    assert RetryPolicy(max_retries=0).total_backoff_ms == 0.0
+
+
 @pytest.mark.parametrize(
     "kwargs",
     [

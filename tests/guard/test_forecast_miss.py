@@ -1,0 +1,122 @@
+"""Total-variation distance and the forecast-miss streak machine."""
+
+import pytest
+
+from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.guard import ForecastMissDetector, total_variation
+
+
+def _forecast(*scenarios):
+    return Forecast(
+        scenarios=tuple(scenarios), horizon_bins=4, bin_duration_ms=60_000.0
+    )
+
+
+def _scenario(name, probability, **frequencies):
+    return WorkloadScenario(
+        name=name, probability=probability, frequencies=frequencies
+    )
+
+
+# ----------------------------------------------------------------------
+# total_variation
+
+
+def test_identical_distributions_are_zero():
+    assert total_variation({"a": 3.0, "b": 1.0}, {"a": 3.0, "b": 1.0}) == 0.0
+
+
+def test_volume_differences_do_not_register():
+    # same mix, 10x the executions: not drift
+    p = {"a": 3.0, "b": 1.0}
+    q = {"a": 30.0, "b": 10.0}
+    assert total_variation(p, q) == pytest.approx(0.0)
+
+
+def test_disjoint_supports_are_maximal():
+    assert total_variation({"a": 5.0}, {"b": 5.0}) == pytest.approx(1.0)
+
+
+def test_empty_cases():
+    assert total_variation({}, {}) == 0.0
+    assert total_variation({}, {"a": 1.0}) == 1.0
+    assert total_variation({"a": 1.0}, {}) == 1.0
+
+
+def test_symmetry_and_range():
+    p = {"a": 8.0, "b": 2.0}
+    q = {"a": 2.0, "b": 8.0, "c": 1.0}
+    assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+    assert 0.0 <= total_variation(p, q) <= 1.0
+
+
+def test_negative_frequencies_are_clamped():
+    assert total_variation({"a": 1.0, "b": -5.0}, {"a": 1.0}) == 0.0
+
+
+def test_dominance_swap_distance():
+    # swapping the mass of two families moves |pa-pb| in TV
+    p = {"a": 30.0, "b": 3.0, "c": 7.0}
+    q = {"a": 3.0, "b": 30.0, "c": 7.0}
+    assert total_variation(p, q) == pytest.approx(27.0 / 40.0)
+
+
+# ----------------------------------------------------------------------
+# ForecastMissDetector
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError):
+        ForecastMissDetector(threshold=0.0)
+    with pytest.raises(ValueError):
+        ForecastMissDetector(threshold=1.5)
+    with pytest.raises(ValueError):
+        ForecastMissDetector(patience=0)
+
+
+def test_nearest_scenario_wins():
+    forecast = _forecast(
+        _scenario("expected", 0.7, a=10.0),
+        _scenario("worst_case", 0.3, b=10.0),
+    )
+    detector = ForecastMissDetector(threshold=0.35, patience=2)
+    # matching the worst case is not a miss: any scenario within the
+    # threshold keeps the observation inside the envelope
+    verdict = detector.observe(forecast, {"b": 25.0})
+    assert verdict.nearest_scenario == "worst_case"
+    assert verdict.distance == pytest.approx(0.0)
+    assert not verdict.miss
+    assert detector.streak == 0
+
+
+def test_streak_resets_on_hit():
+    forecast = _forecast(_scenario("expected", 1.0, a=10.0))
+    detector = ForecastMissDetector(threshold=0.35, patience=3)
+    assert detector.observe(forecast, {"b": 10.0}).miss
+    assert detector.streak == 1
+    assert not detector.observe(forecast, {"a": 10.0}).miss
+    assert detector.streak == 0
+
+
+def test_escalates_at_patience_and_resets():
+    forecast = _forecast(_scenario("expected", 1.0, a=10.0))
+    detector = ForecastMissDetector(threshold=0.35, patience=2)
+    first = detector.observe(forecast, {"b": 10.0})
+    assert first.miss and not first.escalate
+    second = detector.observe(forecast, {"b": 10.0})
+    assert second.escalate
+    assert second.streak == 2  # reports the streak that fired
+    # escalation consumed the streak: a full patience window is needed
+    # before the detector can fire again
+    assert detector.streak == 0
+    third = detector.observe(forecast, {"b": 10.0})
+    assert third.miss and not third.escalate
+
+
+def test_reset_forgets_the_streak():
+    forecast = _forecast(_scenario("expected", 1.0, a=10.0))
+    detector = ForecastMissDetector(threshold=0.35, patience=2)
+    detector.observe(forecast, {"b": 10.0})
+    detector.reset()
+    assert detector.streak == 0
+    assert not detector.observe(forecast, {"b": 10.0}).escalate

@@ -1,0 +1,185 @@
+"""Organizer-level guarded commits: probation, watchdog rollback, quarantine."""
+
+from repro.configuration.config import ConfigurationInstance
+from repro.core.driver import Driver, DriverConfig
+from repro.core.events import EventKind
+from repro.core.organizer import Organizer, OrganizerConfig
+from repro.core.triggers import NeverTrigger
+from repro.forecasting.analyzer import WorkloadAnalyzer
+from repro.forecasting.models import NaiveLastValue
+from repro.forecasting.predictor import WorkloadPredictor
+from repro.guard import CommitResolution, GuardConfig
+from repro.kpi.metrics import (
+    GUARD_COMMITS,
+    GUARD_PASSED,
+    GUARD_REGRESSIONS,
+    GUARD_ROLLBACKS,
+)
+from repro.kpi.monitor import RuntimeKPIMonitor
+from repro.tuning.assessors import MiscalibratedAssessor
+from repro.tuning.features import (
+    BufferPoolFeature,
+    DataPlacementFeature,
+    IndexSelectionFeature,
+)
+from repro.tuning.tuner import Tuner
+
+# tv_threshold 1.0 isolates the regression watchdog: with only ~25
+# sampled queries per bin the template-mix noise sits far above the
+# trace-level calibration of the default threshold (the forecast-miss
+# path has its own unit tests and bench_e16_guard scenarios)
+GUARD = GuardConfig(
+    baseline_samples=3,
+    min_samples=2,
+    probation_samples=4,
+    regression_bound=0.30,
+    tv_threshold=1.0,
+)
+
+
+def _organizer(retail_suite, tuners, guard=GUARD):
+    db = retail_suite.database
+    predictor = WorkloadPredictor(db, WorkloadAnalyzer(NaiveLastValue))
+    monitor = RuntimeKPIMonitor(db)
+    organizer = Organizer(
+        db,
+        predictor,
+        tuners,
+        monitor=monitor,
+        config=OrganizerConfig(
+            horizon_bins=3, min_history_bins=3, guard=guard
+        ),
+    )
+    return db, organizer, predictor, monitor
+
+
+def _run_bin(retail_suite, db, predictor, monitor, seed, queries=25):
+    for q in retail_suite.mix.sample_queries(queries, seed=seed):
+        db.execute(q)
+    db.clock.advance(1_000.0)
+    predictor.observe()
+    monitor.sample()
+
+
+def test_committed_pass_enters_and_passes_probation(retail_suite):
+    db, organizer, predictor, monitor = _organizer(
+        retail_suite, [Tuner(IndexSelectionFeature(), retail_suite.database)]
+    )
+    for i in range(4):
+        _run_bin(retail_suite, db, predictor, monitor, seed=100 + i)
+    report = organizer.run_tuning()
+    assert report is not None and db.index_bytes() > 0
+
+    commit = organizer.guard.active_commit
+    assert commit is not None
+    assert commit.features == ("index_selection",)
+    assert len(commit.inverse_actions) > 0
+    assert commit.baseline_ms > 0
+    registry = organizer.telemetry.registry
+    assert registry.snapshot()[GUARD_COMMITS] == 1
+
+    # a healthy workload graduates the commit after probation_samples
+    after_commit = ConfigurationInstance.capture(db)
+    for i in range(GUARD.probation_samples):
+        _run_bin(retail_suite, db, predictor, monitor, seed=200 + i)
+        assert organizer.guard_tick() is None
+    assert organizer.guard.active_commit is None
+    assert commit.resolution is CommitResolution.PASSED
+    assert registry.snapshot()[GUARD_PASSED] == 1
+    # the configuration was kept, and the rollback material dropped
+    assert ConfigurationInstance.capture(db) == after_commit
+    assert commit.inverse_actions == ()
+
+
+def test_miscalibrated_commit_is_detected_and_rolled_back(retail_suite):
+    db = retail_suite.database
+    # inverted judgement on two features: the pass evicts hot chunks to
+    # the slowest tier and shrinks the buffer pool that would otherwise
+    # re-cache them — applied cleanly, persistently slower
+    bad_tuners = [
+        Tuner(
+            feature,
+            db,
+            assessor=MiscalibratedAssessor(
+                feature.make_assessor(db), scale=-1.0
+            ),
+        )
+        for feature in (DataPlacementFeature(), BufferPoolFeature())
+    ]
+    db, organizer, predictor, monitor = _organizer(retail_suite, bad_tuners)
+    for i in range(4):
+        _run_bin(retail_suite, db, predictor, monitor, seed=100 + i)
+    before = ConfigurationInstance.capture(db)
+
+    # the inverted assessor makes harmful placements look attractive: the
+    # pass applies cleanly and evicts hot chunks from DRAM
+    report = organizer.run_tuning()
+    assert report is not None
+    assert report.tuning.failed_features == ()
+    regressed = ConfigurationInstance.capture(db)
+    assert regressed != before
+    commit = organizer.guard.active_commit
+    assert commit is not None
+
+    # same workload, now measurably slower: the watchdog confirms within
+    # the probation window and the organizer rolls back bit-identically
+    rolled_back = False
+    for i in range(GUARD.probation_samples):
+        _run_bin(retail_suite, db, predictor, monitor, seed=200 + i)
+        organizer.guard_tick()
+        if commit.resolution is not None:
+            rolled_back = True
+            break
+    assert rolled_back
+    assert commit.resolution is CommitResolution.ROLLED_BACK
+    assert ConfigurationInstance.capture(db) == before
+
+    snap = organizer.telemetry.registry.snapshot()
+    assert snap[GUARD_REGRESSIONS] == 1
+    assert snap[GUARD_ROLLBACKS] == 1
+    rollback = organizer.events.latest(EventKind.ROLLBACK)
+    assert rollback.data["commit_id"] == commit.commit_id
+    assert rollback.data["actions"] == len(commit.inverse_actions)
+    # a regressing commit counts against its features in the breaker
+    for feature in commit.features:
+        assert organizer.quarantine.consecutive_failures(feature) == 1
+        assert organizer.guard.regression_streak(feature) == 1
+
+
+def test_guard_disabled_retains_nothing(retail_suite):
+    db, organizer, predictor, monitor = _organizer(
+        retail_suite,
+        [Tuner(IndexSelectionFeature(), retail_suite.database)],
+        guard=GuardConfig(enabled=False),
+    )
+    for i in range(4):
+        _run_bin(retail_suite, db, predictor, monitor, seed=100 + i)
+    report = organizer.run_tuning()
+    assert report is not None
+    assert organizer.guard.active_commit is None
+    assert len(organizer.guard.ledger) == 0
+    assert organizer.guard_tick() is None
+
+
+def test_driver_wires_guard_into_shared_registry(retail_suite):
+    db = retail_suite.database
+    driver = Driver(
+        [IndexSelectionFeature()],
+        triggers=[NeverTrigger()],
+        config=DriverConfig(
+            organizer=OrganizerConfig(
+                horizon_bins=2, min_history_bins=2, guard=GUARD
+            )
+        ),
+    )
+    db.plugin_host.attach(driver)
+    for i in range(3):
+        for q in retail_suite.mix.sample_queries(15, seed=50 + i):
+            db.execute(q)
+        db.plugin_host.tick(db.clock.now_ms)
+    report = driver.tune_now()
+    assert report is not None
+    assert driver.organizer.guard.active_commit is not None
+    assert driver.telemetry.registry.snapshot()[GUARD_COMMITS] == 1
+    guard_events = driver.events.events(EventKind.GUARD)
+    assert guard_events and guard_events[-1].data["state"] == "on_probation"

@@ -114,12 +114,12 @@ def test_sla_streaks_do_not_double_count_one_sample():
     assert monitor.breached_slas((sla,)) == []
 
 
-def test_whatif_cache_kpis_appear_after_attach():
+def test_whatif_cache_kpis_appear_after_bind():
     db = make_small_database(rows=2_000)
     monitor = RuntimeKPIMonitor(db)
     assert WHATIF_CACHE_HITS not in monitor.sample().values
     optimizer = WhatIfOptimizer(db)
-    monitor.attach_whatif_cache(optimizer)
+    optimizer.bind_registry(monitor.registry, replace=True)
     query = Query("events", (Predicate("user", "=", 3),), aggregate="count")
     optimizer.query_cost_ms(query)
     optimizer.query_cost_ms(query)

@@ -1,0 +1,110 @@
+"""Drift-injector invariants: rounding, copy semantics, involution."""
+
+import pytest
+
+from repro.workload.drift import (
+    _scale_count,
+    apply_shift,
+    apply_spike,
+    swap_dominance,
+)
+from repro.workload.generator import QueryFamily
+from repro.workload.predicate import Predicate
+from repro.workload.query import Query
+from repro.workload.trace import FamilyRate, generate_trace
+
+
+def _family(name="f", table="t"):
+    def sampler(rng):
+        return Query(table, (Predicate("a", "=", int(rng.integers(0, 10))),))
+
+    return QueryFamily(name, sampler)
+
+
+def _trace(rates, n_bins=8):
+    families = {name: _family(name) for name in rates}
+    rates = {name: FamilyRate(base) for name, base in rates.items()}
+    return generate_trace(families, rates, n_bins, 1000.0, seed=0, noise=False)
+
+
+def _counts(trace):
+    return [dict(b.counts) for b in trace.bins]
+
+
+# ----------------------------------------------------------------------
+# rounding: scaled-down families must not silently vanish
+
+
+@pytest.mark.parametrize(
+    ("count", "factor", "expected"),
+    [
+        (1, 0.5, 1),  # int(round(0.5)) would banker's-round to 0
+        (3, 0.1, 1),  # floor of 1: the family stays in the mix
+        (5, 0.5, 3),  # 2.5 rounds half-up, not to even
+        (10, 2.0, 20),
+        (7, 1.0, 7),
+        (4, 0.0, 0),  # an explicit zero factor still removes it
+        (4, -1.0, 0),
+        (0, 5.0, 0),  # an absent family stays absent
+    ],
+)
+def test_scale_count(count, factor, expected):
+    assert _scale_count(count, factor) == expected
+
+
+def test_mild_shift_does_not_zero_small_families():
+    trace = _trace({"rare": 1, "common": 20})
+    shifted = apply_shift(trace, 0, {"rare": 0.5, "common": 0.5})
+    for b in shifted.bins:
+        assert b.counts["rare"] == 1
+        assert b.counts["common"] == 10
+
+
+def test_fractional_spike_keeps_the_family_present():
+    trace = _trace({"f": 2})
+    spiked = apply_spike(trace, "f", at_bin=2, duration_bins=2, magnitude=0.25)
+    assert spiked.bins[2].counts["f"] == 1
+    assert spiked.bins[3].counts["f"] == 1
+    assert spiked.bins[4].counts["f"] == 2
+
+
+# ----------------------------------------------------------------------
+# copy semantics: every injector returns a modified copy
+
+
+def test_injectors_leave_the_original_trace_unmodified():
+    trace = _trace({"a": 10, "b": 2})
+    before = _counts(trace)
+    apply_shift(trace, 0, {"a": 3.0, "b": 0.5})
+    apply_spike(trace, "a", at_bin=1, duration_bins=3, magnitude=5.0)
+    swap_dominance(trace, "a", "b", at_bin=0)
+    assert _counts(trace) == before
+
+
+def test_injected_copies_do_not_alias_bin_dicts():
+    trace = _trace({"a": 10, "b": 2})
+    shifted = apply_shift(trace, 0, {"a": 2.0})
+    shifted.bins[0].counts["a"] = 999
+    assert trace.bins[0].counts["a"] == 10
+
+
+# ----------------------------------------------------------------------
+# swap_dominance: an involution at the same bin
+
+
+def test_swap_dominance_is_an_involution():
+    trace = _trace({"a": 10, "b": 2, "c": 7})
+    double = swap_dominance(
+        swap_dominance(trace, "a", "b", at_bin=3), "a", "b", at_bin=3
+    )
+    assert _counts(double) == _counts(trace)
+
+
+def test_swap_dominance_handles_missing_family_counts():
+    trace = _trace({"a": 10, "b": 2})
+    for b in trace.bins:
+        del b.counts["b"]  # family known to the trace, absent from bins
+    swapped = swap_dominance(trace, "a", "b", at_bin=0)
+    for b in swapped.bins:
+        assert b.counts["a"] == 0
+        assert b.counts["b"] == 10
