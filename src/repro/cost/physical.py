@@ -16,9 +16,8 @@ from __future__ import annotations
 from repro.cost.base import CostEstimator
 from repro.dbms.database import Database
 from repro.dbms.knobs import SCAN_THREADS_KNOB
-from repro.dbms.operators import _PRUNE_CHECK_UNITS
 from repro.plan.binder import resolve_tier
-from repro.plan.ir import PlanStep, StepKind
+from repro.plan.ir import PRUNE_CHECK_UNITS, PlanStep, StepKind
 from repro.workload.query import Query
 
 
@@ -35,7 +34,7 @@ class PhysicalCostModel(CostEstimator):
     ) -> tuple[float, float, float]:
         """Estimated ``(scan_units, probe_units, rows_out)`` of one step."""
         if step.kind is StepKind.PRUNE:
-            return _PRUNE_CHECK_UNITS * step.predicate_count, 0.0, 0.0
+            return PRUNE_CHECK_UNITS * step.predicate_count, 0.0, 0.0
         scan_units = 0.0
         probe_units = 0.0
         if step.kind is StepKind.INDEX_PROBE:

@@ -21,7 +21,9 @@ rollback only when the rollback was exact (see the buffer-pool guard).
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
+from collections.abc import Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
@@ -35,6 +37,7 @@ from repro.kpi.metrics import (
     WHATIF_CACHE_HITS,
     WHATIF_CACHE_MISSES,
     WHATIF_CACHE_SIZE,
+    WHATIF_SCENARIO_COVERAGE,
 )
 from repro.telemetry.metrics import MetricRegistry
 from repro.workload.query import Query
@@ -113,6 +116,10 @@ class WhatIfOptimizer:
         self._size_gauge = self._registry.gauge(
             WHATIF_CACHE_SIZE, lambda: float(len(self._cache))
         )
+        # coverage of the most recent scenario pricing; 1.0 until a
+        # scenario with missing sample queries is priced
+        self._coverage_gauge = self._registry.gauge(WHATIF_SCENARIO_COVERAGE)
+        self._coverage_gauge.set(1.0)
 
     @property
     def database(self) -> Database:
@@ -164,6 +171,7 @@ class WhatIfOptimizer:
             self._misses,
             self._evictions,
             self._size_gauge,
+            self._coverage_gauge,
         ):
             registry.adopt(metric, replace=replace)
 
@@ -173,6 +181,17 @@ class WhatIfOptimizer:
 
     # ------------------------------------------------------------------
     # pricing
+
+    def _measured_cost(self, query: Query) -> float:
+        """One probe-mode execution, with injected measurement noise."""
+        table = self._db.table(query.table)
+        result = self._db.executor.execute(query, table, probe=True)
+        cost = result.report.elapsed_ms
+        if self._injector is not None:
+            # a spiked probe caches the spiked cost — exactly what a
+            # noisy measurement would do on a production system
+            cost += self._injector.probe_spike_ms()
+        return cost
 
     def query_cost_ms(self, query: Query) -> float:
         """Cost of one query under the current (possibly hypothetical)
@@ -189,13 +208,7 @@ class WhatIfOptimizer:
                 self._hits.inc()
                 return cached
             self._misses.inc()
-        table = self._db.table(query.table)
-        result = self._db.executor.execute(query, table, probe=True)
-        cost = result.report.elapsed_ms
-        if self._injector is not None:
-            # a spiked probe caches the spiked cost — exactly what a
-            # noisy measurement would do on a production system
-            cost += self._injector.probe_spike_ms()
+        cost = self._measured_cost(query)
         if self._cache_size > 0:
             self._cache[key] = cost
             if len(self._cache) > self._cache_size:
@@ -203,18 +216,86 @@ class WhatIfOptimizer:
                 self._evictions.inc()
         return cost
 
+    def batch_query_costs(self, queries: Sequence[Query]) -> list[float]:
+        """Costs of many queries, in order — the batched counterpart of
+        :meth:`query_cost_ms`.
+
+        The configuration epoch is read once (probe-mode executions never
+        bump it) and cache lookups run in one pass with the counters
+        updated in aggregate, so assessors pricing whole template sets pay
+        the epoch/bookkeeping overhead once per batch instead of once per
+        query. Returned costs, cache contents, and cumulative counter
+        totals are identical to sequential :meth:`query_cost_ms` calls —
+        a query repeated within the batch misses once and hits after.
+        """
+        if self._estimator is not None:
+            return [
+                self._estimator.estimate_query_ms(query) for query in queries
+            ]
+        if self._cache_size == 0:
+            return [self._measured_cost(query) for query in queries]
+        epoch = self._db.config_epoch
+        cache = self._cache
+        costs: list[float] = []
+        hits = misses = evictions = 0
+        for query in queries:
+            key = (epoch, query)
+            cached = cache.get(key)
+            if cached is not None:
+                cache.move_to_end(key)
+                hits += 1
+                costs.append(cached)
+                continue
+            misses += 1
+            cost = self._measured_cost(query)
+            cache[key] = cost
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)
+                evictions += 1
+            costs.append(cost)
+        if hits:
+            self._hits.inc(float(hits))
+        if misses:
+            self._misses.inc(float(misses))
+        if evictions:
+            self._evictions.inc(float(evictions))
+        return costs
+
     def scenario_cost_ms(
         self, scenario: WorkloadScenario, sample_queries: dict[str, Query]
     ) -> float:
-        """Frequency-weighted workload cost of one scenario."""
-        total = 0.0
+        """Frequency-weighted workload cost of one scenario.
+
+        Templates with positive forecast frequency but no sample query
+        cannot be priced; their weight is *dropped*, so the returned cost
+        underestimates the true workload. The priced fraction is surfaced
+        on the ``whatif_scenario_coverage`` gauge and a ``RuntimeWarning``
+        is emitted whenever it falls below 1.0.
+        """
+        weighted: list[tuple[float, Query]] = []
+        considered = 0
         for key, frequency in scenario.frequencies.items():
             if frequency <= 0:
                 continue
+            considered += 1
             query = sample_queries.get(key)
             if query is None:
                 continue
-            total += frequency * self.query_cost_ms(query)
+            weighted.append((frequency, query))
+        coverage = len(weighted) / considered if considered else 1.0
+        self._coverage_gauge.set(coverage)
+        if coverage < 1.0:
+            warnings.warn(
+                f"scenario {scenario.name!r}: only {len(weighted)} of "
+                f"{considered} positive-frequency templates have sample "
+                "queries; the scenario cost underestimates the workload",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        costs = self.batch_query_costs([query for _, query in weighted])
+        total = 0.0
+        for (frequency, _), cost in zip(weighted, costs):
+            total += frequency * cost
         return total
 
     def forecast_costs(self, forecast: Forecast) -> dict[str, float]:
@@ -282,3 +363,22 @@ class WhatIfOptimizer:
         """Scenario cost as if ``delta`` were applied."""
         with self.hypothetical(delta):
             return self.scenario_cost_ms(scenario, sample_queries)
+
+    def cost_many(
+        self,
+        deltas: Sequence[ConfigurationDelta],
+        scenario: WorkloadScenario,
+        sample_queries: dict[str, Query],
+    ) -> list[float]:
+        """Scenario costs for many alternative deltas, in order.
+
+        Each delta is hypothetically applied and rolled back exactly once;
+        inside every application the scenario is priced through the batched
+        path, so comparing N candidate configurations costs N
+        apply/rollback cycles plus N batched pricings — never N×templates
+        epoch reads.
+        """
+        return [
+            self.cost_with(delta, scenario, sample_queries)
+            for delta in deltas
+        ]

@@ -28,6 +28,11 @@ from repro.errors import EncodingError, IndexError_, SchemaError
 class Chunk:
     """One horizontal partition of a table."""
 
+    #: bumped on every tier assignment to any chunk — lets the execution
+    #: kernel cache per-table tier scans (see :mod:`repro.dbms.kernel`)
+    #: and invalidate them the moment any placement changes
+    tier_epoch: int = 0
+
     def __init__(
         self,
         chunk_id: int,
@@ -52,8 +57,10 @@ class Chunk:
         }
         self._indexes: dict[tuple[str, ...], SortedCompositeIndex] = {}
         self._statistics: dict[str, ColumnStatistics] = {}
-        self.tier: StorageTier = StorageTier.DRAM
+        self._projected_widths: dict[tuple[str, ...], float] = {}
+        self.tier = StorageTier.DRAM
         self._sort_column: str | None = None
+        self._data_bytes: int | None = None
 
     # ------------------------------------------------------------------
     # identity and data access
@@ -61,6 +68,15 @@ class Chunk:
     @property
     def chunk_id(self) -> int:
         return self._chunk_id
+
+    @property
+    def tier(self) -> StorageTier:
+        return self._tier
+
+    @tier.setter
+    def tier(self, value: StorageTier) -> None:
+        Chunk.tier_epoch += 1
+        self._tier = value
 
     @property
     def row_count(self) -> int:
@@ -92,6 +108,18 @@ class Chunk:
                 segment.values(), segment.data_type
             )
         return self._statistics[column]
+
+    def projected_width(self, columns: tuple[str, ...]) -> float:
+        """Summed ``avg_item_bytes`` of ``columns`` — cached per projection
+        tuple; statistics are value-based, so like :meth:`statistics` the
+        entries survive reordering and re-encoding."""
+        width = self._projected_widths.get(columns)
+        if width is None:
+            width = sum(
+                self.statistics(name).avg_item_bytes for name in columns
+            )
+            self._projected_widths[columns] = width
+        return width
 
     @property
     def sort_column(self) -> str | None:
@@ -126,6 +154,7 @@ class Chunk:
         for key in rebuilt:
             self._indexes[key] = SortedCompositeIndex.build(key, self._segments)
         self._sort_column = sort_column
+        self._data_bytes = None
         return rebuilt
 
     def sort_by(self, column: str) -> tuple["np.ndarray", list[tuple[str, ...]]]:
@@ -164,6 +193,7 @@ class Chunk:
         except EncodingError:
             raise
         self._segments[column] = new_segment
+        self._data_bytes = None
         rebuilt = [key for key in self._indexes if column in key]
         for key in rebuilt:
             self._indexes[key] = SortedCompositeIndex.build(key, self._segments)
@@ -206,7 +236,13 @@ class Chunk:
     # memory accounting
 
     def data_bytes(self) -> int:
-        return sum(seg.memory_bytes() for seg in self._segments.values())
+        # cached: segments are only replaced by apply_permutation and
+        # set_encoding, both of which invalidate (chunk data is immutable)
+        if self._data_bytes is None:
+            self._data_bytes = sum(
+                seg.memory_bytes() for seg in self._segments.values()
+            )
+        return self._data_bytes
 
     def index_bytes(self) -> int:
         return sum(idx.memory_bytes() for idx in self._indexes.values())

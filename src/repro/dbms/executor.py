@@ -27,6 +27,7 @@ from repro.dbms.hardware import HardwareProfile
 
 if TYPE_CHECKING:
     from repro.telemetry import Telemetry
+from repro.dbms.kernel import run_plan
 from repro.dbms.knobs import BUFFER_POOL_KNOB, SCAN_THREADS_KNOB, KnobRegistry
 from repro.dbms.operators import (
     AggregateSpec,
@@ -37,8 +38,13 @@ from repro.dbms.operators import (
 from repro.dbms.table import Table
 from repro.errors import ExecutionError
 from repro.plan.binder import resolve_tier
+from repro.plan.ir import PhysicalPlan
 from repro.plan.planner import QueryPlanner
 from repro.workload.query import Query
+
+
+#: bound on the executor's per-(query, schema) validation memo
+_VALIDATED_MEMO_CAPACITY = 8_192
 
 
 class BufferPool:
@@ -133,6 +139,7 @@ class QueryExecutor:
         hardware: HardwareProfile,
         knobs: KnobRegistry,
         planner: QueryPlanner | None = None,
+        use_kernel: bool = True,
     ) -> None:
         self._hardware = hardware
         self._knobs = knobs
@@ -143,6 +150,11 @@ class QueryExecutor:
         self._telemetry: "Telemetry | None" = None
         self._counters = None
         self._query_seq = 0
+        self._validated: dict[Query, "TableSchema"] = {}
+        #: run plans through the vectorized kernel (default) or the scalar
+        #: per-chunk reference loop; both produce bit-identical results —
+        #: the flag exists for golden tests and the e17 benchmark
+        self.use_kernel = use_kernel
 
     @property
     def buffer_pool(self) -> BufferPool:
@@ -212,48 +224,36 @@ class QueryExecutor:
                 f"aggregate references unknown column {query.aggregate_column!r}"
             )
 
-    def execute(
+    def _run_scalar(
         self,
-        query: Query,
+        plan: PhysicalPlan,
         table: Table,
-        materialize: bool = False,
-        probe: bool = False,
-    ) -> QueryResult:
-        """Run ``query`` against ``table`` and price the work performed.
+        threads: int,
+        probe: bool,
+        agg_spec: AggregateSpec | None,
+        projected: list[str],
+        materialize: bool,
+    ) -> tuple[
+        WorkSummary,
+        float,
+        float,
+        list[np.ndarray],
+        dict[str, list[np.ndarray]],
+    ]:
+        """The per-chunk reference loop (pre-kernel execution path).
 
-        With ``probe=True`` the buffer pool is only peeked, never mutated —
-        used by the what-if optimizer so estimation leaves no trace.
+        Retained verbatim as the golden reference the vectorized kernel is
+        tested against, and as the ``use_kernel=False`` comparison arm of
+        the e17 benchmark.
         """
-        self._validate(query, table)
         hardware = self._hardware
-        threads = int(self._knobs.get(SCAN_THREADS_KNOB))
         work = WorkSummary()
         scan_ms = 0.0
         probe_ms = 0.0
-
-        telemetry = self._telemetry if not probe else None
-        sampled = False
-        wall_started = 0.0
-        if telemetry is not None:
-            self._query_seq += 1
-            every = telemetry.config.query_sample_every
-            sampled = every > 0 and (self._query_seq - 1) % every == 0
-            if sampled:
-                wall_started = time.perf_counter()
-
-        agg_spec: AggregateSpec | None = None
-        if query.aggregate:
-            agg_spec = AggregateSpec(query.aggregate, query.aggregate_column)
-
-        projected = (
-            list(query.projection)
-            if query.projection is not None
-            else list(table.schema.column_names)
-        )
         agg_values: list[np.ndarray] = []
-        out_columns: dict[str, list[np.ndarray]] = {name: [] for name in projected}
-
-        plan = self._planner.plan_for(query, table)
+        out_columns: dict[str, list[np.ndarray]] = {
+            name: [] for name in projected
+        }
         for chunk, step in zip(table.chunks(), plan.steps, strict=True):
             result = execute_step(chunk, step)
             work.chunks_visited += 1
@@ -294,6 +294,84 @@ class QueryExecutor:
                         out_columns[name].append(
                             chunk.segment(name).take(matched)
                         )
+        return work, scan_ms, probe_ms, agg_values, out_columns
+
+    def execute(
+        self,
+        query: Query,
+        table: Table,
+        materialize: bool = False,
+        probe: bool = False,
+    ) -> QueryResult:
+        """Run ``query`` against ``table`` and price the work performed.
+
+        With ``probe=True`` the buffer pool is only peeked, never mutated —
+        used by the what-if optimizer so estimation leaves no trace.
+
+        Plans run through the vectorized kernel (:mod:`repro.dbms.kernel`)
+        unless :attr:`use_kernel` is off, in which case the scalar per-chunk
+        reference loop runs; simulated results are bit-identical either way.
+        """
+        # validation memo: queries and schemas are immutable, so one pass
+        # per (query, schema) pair settles it; schema replacement (a new
+        # object) falls through to a fresh validation
+        validated = self._validated
+        if validated.get(query) is not table.schema:
+            self._validate(query, table)
+            validated[query] = table.schema
+            if len(validated) > _VALIDATED_MEMO_CAPACITY:
+                validated.pop(next(iter(validated)))
+        hardware = self._hardware
+        threads = int(self._knobs.get(SCAN_THREADS_KNOB))
+
+        telemetry = self._telemetry if not probe else None
+        sampled = False
+        wall_started = 0.0
+        if telemetry is not None:
+            self._query_seq += 1
+            every = telemetry.config.query_sample_every
+            sampled = every > 0 and (self._query_seq - 1) % every == 0
+            if sampled:
+                wall_started = time.perf_counter()
+
+        plan = self._planner.plan_for(query, table)
+        # the aggregate spec and projected-column list derive from the
+        # query and schema alone, both frozen for the plan's lifetime —
+        # memoised on the plan object like its kernel arrays
+        preamble = plan.__dict__.get("_exec_preamble")
+        if preamble is None:
+            agg_spec = (
+                AggregateSpec(query.aggregate, query.aggregate_column)
+                if query.aggregate
+                else None
+            )
+            projected = (
+                list(query.projection)
+                if query.projection is not None
+                else list(table.schema.column_names)
+            )
+            object.__setattr__(plan, "_exec_preamble", (agg_spec, projected))
+        else:
+            agg_spec, projected = preamble
+        if self.use_kernel:
+            work, scan_ms, probe_ms, agg_values, out_columns = run_plan(
+                plan,
+                table,
+                self._buffer_pool,
+                hardware,
+                threads,
+                probe,
+                agg_spec,
+                projected,
+                materialize,
+            )
+        else:
+            work, scan_ms, probe_ms, agg_values, out_columns = (
+                self._run_scalar(
+                    plan, table, threads, probe, agg_spec, projected,
+                    materialize,
+                )
+            )
 
         aggregate_value: float | str | None = None
         aggregate_ms = 0.0

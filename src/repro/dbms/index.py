@@ -41,6 +41,21 @@ class SortedCompositeIndex:
         self._sorted_keys = sorted_keys
         self._positions = positions
         self._dictionaries = dictionaries
+        # key-comparison work depends only on the index shape, so the
+        # per-prefix-length totals are folded once at construction;
+        # _probe_unit_prefix[k] is the cost of touching the first k columns
+        n = max(len(positions), 2)
+        prefix = [0.0]
+        units = 0.0
+        for col in range(len(columns)):
+            factor = (
+                _CODE_COMPARE_FACTOR
+                if dictionaries[col] is not None
+                else _VALUE_COMPARE_FACTOR
+            )
+            units += 2.0 * factor * float(np.log2(n))
+            prefix.append(units)
+        self._probe_unit_prefix = prefix
 
     @classmethod
     def build(
@@ -96,35 +111,35 @@ class SortedCompositeIndex:
         keys = self._sorted_keys[col][lo:hi]
         dictionary = self._dictionaries[col]
         if dictionary is not None:
-            left = int(np.searchsorted(dictionary, value, side="left"))
-            right = int(np.searchsorted(dictionary, value, side="right"))
+            left = int(dictionary.searchsorted(value, side="left"))
+            right = int(dictionary.searchsorted(value, side="right"))
             if op == "=":
                 if left == right:  # literal not in dictionary
                     return lo, lo
-                a = int(np.searchsorted(keys, left, side="left"))
-                b = int(np.searchsorted(keys, left, side="right"))
+                a = int(keys.searchsorted(left, side="left"))
+                b = int(keys.searchsorted(left, side="right"))
                 return lo + a, lo + b
             if op == "<":
-                return lo, lo + int(np.searchsorted(keys, left, side="left"))
+                return lo, lo + int(keys.searchsorted(left, side="left"))
             if op == "<=":
-                return lo, lo + int(np.searchsorted(keys, right, side="left"))
+                return lo, lo + int(keys.searchsorted(right, side="left"))
             if op == ">":
-                return lo + int(np.searchsorted(keys, right, side="left")), hi
+                return lo + int(keys.searchsorted(right, side="left")), hi
             if op == ">=":
-                return lo + int(np.searchsorted(keys, left, side="left")), hi
+                return lo + int(keys.searchsorted(left, side="left")), hi
             raise IndexError_(f"index probe does not support operator {op!r}")
         if op == "=":
-            a = int(np.searchsorted(keys, value, side="left"))
-            b = int(np.searchsorted(keys, value, side="right"))
+            a = int(keys.searchsorted(value, side="left"))
+            b = int(keys.searchsorted(value, side="right"))
             return lo + a, lo + b
         if op == "<":
-            return lo, lo + int(np.searchsorted(keys, value, side="left"))
+            return lo, lo + int(keys.searchsorted(value, side="left"))
         if op == "<=":
-            return lo, lo + int(np.searchsorted(keys, value, side="right"))
+            return lo, lo + int(keys.searchsorted(value, side="right"))
         if op == ">":
-            return lo + int(np.searchsorted(keys, value, side="right")), hi
+            return lo + int(keys.searchsorted(value, side="right")), hi
         if op == ">=":
-            return lo + int(np.searchsorted(keys, value, side="left")), hi
+            return lo + int(keys.searchsorted(value, side="left")), hi
         raise IndexError_(f"index probe does not support operator {op!r}")
 
     def lookup(
@@ -167,19 +182,10 @@ class SortedCompositeIndex:
     def probe_cost_units(self, probed_columns: int, rows_out: int) -> float:
         """Abstract work units for one probe touching ``probed_columns`` key
         columns and producing ``rows_out`` positions."""
-        n = max(len(self._positions), 2)
-        units = 0.0
-        for col in range(min(probed_columns, len(self._columns))):
-            factor = (
-                _CODE_COMPARE_FACTOR
-                if self._dictionaries[col] is not None
-                else _VALUE_COMPARE_FACTOR
-            )
-            units += 2.0 * factor * float(np.log2(n))
+        units = self._probe_unit_prefix[min(probed_columns, len(self._columns))]
         # fetching one matched position is a sequential read of the sorted
         # positions array — far cheaper than a key comparison
-        units += 0.1 * rows_out
-        return units
+        return units + 0.1 * rows_out
 
     @staticmethod
     def supports_operator(op: str) -> bool:

@@ -22,13 +22,14 @@ the physical cost model prices the same steps from statistics instead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.dbms.chunk import Chunk
 from repro.dbms.index import SortedCompositeIndex
 from repro.dbms.segments import _compare_array
-from repro.plan.ir import PlanStep, StepKind
+from repro.plan.ir import PRUNE_CHECK_UNITS, PlanStep, StepKind
 from repro.workload.predicate import Predicate
 
 #: An index probe expected to match more than this fraction of the chunk is
@@ -82,7 +83,9 @@ def _covered_selectivity(chunk: Chunk, covered: list[Predicate]) -> float:
     return selectivity
 
 
-def choose_index_plan(chunk: Chunk, predicates: list[Predicate]) -> IndexPlan | None:
+def choose_index_plan(
+    chunk: Chunk, predicates: Sequence[Predicate]
+) -> IndexPlan | None:
     """Pick the best applicable index on ``chunk`` for the predicates.
 
     An index is applicable when an equality predicate exists for a prefix of
@@ -128,7 +131,16 @@ def choose_index_plan(chunk: Chunk, predicates: list[Predicate]) -> IndexPlan | 
         selectivity = _covered_selectivity(chunk, covered)
         if selectivity > INDEX_SELECTIVITY_CUTOFF:
             continue
-        residual = [p for p in predicates if p not in covered]
+        # Residuals drop each covered predicate *occurrence* exactly once
+        # (by identity/position, not value) — a duplicate of a covered
+        # predicate must still be evaluated on the probe result, so its
+        # scan work is accounted.
+        residual = list(predicates)
+        for cov in covered:
+            for i, p in enumerate(residual):
+                if p is cov:
+                    del residual[i]
+                    break
         plan = IndexPlan(
             index=chunk.index(key),
             equal_values=equal_values,
@@ -176,10 +188,11 @@ def _evaluate_residual(
 
 
 #: metadata work charged for consulting chunk min/max statistics
-_PRUNE_CHECK_UNITS = 0.5
+#: (canonically defined in the plan IR; aliased here for back-compat)
+_PRUNE_CHECK_UNITS = PRUNE_CHECK_UNITS
 
 
-def chunk_can_be_pruned(chunk: Chunk, predicates: list[Predicate]) -> bool:
+def chunk_can_be_pruned(chunk: Chunk, predicates: Sequence[Predicate]) -> bool:
     """Zone-map pruning: chunk min/max statistics prove a predicate matches
     nothing here, so the chunk is skipped without touching data. This is
     what makes cold chunks nearly free to filter — and what concentrates
@@ -222,13 +235,13 @@ def compile_chunk_step(
     the query aggregates instead of projecting).
     """
     count = len(predicates)
-    if predicates and chunk_can_be_pruned(chunk, list(predicates)):
+    if predicates and chunk_can_be_pruned(chunk, predicates):
         return PlanStep(
             chunk_id=chunk.chunk_id,
             kind=StepKind.PRUNE,
             predicate_count=count,
         )
-    plan = choose_index_plan(chunk, list(predicates)) if predicates else None
+    plan = choose_index_plan(chunk, predicates) if predicates else None
     if plan is not None:
         return PlanStep(
             chunk_id=chunk.chunk_id,

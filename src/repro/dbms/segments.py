@@ -25,6 +25,7 @@ of the paper measures via dependence ratios.
 from __future__ import annotations
 
 import enum
+import operator
 from abc import ABC, abstractmethod
 from typing import ClassVar
 
@@ -57,20 +58,21 @@ def narrowest_uint_dtype(max_value: int) -> np.dtype:
     return np.dtype(np.uint64)
 
 
+_COMPARE_FUNCS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
 def _compare_array(arr: np.ndarray, op: str, value: object) -> np.ndarray:
-    if op == "=":
-        return arr == value
-    if op == "!=":
-        return arr != value
-    if op == "<":
-        return arr < value
-    if op == "<=":
-        return arr <= value
-    if op == ">":
-        return arr > value
-    if op == ">=":
-        return arr >= value
-    raise EncodingError(f"unsupported comparison operator {op!r}")
+    try:
+        return _COMPARE_FUNCS[op](arr, value)
+    except KeyError:
+        raise EncodingError(f"unsupported comparison operator {op!r}") from None
 
 
 class Segment(ABC):
@@ -240,6 +242,7 @@ class RunLengthSegment(Segment):
             self._run_values = values[starts]
             self._run_lengths = (ends - starts).astype(np.int64)
         self._decoded: np.ndarray | None = None
+        self._run_ends: np.ndarray | None = None
 
     @property
     def run_count(self) -> int:
@@ -251,7 +254,15 @@ class RunLengthSegment(Segment):
         return self._decoded
 
     def take(self, positions: np.ndarray) -> np.ndarray:
-        return self.values()[positions]
+        if self._decoded is not None:
+            return self._decoded[positions]
+        # No-full-decode path: map each position to its run via one binary
+        # search over the run end offsets, touching O(k log runs) work for
+        # k positions instead of materialising all rows.
+        if self._run_ends is None:
+            self._run_ends = np.cumsum(self._run_lengths)
+        run_idx = np.searchsorted(self._run_ends, positions, side="right")
+        return self._run_values[run_idx]
 
     def memory_bytes(self) -> int:
         # Run lengths are stored as 4-byte counts in a real system.
@@ -284,12 +295,13 @@ class FrameOfReferenceSegment(Segment):
         super().__init__(data_type, len(values))
         if len(values) == 0:
             self._reference = 0
+            self._span = 0
             self._offsets = np.zeros(0, dtype=np.uint8)
         else:
             self._reference = int(values.min())
-            span = int(values.max()) - self._reference
+            self._span = int(values.max()) - self._reference
             self._offsets = (values - self._reference).astype(
-                narrowest_uint_dtype(span)
+                narrowest_uint_dtype(self._span)
             )
 
     @property
@@ -306,10 +318,36 @@ class FrameOfReferenceSegment(Segment):
         return int(self._offsets.nbytes + 8)
 
     def compare(self, op: str, value: object) -> np.ndarray:
-        # Compare in the offset domain when the literal is in range;
-        # otherwise the answer is constant.
-        shifted = np.float64(value) - self._reference
-        return _compare_array(self._offsets.astype(np.float64), op, shifted)
+        # Compare in the *integer* offset domain: a float64 detour would
+        # silently corrupt literals and offsets beyond 2**53.
+        if op not in COMPARISON_OPS:
+            raise EncodingError(f"unsupported comparison operator {op!r}")
+        integral = isinstance(value, (int, np.integer)) or (
+            isinstance(value, (float, np.floating)) and float(value).is_integer()
+        )
+        if not integral:
+            # non-integral literal: decoded comparison, identical semantics
+            # to an unencoded int64 segment facing the same literal
+            return _compare_array(self.values(), op, value)
+        literal = int(value)
+        low = self._reference
+        high = self._reference + self._span
+        if len(self) and low <= literal <= high:
+            return _compare_array(self._offsets, op, literal - low)
+        # Literal outside the segment's value range: the answer is constant
+        # for every row, no offset scan needed.
+        if len(self) == 0:
+            return np.zeros(0, dtype=bool)
+        below = literal < low
+        constant = {
+            "=": False,
+            "!=": True,
+            "<": not below,
+            "<=": not below,
+            ">": below,
+            ">=": below,
+        }[op]
+        return np.full(len(self), constant, dtype=bool)
 
     def scan_units(self, candidate_count: int) -> float:
         return self.SCAN_FACTOR * candidate_count

@@ -28,6 +28,10 @@ WHATIF_CACHE_MISSES = "whatif_cache_misses"
 WHATIF_CACHE_EVICTIONS = "whatif_cache_evictions"
 WHATIF_CACHE_HIT_RATE = "whatif_cache_hit_rate"
 WHATIF_CACHE_SIZE = "whatif_cache_size"
+#: fraction of positive-frequency forecast templates the last scenario
+#: pricing could actually price (a sample query existed); below 1.0 the
+#: scenario cost silently underestimates the workload
+WHATIF_SCENARIO_COVERAGE = "whatif_scenario_coverage"
 
 # compiled-plan cache KPIs (see repro.plan.planner). The counter names
 # are owned by the planner — the plan layer sits below the DBMS substrate
@@ -117,6 +121,7 @@ DBMS_KPIS = (
     WHATIF_CACHE_EVICTIONS,
     WHATIF_CACHE_HIT_RATE,
     WHATIF_CACHE_SIZE,
+    WHATIF_SCENARIO_COVERAGE,
     PLAN_COMPILES,
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,

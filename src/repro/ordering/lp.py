@@ -157,7 +157,11 @@ class LPOrderOptimizer:
                             LinearConstraint(row, -np.inf, 2.0)
                         )
 
-        options = {}
+        # HiGHS's default relative MIP gap (1e-4) lets it declare an
+        # incumbent "optimal" while a strictly better order exists — close
+        # coefficients make that a *different* tuning order, not just a
+        # slightly-off objective. The models here are tiny; demand proof.
+        options: dict[str, float] = {"mip_rel_gap": 0.0}
         if self._time_limit_s is not None:
             options["time_limit"] = self._time_limit_s
         started = time.perf_counter()
@@ -166,7 +170,7 @@ class LPOrderOptimizer:
             integrality=np.ones(n_vars),
             bounds=(0, 1),
             constraints=constraints,
-            options=options or None,
+            options=options,
         )
         elapsed = time.perf_counter() - started
         # On a time limit HiGHS may still carry a feasible incumbent; use

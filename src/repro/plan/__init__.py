@@ -9,16 +9,20 @@ lifecycle.
 
 from repro.plan.binder import resolve_tier
 from repro.plan.cache import CompiledPlanCache, PlanCacheStats
-from repro.plan.ir import PhysicalPlan, PlanStep, StepKind
+from repro.plan.ir import PRUNE_CHECK_UNITS, PhysicalPlan, PlanStep, StepKind
+from repro.plan.kernel import PlanKernel, kernel_for
 from repro.plan.planner import DEFAULT_PLAN_CACHE_SIZE, QueryPlanner
 
 __all__ = [
     "DEFAULT_PLAN_CACHE_SIZE",
+    "PRUNE_CHECK_UNITS",
     "CompiledPlanCache",
     "PhysicalPlan",
     "PlanCacheStats",
+    "PlanKernel",
     "PlanStep",
     "QueryPlanner",
     "StepKind",
+    "kernel_for",
     "resolve_tier",
 ]

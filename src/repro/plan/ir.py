@@ -45,6 +45,13 @@ class StepKind(enum.Enum):
     FULL_SCAN = "full_scan"
 
 
+#: Metadata work charged for consulting chunk min/max statistics — a
+#: compile-time pricing fact, owned by the plan layer so the executor
+#: kernel, the scalar operators, and the physical cost model all charge
+#: the identical amount.
+PRUNE_CHECK_UNITS = 0.5
+
+
 @dataclass(frozen=True)
 class PlanStep:
     """The compiled access path for one chunk.
@@ -98,6 +105,15 @@ class PhysicalPlan:
     def step_kinds(self) -> tuple[StepKind, ...]:
         """Per-chunk access-path kinds, in chunk order."""
         return tuple(step.kind for step in self.steps)
+
+    def kernel(self):
+        """The plan's memoised :class:`~repro.plan.kernel.PlanKernel`.
+
+        Deferred import: the kernel module depends on this one.
+        """
+        from repro.plan.kernel import kernel_for
+
+        return kernel_for(self)
 
     def count(self, kind: StepKind) -> int:
         return sum(1 for step in self.steps if step.kind is kind)

@@ -166,22 +166,22 @@ class QueryPlanner:
             )
         steps = []
         for chunk in chunks:
-            width = 0.0
-            if projected:
-                width = sum(
-                    chunk.statistics(name).avg_item_bytes
-                    for name in projected
-                )
+            width = chunk.projected_width(projected) if projected else 0.0
             steps.append(compile_chunk_step(chunk, predicates, width))
         self._compiles.inc()
         self._compile_chunks.inc(float(len(chunks)))
-        return PhysicalPlan(
+        plan = PhysicalPlan(
             table=table.name,
             query=query,
             steps=tuple(steps),
             chunk_count=len(chunks),
             plan_epoch=self._epoch_fn() if self._epoch_fn else 0,
         )
+        # Precompute the execution-kernel arrays (step kinds, chunk ids,
+        # prune charges, output widths) while the steps are hot: every
+        # later execution of this cached plan runs straight from them.
+        plan.kernel()
+        return plan
 
     def plan_for(self, query: "Query", table: "Table") -> PhysicalPlan:
         """The compiled plan for ``query``, from the cache when possible.

@@ -12,7 +12,7 @@ configuration" (Section II-D.b).
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.tuning.candidate import Candidate
@@ -73,3 +73,27 @@ class Assessment:
 
     def permanent_cost(self, resource: str) -> float:
         return self.permanent_costs.get(resource, 0.0)
+
+
+def scenario_benefits(
+    scenarios: Sequence,
+    baseline_costs: Mapping[str, float],
+    new_costs: Mapping[str, float],
+) -> dict[str, float]:
+    """Per-scenario desirability from before/after template costs.
+
+    For each scenario the benefit is the frequency-weighted cost saving
+    over the templates the assessor priced (positive-frequency templates
+    missing from ``baseline_costs`` were out of the assessor's scope and
+    contribute nothing). Shared by the cost-model and sort-benefit
+    assessors so both fold benefits identically.
+    """
+    benefits: dict[str, float] = {}
+    for scenario in scenarios:
+        benefit = 0.0
+        for key, frequency in scenario.frequencies.items():
+            if frequency <= 0 or key not in baseline_costs:
+                continue
+            benefit += frequency * (baseline_costs[key] - new_costs[key])
+        benefits[scenario.name] = benefit
+    return benefits

@@ -18,7 +18,7 @@ from repro.dbms.database import Database
 from repro.dbms.knobs import BUFFER_POOL_KNOB
 from repro.dbms.storage_tiers import StorageTier
 from repro.forecasting.scenarios import Forecast
-from repro.tuning.assessment import Assessment
+from repro.tuning.assessment import Assessment, scenario_benefits
 from repro.tuning.assessors.base import Assessor
 from repro.tuning.candidate import (
     Candidate,
@@ -63,12 +63,16 @@ class CostModelAssessor(Assessor):
     def _template_costs(
         self, forecast: Forecast, tables: set[str] | None
     ) -> dict[str, float]:
-        costs = {}
+        keys = []
+        queries = []
         for key, query in forecast.sample_queries.items():
             if tables is not None and query.table not in tables:
                 continue
-            costs[key] = self._optimizer.query_cost_ms(query)
-        return costs
+            keys.append(key)
+            queries.append(query)
+        # batched pricing: one epoch read and one pass of cache lookups
+        # for the whole template set
+        return dict(zip(keys, self._optimizer.batch_query_costs(queries)))
 
     def assess(
         self,
@@ -95,17 +99,11 @@ class CostModelAssessor(Assessor):
                     new_costs = dict(baseline_costs)
                     new_costs.update(self._template_costs(forecast, tables))
                     new_memory = _memory_snapshot(db)
-                desirability: dict[str, float] = {}
-                for name in scenario_names:
-                    scenario = forecast.scenario(name)
-                    benefit = 0.0
-                    for key, frequency in scenario.frequencies.items():
-                        if frequency <= 0 or key not in baseline_costs:
-                            continue
-                        benefit += frequency * (
-                            baseline_costs[key] - new_costs[key]
-                        )
-                    desirability[name] = benefit
+                desirability = scenario_benefits(
+                    [forecast.scenario(name) for name in scenario_names],
+                    baseline_costs,
+                    new_costs,
+                )
                 permanent = {
                     resource: new_memory[resource] - baseline_memory[resource]
                     for resource in baseline_memory

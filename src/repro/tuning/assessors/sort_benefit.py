@@ -23,7 +23,7 @@ from repro.dbms.database import Database
 from repro.dbms.segments import supported_encodings
 from repro.errors import TuningError
 from repro.forecasting.scenarios import Forecast
-from repro.tuning.assessment import Assessment
+from repro.tuning.assessment import Assessment, scenario_benefits
 from repro.tuning.assessors.base import Assessor
 from repro.tuning.candidate import Candidate, SortOrderCandidate
 
@@ -42,11 +42,14 @@ class SortBenefitAssessor(Assessor):
         self._confidence = confidence
 
     def _template_costs(self, forecast: Forecast, table: str) -> dict[str, float]:
-        return {
-            key: self._optimizer.query_cost_ms(query)
-            for key, query in forecast.sample_queries.items()
-            if query.table == table
-        }
+        keys = []
+        queries = []
+        for key, query in forecast.sample_queries.items():
+            if query.table == table:
+                keys.append(key)
+                queries.append(query)
+        # batched pricing: one epoch read and one pass of cache lookups
+        return dict(zip(keys, self._optimizer.batch_query_costs(queries)))
 
     def assess(
         self,
@@ -95,14 +98,9 @@ class SortBenefitAssessor(Assessor):
                         best_costs = costs
             assert best_costs is not None
 
-            desirability = {}
-            for scenario in forecast.scenarios:
-                benefit = 0.0
-                for key, frequency in scenario.frequencies.items():
-                    if frequency <= 0 or key not in baseline:
-                        continue
-                    benefit += frequency * (baseline[key] - best_costs[key])
-                desirability[scenario.name] = benefit
+            desirability = scenario_benefits(
+                forecast.scenarios, baseline, best_costs
+            )
             assessments.append(
                 Assessment(
                     candidate=candidate,

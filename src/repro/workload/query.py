@@ -97,6 +97,26 @@ class Query:
     def predicate_columns(self) -> tuple[str, ...]:
         return tuple(p.column for p in self.predicates)
 
+    def __hash__(self) -> int:
+        # memoised: queries are immutable and hashed hot — plan-cache and
+        # what-if cost-cache lookups on every execution — and the generated
+        # dataclass hash re-walks the predicate tuple each call. Hashes
+        # exactly the compare fields (``tag`` is compare=False), so the
+        # hash/eq contract of the generated pair is preserved.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(
+                (
+                    self.table,
+                    self.predicates,
+                    self.projection,
+                    self.aggregate,
+                    self.aggregate_column,
+                )
+            )
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def __str__(self) -> str:
         if self.aggregate:
             target = self.aggregate_column or "*"

@@ -263,3 +263,114 @@ def test_property_arbitrary_deltas_roll_back(actions_spec):
     assert before.encodings == after.encodings
     assert before.placements == after.placements
     assert before.knobs == after.knobs
+
+
+# ----------------------------------------------------------------------
+# batched pricing
+
+
+def test_batch_query_costs_matches_sequential():
+    """Batch pricing returns the same costs, cache contents, and counter
+    totals as sequential query_cost_ms calls — duplicates within a batch
+    miss once and hit after."""
+    db_seq = make_small_database(rows=5_000)
+    db_bat = make_small_database(rows=5_000)
+    seq = WhatIfOptimizer(db_seq)
+    bat = WhatIfOptimizer(db_bat)
+    queries = [
+        Query("events", (Predicate("user", "=", u),), aggregate="count")
+        for u in range(6)
+    ] * 2  # repeat: second half must be pure cache hits
+    sequential = [seq.query_cost_ms(q) for q in queries]
+    batched = bat.batch_query_costs(queries)
+    assert batched == sequential
+    assert bat.cache_stats == seq.cache_stats
+    assert bat.cache_stats.hits == 6
+    assert bat.cache_stats.misses == 6
+
+
+def test_batch_query_costs_respects_cache_capacity():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db, cache_size=2)
+    queries = [
+        Query("events", (Predicate("user", "=", u),), aggregate="count")
+        for u in range(4)
+    ]
+    optimizer.batch_query_costs(queries)
+    stats = optimizer.cache_stats
+    assert stats.size == 2
+    assert stats.evictions == 2
+
+
+def test_batch_query_costs_uncached_and_estimated():
+    db = make_small_database(rows=2_000)
+    plain = WhatIfOptimizer(db, cache_size=0)
+    queries = [_query(), _query()]
+    assert plain.batch_query_costs(queries) == [
+        plain.query_cost_ms(q) for q in queries
+    ]
+    model = LogicalCostModel(db)
+    estimated = WhatIfOptimizer(db, estimator=model)
+    assert estimated.batch_query_costs(queries) == [
+        model.estimate_query_ms(q) for q in queries
+    ]
+
+
+def test_cost_many_matches_cost_with():
+    db = make_small_database(rows=5_000)
+    optimizer = WhatIfOptimizer(db)
+    forecast = point_forecast(
+        {_query().template().key: 10.0}, {_query().template().key: _query()}
+    )
+    scenario = forecast.scenarios[0]
+    deltas = [
+        ConfigurationDelta([CreateIndexAction("events", ("user",))]),
+        ConfigurationDelta([SetKnobAction(SCAN_THREADS_KNOB, 8)]),
+        ConfigurationDelta([]),
+    ]
+    many = optimizer.cost_many(deltas, scenario, forecast.sample_queries)
+    each = [
+        optimizer.cost_with(delta, scenario, forecast.sample_queries)
+        for delta in deltas
+    ]
+    assert many == each
+
+
+# ----------------------------------------------------------------------
+# scenario coverage
+
+
+def test_scenario_coverage_full():
+    import warnings as _warnings
+
+    from repro.kpi.metrics import WHATIF_SCENARIO_COVERAGE
+
+    db = make_small_database(rows=2_000)
+    optimizer = WhatIfOptimizer(db)
+    forecast = point_forecast(
+        {_query().template().key: 10.0}, {_query().template().key: _query()}
+    )
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")  # full coverage must not warn
+        optimizer.scenario_cost_ms(
+            forecast.scenarios[0], forecast.sample_queries
+        )
+    assert optimizer.registry.read(WHATIF_SCENARIO_COVERAGE) == 1.0
+
+
+def test_scenario_coverage_warns_on_missing_samples():
+    from repro.kpi.metrics import WHATIF_SCENARIO_COVERAGE
+
+    db = make_small_database(rows=2_000)
+    optimizer = WhatIfOptimizer(db)
+    query = _query()
+    key = query.template().key
+    frequencies = {key: 10.0, "tmpl-without-sample": 5.0, "zero-freq": 0.0}
+    forecast = point_forecast(frequencies, {key: query})
+    scenario = forecast.scenarios[0]
+    with pytest.warns(RuntimeWarning, match="underestimates"):
+        partial = optimizer.scenario_cost_ms(scenario, forecast.sample_queries)
+    # zero-frequency templates don't count against coverage
+    assert optimizer.registry.read(WHATIF_SCENARIO_COVERAGE) == 0.5
+    # the priced half still contributes
+    assert partial == pytest.approx(10.0 * optimizer.query_cost_ms(query))

@@ -158,3 +158,34 @@ def test_compute_aggregate_string_min_max():
 def test_compute_aggregate_unknown_function():
     with pytest.raises(ValueError):
         compute_aggregate([np.array([1.0])], AggregateSpec("median", "x"), 1)
+
+
+def test_duplicate_covered_predicate_stays_residual():
+    """Residual removal is by occurrence (identity), not by value.
+
+    A query carrying the same predicate twice has one occurrence covered
+    by the index probe; the duplicate must remain residual so its scan
+    work on the probe result is still accounted. The old value-based
+    removal silently dropped both copies.
+    """
+    chunk = _chunk()
+    chunk.create_index(["a"])
+    first = Predicate("a", "=", 5)
+    duplicate = Predicate("a", "=", 5)
+    plan = choose_index_plan(chunk, [first, duplicate])
+    assert plan is not None
+    assert len(plan.covered) == 1
+    assert len(plan.residual) == 1
+    assert plan.residual[0] is duplicate
+
+
+def test_duplicate_range_predicates_keep_extra_occurrences():
+    chunk = _chunk()
+    chunk.create_index(["a"])
+    lower = Predicate("a", ">=", 10)
+    upper = Predicate("a", "<=", 12)
+    upper_again = Predicate("a", "<=", 12)
+    plan = choose_index_plan(chunk, [lower, upper, upper_again])
+    assert plan is not None
+    assert len(plan.residual) == 1
+    assert plan.residual[0] is upper_again

@@ -230,3 +230,67 @@ def test_property_compare_agrees_across_encodings(values, op, literal):
             reference = mask
         else:
             np.testing.assert_array_equal(mask, reference)
+
+
+# ----------------------------------------------------------------------
+# regression: frame-of-reference comparison beyond 2**53
+
+def test_for_compare_int64_beyond_float53():
+    """Literals and references beyond 2**53 must not round through float64.
+
+    A float64 detour collapses 2**60 and 2**60 + 1 onto the same value, so
+    the old decoded-domain comparison matched *both* rows for ``=``.
+    """
+    values = np.array([2**60, 2**60 + 1, 2**60 + 7], dtype=np.int64)
+    segment = FrameOfReferenceSegment(values, DataType.INT)
+    np.testing.assert_array_equal(segment.values(), values)
+    np.testing.assert_array_equal(
+        segment.compare("=", 2**60 + 1), [False, True, False]
+    )
+    np.testing.assert_array_equal(
+        segment.compare("<=", 2**60), [True, False, False]
+    )
+    np.testing.assert_array_equal(
+        segment.compare(">", 2**60 + 1), [False, False, True]
+    )
+
+
+def test_for_compare_out_of_range_is_constant_without_data():
+    values = np.array([100, 105, 110], dtype=np.int64)
+    segment = FrameOfReferenceSegment(values, DataType.INT)
+    # proof of the fast path: an out-of-range literal never touches the
+    # offsets, so the answer survives their removal
+    segment._offsets = None
+    np.testing.assert_array_equal(segment.compare("<", 99), [False] * 3)
+    np.testing.assert_array_equal(segment.compare(">=", 99), [True] * 3)
+    np.testing.assert_array_equal(segment.compare("=", 200), [False] * 3)
+    np.testing.assert_array_equal(segment.compare("!=", 200), [True] * 3)
+    np.testing.assert_array_equal(segment.compare(">", 200), [False] * 3)
+    np.testing.assert_array_equal(segment.compare("<=", 200), [True] * 3)
+
+
+def test_for_compare_non_integral_literal_decodes():
+    values = np.array([1, 2, 3], dtype=np.int64)
+    segment = FrameOfReferenceSegment(values, DataType.INT)
+    np.testing.assert_array_equal(
+        segment.compare("<", 2.5), [True, True, False]
+    )
+    # integral float literals take the integer-domain path
+    np.testing.assert_array_equal(
+        segment.compare("=", 2.0), [False, True, False]
+    )
+
+
+# ----------------------------------------------------------------------
+# regression: run-length take without a full decode
+
+def test_rle_take_skips_full_decode():
+    values = np.array([4, 4, 4, 7, 7, 1, 1, 1, 1, 9], dtype=np.int64)
+    segment = RunLengthSegment(values, DataType.INT)
+    positions = np.array([0, 2, 3, 5, 8, 9], dtype=np.int64)
+    np.testing.assert_array_equal(segment.take(positions), values[positions])
+    # the point of the no-decode path: take() must not materialise all rows
+    assert segment._decoded is None
+    # once decoded (via values()), take() serves from the decoded array
+    np.testing.assert_array_equal(segment.values(), values)
+    np.testing.assert_array_equal(segment.take(positions), values[positions])

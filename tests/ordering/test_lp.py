@@ -193,6 +193,18 @@ def test_property_lp_is_optimal_and_valid(n, seed):
     assert lp.objective == pytest.approx(bf.objective)
 
 
+def test_lp_demands_exact_optimality():
+    # Regression: with HiGHS's default 1e-4 relative MIP gap, this
+    # instance stops at ('f3','f0','f4','f2','f1') — objective 43.36501,
+    # a provable 3.2e-5 short of the true optimum (the last two features
+    # swapped). mip_rel_gap=0 must recover the exact order.
+    matrix = make_matrix(5, seed=996)
+    lp = LPOrderOptimizer().optimize(matrix)
+    bf = BruteForceOrderOptimizer().optimize(matrix)
+    assert lp.objective == pytest.approx(bf.objective)
+    assert lp.order == bf.order
+
+
 # ----------------------------------------------------------------------
 # heuristics
 
