@@ -1,0 +1,242 @@
+"""E18 — fleet-scale prior sharing: one hot tenant tunes, look-alikes replay.
+
+An 8-tenant fleet with Zipf-skewed traffic (tenant 0 hot at scale 1.0,
+the rest falling off as ``(i+1)^-0.8``) and a 75% look-alike cluster is
+run twice over the same per-tenant workloads:
+
+(a) **shared** — the fleet organizer arbitrates admissions (hot-first
+    within a cluster, fleet-wide reconfiguration cap) and replays
+    committed passes from the hot tenant onto look-alike tenants after
+    what-if validation;
+(b) **independent** — every tenant tunes itself, no arbitration, no
+    priors (the pre-fleet behavior, N times over).
+
+Claims asserted:
+
+- the shared arm spends **≤ 0.5×** the independent arm's tuning cost,
+  measured as what-if probe executions (cost-cache misses) plus full
+  tuning passes — the fleet does strictly fewer expensive enumerations;
+- every replayed tenant's post-commit workload cost stays within **5%**
+  of tuning that tenant independently;
+- at least half of the look-alike cluster is tuned by replay rather
+  than by its own full pass.
+
+Runs under pytest (``PYTHONPATH=src python -m pytest
+benchmarks/bench_e18_fleet.py``) or standalone (``PYTHONPATH=src python
+benchmarks/bench_e18_fleet.py --quick``, the CI smoke setting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from conftest import save_table
+
+from repro.fleet import FleetConfig, build_fleet
+from repro.kpi.metrics import WHATIF_CACHE_MISSES
+
+N_TENANTS = 8
+SKEW = 0.8
+SEED = 7
+#: shared-arm tuning cost must be at most this fraction of independent
+MAX_COST_RATIO = 0.5
+#: replayed tenants' post-commit workload cost band vs independent tuning
+MAX_WORKLOAD_GAP = 0.05
+
+
+def _build(share: bool, bins: int, rows: int):
+    return build_fleet(
+        N_TENANTS,
+        skew=SKEW,
+        seed=SEED,
+        bins=bins,
+        rows=rows,
+        config=FleetConfig(share_priors=share, arbitrate=share),
+    )
+
+
+def _tuning_cost(fleet, report) -> float:
+    """What-if probe executions across the fleet — the priced work that
+    full tuning passes (enumeration × scenarios) dominate and replays
+    mostly avoid (one validation probe pair per prior)."""
+    return sum(
+        ctx.telemetry.registry.read(WHATIF_CACHE_MISSES)
+        for ctx in fleet.tenants
+    )
+
+
+def _post_commit_gap(shared_ctx, independent_ctx) -> float | None:
+    """Relative workload-cost gap over the common post-commit window.
+
+    Both arms run the *same* tenant spec, hence the same trace — so
+    comparing the same bin indices compares identical query schedules
+    and isolates the configuration difference. The window is the bins
+    that ran entirely after BOTH arms' last commit; ``None`` when a
+    commit landed so late no such bin exists (the fleet cap can push
+    replays into the final bins).
+    """
+    commits = [
+        ctx.organizer.last_tuning_ms
+        for ctx in (shared_ctx, independent_ctx)
+    ]
+    if any(c is None for c in commits):
+        return None
+    cutoff = max(commits)
+
+    def cost(ctx):
+        post = [
+            r
+            for r in ctx.records
+            if r.now_ms - 60_000.0 >= cutoff and r.queries_executed > 0
+        ]
+        if not post:
+            return None
+        return sum(r.workload_ms for r in post) / sum(
+            r.queries_executed for r in post
+        )
+
+    shared_cost_ms = cost(shared_ctx)
+    independent_cost_ms = cost(independent_ctx)
+    if shared_cost_ms is None or not independent_cost_ms:
+        return None
+    return shared_cost_ms / independent_cost_ms - 1.0
+
+
+def run_fleet_comparison(bins: int = 16, rows: int = 6_000) -> dict:
+    shared = _build(True, bins, rows)
+    shared_report = shared.run()
+    independent = _build(False, bins, rows)
+    independent_report = independent.run()
+
+    shared_cost = _tuning_cost(shared, shared_report)
+    independent_cost = _tuning_cost(independent, independent_report)
+    replayed = [s for s in shared_report.summaries if s.replays]
+    # the acceptance band is post-commit: each arm's cost is measured
+    # over the bins that ran entirely under that arm's final
+    # configuration (replays can land bins later than self-tuning)
+    gaps = {}
+    for summary in replayed:
+        gap = _post_commit_gap(
+            shared.tenant(summary.tenant),
+            independent.tenant(summary.tenant),
+        )
+        if gap is not None:
+            gaps[summary.tenant] = gap
+    cluster = [
+        s for s in shared_report.summaries if s.profile == 0
+    ]
+    return {
+        "shared": shared,
+        "independent": independent,
+        "shared_report": shared_report,
+        "independent_report": independent_report,
+        "shared_cost": shared_cost,
+        "independent_cost": independent_cost,
+        "cost_ratio": (
+            shared_cost / independent_cost if independent_cost else 1.0
+        ),
+        "replayed": replayed,
+        "gaps": gaps,
+        "cluster_size": len(cluster),
+    }
+
+
+def check(result: dict) -> None:
+    shared_report = result["shared_report"]
+    independent_report = result["independent_report"]
+    # the fleet did strictly fewer full passes ...
+    assert (
+        shared_report.total_full_passes
+        < independent_report.total_full_passes
+    ), (
+        f"shared arm ran {shared_report.total_full_passes} full passes "
+        f"vs {independent_report.total_full_passes} independent"
+    )
+    # ... and at most half the priced tuning work
+    assert result["cost_ratio"] <= MAX_COST_RATIO, (
+        f"tuning cost ratio {result['cost_ratio']:.2f} "
+        f"({result['shared_cost']:.0f} vs "
+        f"{result['independent_cost']:.0f} what-if probes)"
+    )
+    # replay actually carried the look-alike cluster: at least half of
+    # the non-hot cluster members were tuned by prior replay
+    followers = result["cluster_size"] - 1
+    assert len(result["replayed"]) >= max(1, followers // 2), (
+        f"only {len(result['replayed'])} of {followers} cluster "
+        "followers were tuned by replay"
+    )
+    # replayed tenants converged to within the workload-cost band
+    assert result["gaps"], "no replayed tenant had a measurable post-commit window"
+    for tenant, gap in result["gaps"].items():
+        assert gap <= MAX_WORKLOAD_GAP, (
+            f"{tenant}: post-replay workload cost {100 * gap:+.1f}% vs "
+            "independent tuning"
+        )
+
+
+def report(result: dict) -> None:
+    shared_by = {s.tenant: s for s in result["shared_report"].summaries}
+    independent_by = {
+        s.tenant: s for s in result["independent_report"].summaries
+    }
+    rows = []
+    for tenant in sorted(shared_by, key=lambda t: int(t[1:])):
+        s, i = shared_by[tenant], independent_by[tenant]
+        gap = result["gaps"].get(tenant)
+        rows.append([
+            tenant,
+            s.profile,
+            round(s.volume_scale, 3),
+            f"{s.full_passes} vs {i.full_passes}",
+            s.replays,
+            f"{100 * gap:+.1f}%" if gap is not None else "-",
+        ])
+    arb = result["shared_report"].arbitration
+    rows.append([
+        "fleet",
+        "-",
+        "-",
+        f"{result['shared_report'].total_full_passes} vs "
+        f"{result['independent_report'].total_full_passes}",
+        arb["replays_applied"],
+        f"cost ratio {result['cost_ratio']:.2f}",
+    ])
+    save_table(
+        "e18_fleet",
+        ["tenant", "profile", "scale", "passes (shared vs indep)",
+         "replays", "final cost gap"],
+        rows,
+        "E18: fleet prior sharing — tuning cost with vs without shared "
+        f"priors ({N_TENANTS} tenants, skew {SKEW}, seed {SEED})",
+    )
+
+
+def test_e18_prior_sharing_halves_tuning_cost():
+    result = run_fleet_comparison()
+    report(result)
+    check(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller tables/trace (the CI smoke setting)")
+    args = parser.parse_args(argv)
+    result = run_fleet_comparison(
+        bins=10 if args.quick else 16,
+        rows=3_000 if args.quick else 6_000,
+    )
+    report(result)
+    check(result)
+    print(
+        f"OK (tuning cost ratio {result['cost_ratio']:.2f}, "
+        f"{result['shared_report'].total_full_passes} vs "
+        f"{result['independent_report'].total_full_passes} full passes, "
+        f"{len(result['replayed'])} tenants tuned by replay)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

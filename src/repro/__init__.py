@@ -30,7 +30,10 @@ framework end to end, including every substrate it depends on:
   organizer's per-feature quarantine breaker;
 - :mod:`repro.guard` — guarded reconfiguration: commit probation with a
   retained-inverse-action ledger, a runtime regression watchdog that
-  rolls bad commits back, and forecast-miss escalation.
+  rolls bad commits back, and forecast-miss escalation;
+- :mod:`repro.fleet` — fleet-scale multi-tenancy: per-tenant contexts,
+  a fleet organizer arbitrating the tuning budget across tenants, and
+  shared tuning priors replayed onto look-alike tenants.
 
 Quickstart::
 
@@ -66,6 +69,13 @@ from repro.cost import (
 )
 from repro.dbms import Database, DataType, EncodingType, StorageTier, TableSchema
 from repro.faults import FaultConfig, FaultInjector, FeatureQuarantine, RetryPolicy
+from repro.fleet import (
+    FleetConfig,
+    FleetDriver,
+    FleetOrganizer,
+    TenantContext,
+    build_fleet,
+)
 from repro.forecasting import Forecast, WorkloadAnalyzer, WorkloadPredictor
 from repro.guard import CommitGuard, CommitLedger, GuardConfig
 from repro.ordering import (
@@ -103,6 +113,9 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FeatureQuarantine",
+    "FleetConfig",
+    "FleetDriver",
+    "FleetOrganizer",
     "Forecast",
     "GuardConfig",
     "LPOrderOptimizer",
@@ -126,12 +139,14 @@ __all__ = [
     "TableSchema",
     "Telemetry",
     "TelemetryConfig",
+    "TenantContext",
     "Tracer",
     "Tuner",
     "WhatIfOptimizer",
     "WorkloadAnalyzer",
     "WorkloadPredictor",
     "__version__",
+    "build_fleet",
     "parse_sql",
     "render_span_tree",
     "standard_features",

@@ -6,6 +6,9 @@ Commands:
 - ``simulate``    — run a closed-loop self-management simulation over the
                     retail (or telemetry) workload and print per-bin stats
                     plus the self-management log;
+- ``fleet``       — run N skewed tenants under the fleet organizer and
+                    print per-tenant stats plus the fleet rollup (priors
+                    harvested, replays applied, arbitration record);
 - ``order``       — measure the feature dependence matrix on a fresh suite
                     and print the LP-optimized tuning order;
 - ``trace``       — run a short warm-up, force one tuning pass, and dump
@@ -124,6 +127,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"  [{event.at_ms / 60_000:5.1f} min] {event.message}")
     print(f"\nindex memory: {db.index_bytes() / MIB:.2f} MiB; "
           f"reconfigurations: {db.counters.reconfigurations}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetConfig, build_fleet
+    from repro.util.tables import render_table
+
+    config = FleetConfig(
+        share_priors=not args.no_priors,
+        arbitrate=not args.no_arbitrate,
+        max_concurrent_reconfigurations=args.max_concurrent,
+    )
+    fleet = build_fleet(
+        args.tenants,
+        skew=args.skew,
+        seed=args.seed,
+        bins=args.bins,
+        rows=args.rows,
+        suite=args.suite,
+        config=config,
+        tune_every_bins=args.tune_every_bins,
+        index_budget_mib=args.index_budget_mib,
+    )
+    print(f"fleet: {args.tenants} tenants over the {args.suite} workload, "
+          f"skew {args.skew}, {args.bins} bins, seed {args.seed}")
+    report = fleet.run()
+
+    print()
+    print(render_table(
+        ["tenant", "profile", "scale", "queries", "mean_ms", "final_ms",
+         "passes", "replays", "reconfigs"],
+        [[s.tenant, s.profile, round(s.volume_scale, 3), s.queries,
+          round(s.mean_query_ms, 4), round(s.final_mean_query_ms, 4),
+          s.full_passes, s.replays, s.reconfigurations]
+         for s in report.summaries],
+    ))
+
+    arb = report.arbitration
+    print(f"\nfleet rollup: {report.total_queries} queries, "
+          f"{arb['full_passes']} full tuning passes, "
+          f"{arb['replays_applied']} prior replays applied "
+          f"({arb['replays_rejected']} rejected), "
+          f"{arb['priors']} priors harvested")
+    print(f"what-if cache (all tenants): {report.whatif.hits} hits, "
+          f"{report.whatif.misses} misses "
+          f"({report.whatif.hit_rate:.0%} hit rate)")
+    print(f"plan cache (all tenants): {report.plan.hits} hits, "
+          f"{report.plan.misses} misses "
+          f"({report.plan.hit_rate:.0%} hit rate)")
+
+    if report.replay_outcomes:
+        print("\nprior replays:")
+        for o in report.replay_outcomes:
+            print(f"  prior #{o.prior_id} {o.source} -> {o.tenant}: "
+                  f"{o.reason}")
     return 0
 
 
@@ -482,6 +540,27 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--bins", type=int, default=24)
     simulate.add_argument("--tune-every-bins", type=int, default=8)
     simulate.set_defaults(run=_cmd_simulate)
+
+    fleet = commands.add_parser(
+        "fleet", help="run a multi-tenant fleet with shared tuning priors"
+    )
+    fleet.add_argument("--tenants", type=int, default=4)
+    fleet.add_argument("--skew", type=float, default=0.8,
+                       help="Zipf volume skew (tenant i scaled (i+1)^-skew)")
+    fleet.add_argument("--suite", default="retail",
+                       choices=("retail", "telemetry"))
+    fleet.add_argument("--rows", type=int, default=20_000)
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--bins", type=int, default=24)
+    fleet.add_argument("--tune-every-bins", type=int, default=6)
+    fleet.add_argument("--index-budget-mib", type=float, default=64.0)
+    fleet.add_argument("--max-concurrent", type=int, default=3,
+                       help="fleet-wide cap on concurrent reconfigurations")
+    fleet.add_argument("--no-priors", action="store_true",
+                       help="disable prior sharing (independent tuning)")
+    fleet.add_argument("--no-arbitrate", action="store_true",
+                       help="disable admission arbitration")
+    fleet.set_defaults(run=_cmd_fleet)
 
     order = commands.add_parser(
         "order", help="measure dependencies and print the LP tuning order"

@@ -13,28 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.configuration.constraints import ConstraintSet
-from repro.configuration.store import ConfigurationInstanceStorage
-from repro.core.events import EventKind, EventLog
-from repro.core.organizer import Organizer, OrganizerConfig, OrganizerRunReport
+from repro.core.events import EventKind
+from repro.core.organizer import OrganizerConfig, OrganizerRunReport
 from repro.core.triggers import TuningTrigger
-from repro.cost.calibration import run_design_exploration
-from repro.cost.maintenance import AdaptiveCostMaintenancePlugin
-from repro.cost.what_if import WhatIfOptimizer
 from repro.dbms.database import Database
 from repro.dbms.plugin import Plugin
 from repro.errors import PluginError
-from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.injector import FaultConfig
 from repro.faults.recovery import RetryPolicy
-from repro.forecasting.analyzer import AnalyzerConfig, WorkloadAnalyzer
+from repro.forecasting.analyzer import AnalyzerConfig
 from repro.forecasting.models.ensemble import ModelFactory
-from repro.forecasting.models.seasonal import SeasonalNaive
-from repro.forecasting.predictor import WorkloadPredictor
-from repro.kpi.monitor import RuntimeKPIMonitor
-from repro.telemetry import Telemetry, TelemetryConfig
-from repro.tuning.executors.sequential import SequentialExecutor
+from repro.telemetry import TelemetryConfig
 from repro.tuning.features.base import FeatureTuner
 from repro.tuning.selectors.base import Selector
-from repro.tuning.tuner import Tuner
 
 
 @dataclass
@@ -60,6 +51,9 @@ class DriverConfig:
     faults: FaultConfig | None = None
     #: backoff policy for retrying transient action failures
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: tenant id labelling every event, span record, and ledger this
+    #: driver's components produce ('' = single-tenant; see docs/fleet.md)
+    tenant: str = ""
 
 
 class Driver(Plugin):
@@ -80,9 +74,9 @@ class Driver(Plugin):
         self._features = features
         self._constraints = constraints or ConstraintSet()
         self._config = config or DriverConfig()
-        self._model_factory = model_factory or (
-            lambda: SeasonalNaive(self._config.default_seasonal_period)
-        )
+        # None defers to TenantContext.wire's default (a SeasonalNaive
+        # over config.default_seasonal_period)
+        self._model_factory = model_factory
         self._selector = selector
         self._triggers = triggers
         self._reconfiguration_weight = reconfiguration_weight
@@ -98,88 +92,38 @@ class Driver(Plugin):
 
     def on_attach(self, database: Database) -> None:
         self._db = database
-        # one telemetry spine for every component the driver wires up:
-        # spans and events flow through its sinks, counters through its
-        # registry, and the monitor derives interval KPIs from the latter
-        self.telemetry = Telemetry(database.clock, self._config.telemetry)
-        self.events = EventLog(
-            sink=self.telemetry.sink if self.telemetry.enabled else None
-        )
-        self.store = ConfigurationInstanceStorage()
-        self.monitor = RuntimeKPIMonitor(
-            database, registry=self.telemetry.registry
-        )
-        analyzer = WorkloadAnalyzer(self._model_factory, self._config.analyzer)
-        self.predictor = WorkloadPredictor(
-            database, analyzer, bin_duration_ms=self._config.bin_duration_ms
-        )
-        self.cost_maintenance: AdaptiveCostMaintenancePlugin | None = None
-        if self._config.fast_assessment:
-            # the driver owns the maintenance plugin directly (composition,
-            # not host registration) and ticks it from its own loop
-            self.cost_maintenance = AdaptiveCostMaintenancePlugin()
-            self.cost_maintenance.on_attach(database)
-            run_design_exploration(database, self.cost_maintenance.model)
-        # seeded fault injection (off unless configured): the injector
-        # gates executor applications and perturbs what-if probes, with
-        # its counters in the shared registry
-        self.injector: FaultInjector | None = None
-        if self._config.faults is not None:
-            self.injector = FaultInjector(
-                self._config.faults, registry=self.telemetry.registry
-            )
-        # one shared what-if optimizer: the organizer, the dependence
-        # analyzer, and every feature's default assessor price through the
-        # same epoch-keyed cost cache (and its KPI counters)
-        self.optimizer = WhatIfOptimizer(
-            database, registry=self.telemetry.registry, injector=self.injector
-        )
-        # one failure-aware executor for every tuning application:
-        # retries transients, rolls back on permanent failure
-        self.executor = SequentialExecutor(
-            injector=self.injector,
-            retry=self._config.retry,
-            telemetry=self.telemetry,
-        )
-        self.tuners = []
-        for feature in self._features:
-            assessor = None
-            if self.cost_maintenance is not None:
-                assessor = feature.make_fast_assessor(
-                    database, self.cost_maintenance.model
-                )
-            self.tuners.append(
-                Tuner(
-                    feature,
-                    database,
-                    assessor=assessor,
-                    selector=self._selector,
-                    reconfiguration_weight=self._reconfiguration_weight,
-                    optimizer=self.optimizer,
-                    telemetry=self.telemetry,
-                )
-            )
-        self.organizer = Organizer(
+        # all component construction lives in TenantContext.wire — the
+        # single-tenant driver is literally a one-tenant fleet. Imported
+        # lazily: repro.fleet imports this module for FleetDriver, so a
+        # module-level import would close a cycle through its __init__.
+        from repro.fleet.context import TenantContext
+
+        self.context = TenantContext.wire(
             database,
-            self.predictor,
-            self.tuners,
+            features=self._features,
+            config=self._config,
             constraints=self._constraints,
-            monitor=self.monitor,
-            store=self.store,
-            events=self.events,
+            model_factory=self._model_factory,
+            selector=self._selector,
             triggers=self._triggers,
-            config=self._config.organizer,
-            optimizer=self.optimizer,
-            executor=self.executor,
-            telemetry=self.telemetry,
+            reconfiguration_weight=self._reconfiguration_weight,
+            tenant=self._config.tenant,
         )
-        # sampled per-query spans + exec work counters from the executor
-        database.executor.bind_telemetry(self.telemetry)
-        if self.telemetry.enabled:
-            # compiled-plan compile/cache counters from the shared planner
-            database.planner.bind_registry(
-                self.telemetry.registry, replace=True
-            )
+        # the context's components double as driver attributes so the
+        # pre-fleet public surface (driver.organizer, driver.events, …)
+        # is unchanged
+        ctx = self.context
+        self.telemetry = ctx.telemetry
+        self.events = ctx.events
+        self.store = ctx.store
+        self.monitor = ctx.monitor
+        self.predictor = ctx.predictor
+        self.cost_maintenance = ctx.cost_maintenance
+        self.injector = ctx.injector
+        self.optimizer = ctx.optimizer
+        self.executor = ctx.executor
+        self.tuners = ctx.tuners
+        self.organizer = ctx.organizer
         self.events.log(
             database.clock.now_ms,
             EventKind.OBSERVE,
@@ -193,8 +137,7 @@ class Driver(Plugin):
             self.events.log(
                 self._db.clock.now_ms, EventKind.OBSERVE, "driver detached"
             )
-            self._db.executor.bind_telemetry(None)
-            self.telemetry.close()
+            self.context.close()
         self._db = None
 
     # ------------------------------------------------------------------

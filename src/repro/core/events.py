@@ -34,12 +34,19 @@ class EventKind(enum.Enum):
 
 @dataclass(frozen=True)
 class Event:
-    """One logged self-management event."""
+    """One logged self-management event.
+
+    ``tenant`` identifies the tenant whose log recorded the event in a
+    fleet run; single-tenant runs use the empty string. It does not take
+    part in equality, so a one-tenant fleet's events compare equal to a
+    legacy single-tenant run's.
+    """
 
     at_ms: float
     kind: EventKind
     message: str
     data: dict[str, object] = field(default_factory=dict)
+    tenant: str = field(default="", compare=False)
 
 
 class EventLog:
@@ -49,17 +56,28 @@ class EventLog:
     every event is additionally emitted as a structured record (type
     ``"event"``), so the span ring / JSONL export and the event log tell
     one consistent story. The in-memory API is unchanged either way.
+
+    In a fleet each tenant owns one log constructed with its tenant id;
+    every event and sink record carries it, so interleaved JSONL output
+    from concurrent tenants stays separable.
     """
 
     def __init__(
         self,
         capacity: int = 1024,
         sink: "TelemetrySink | None" = None,
+        tenant: str = "",
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._events: deque[Event] = deque(maxlen=capacity)
         self._sink = sink
+        self._tenant = tenant
+
+    @property
+    def tenant(self) -> str:
+        """Tenant id stamped on every event ('' for single-tenant)."""
+        return self._tenant
 
     def attach_sink(self, sink: "TelemetrySink | None") -> None:
         """Start (or stop, with ``None``) mirroring events into a sink."""
@@ -72,12 +90,19 @@ class EventLog:
         message: str,
         **data: object,
     ) -> Event:
-        event = Event(at_ms=at_ms, kind=kind, message=message, data=data)
+        event = Event(
+            at_ms=at_ms,
+            kind=kind,
+            message=message,
+            data=data,
+            tenant=self._tenant,
+        )
         self._events.append(event)
         if self._sink is not None:
             self._sink.emit(
                 {
                     "type": "event",
+                    "tenant": self._tenant,
                     "at_ms": at_ms,
                     "kind": kind.value,
                     "message": message,

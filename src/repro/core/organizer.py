@@ -12,9 +12,11 @@ the feedback loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.configuration.config import ConfigurationInstance
 from repro.configuration.constraints import ConstraintSet
+from repro.configuration.delta import ConfigurationDelta
 from repro.configuration.store import (
     ConfigurationInstanceStorage,
     ConfigurationRecord,
@@ -30,6 +32,7 @@ from repro.core.triggers import (
     TuningTrigger,
 )
 from repro.dbms.database import Database
+from repro.errors import TuningAbortedError
 from repro.faults.quarantine import Admission, FeatureQuarantine
 from repro.forecasting.predictor import WorkloadPredictor
 from repro.guard.forecast_miss import ForecastMissVerdict
@@ -52,6 +55,22 @@ from repro.telemetry import Telemetry
 from repro.tuning.executors.base import ApplicationReport, TuningExecutor
 from repro.tuning.executors.sequential import SequentialExecutor
 from repro.tuning.tuner import Tuner
+
+if TYPE_CHECKING:
+    from repro.configuration.actions import Action
+    from repro.forecasting.scenarios import Forecast
+
+#: Fleet-arbiter admission hook: called with the firing trigger decision
+#: before a pass runs; returns ``(admitted, reason)``. A denial logs a
+#: structured SKIP event and defers the pass (see repro.fleet.arbiter).
+AdmissionHook = Callable[["Organizer", TriggerDecision], "tuple[bool, str]"]
+
+#: Called with every committed pass report — the fleet arbiter harvests
+#: tuning priors from it; escalation passes flow through it too.
+CommitListener = Callable[["Organizer", "OrganizerRunReport"], None]
+
+#: Trigger name recorded for passes replayed from a fleet tuning prior.
+FLEET_REPLAY_TRIGGER = "fleet_replay"
 
 
 @dataclass(frozen=True)
@@ -170,8 +189,15 @@ class Organizer:
         self._cached_order: tuple[str, ...] | None = None
         self._runs_since_refresh = 0
         self._last_matrix = None
+        # fleet hooks: both stay None outside a fleet, costing nothing
+        self._admission: AdmissionHook | None = None
+        self._commit_listener: CommitListener | None = None
 
     # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> OrganizerConfig:
+        return self._config
 
     @property
     def events(self) -> EventLog:
@@ -204,6 +230,25 @@ class Organizer:
     @property
     def cached_order(self) -> tuple[str, ...] | None:
         return self._cached_order
+
+    def set_admission(self, hook: AdmissionHook | None) -> None:
+        """Install (or clear) the fleet arbiter's admission hook.
+
+        The hook runs in :meth:`tick` after a trigger fires and the idle
+        gate passes, i.e. exactly where this organizer would otherwise
+        commit to a pass. Manual :meth:`run_tuning` calls and guard
+        escalations bypass it — urgent work is not arbitrated.
+        """
+        self._admission = hook
+
+    def set_commit_listener(self, listener: CommitListener | None) -> None:
+        """Install (or clear) the per-committed-pass callback.
+
+        The fleet arbiter uses it to harvest tuning priors; replayed
+        passes (:meth:`replay_pass`) do not re-fire it, so a prior can
+        never be harvested from its own replay.
+        """
+        self._commit_listener = listener
 
     def _context(self) -> TriggerContext:
         return TriggerContext(
@@ -280,6 +325,17 @@ class Organizer:
                     now,
                     EventKind.SKIP,
                     "tuning deferred: waiting for a low-utilization window",
+                )
+                return None
+        if self._admission is not None:
+            admitted, reason = self._admission(self, decision)
+            if not admitted:
+                self._events.log(
+                    now,
+                    EventKind.SKIP,
+                    f"tuning deferred by fleet arbiter: {reason}",
+                    trigger=decision.trigger,
+                    reason=reason,
                 )
                 return None
         return self.run_tuning(decision)
@@ -621,7 +677,7 @@ class Organizer:
                     cache_hits / cache_priced if cache_priced else 0.0
                 ),
             )
-        return OrganizerRunReport(
+        run_report = OrganizerRunReport(
             decision=decision,
             order=subset,
             tuning=report,
@@ -630,3 +686,125 @@ class Organizer:
             skipped_features=skipped,
             quarantined_features=quarantined,
         )
+        if self._commit_listener is not None:
+            self._commit_listener(self, run_report)
+        return run_report
+
+    # ------------------------------------------------------------------
+    # fleet prior replay
+
+    def replay_pass(
+        self,
+        actions: Sequence["Action"],
+        *,
+        features: tuple[str, ...] = (),
+        source: str = "",
+        predicted_benefit_ms: float = 0.0,
+        cost_before_ms: float = 0.0,
+        cost_after_ms: float = 0.0,
+        forecast: "Forecast | None" = None,
+    ) -> ApplicationReport | None:
+        """Apply a committed pass harvested from a look-alike tenant.
+
+        The cheap path of fleet tuning: instead of enumerating and
+        assessing candidates, the forward ``actions`` of a pass another
+        tenant already committed are applied through the failure-aware
+        executor, recorded in the configuration store, and put on guard
+        probation exactly like a locally tuned pass — the regression
+        watchdog treats replayed and tuned commits identically. Callers
+        (the fleet arbiter) are expected to have what-if validated the
+        delta first; ``cost_before_ms``/``cost_after_ms`` carry that
+        validation's pricing into the record. ``forecast`` — typically
+        the cluster-level forecast the prior was validated against — is
+        noted with the guard so forecast-miss escalation covers replayed
+        tenants too. Counts as a tuning for cooldown/trigger purposes;
+        does not re-fire the commit listener (no priors from replays).
+        """
+        if not actions:
+            return None
+        now = self._db.clock.now_ms
+        self._events.log(
+            now,
+            EventKind.TUNING_STARTED,
+            f"replaying committed pass from {source or 'prior'} "
+            f"({len(actions)} actions)",
+            trigger=FLEET_REPLAY_TRIGGER,
+            source=source,
+            actions=len(actions),
+        )
+        if forecast is not None:
+            self._guard.note_forecast(forecast)
+        executor = self._executor or SequentialExecutor(
+            telemetry=self._telemetry
+        )
+        pre_pass = TuningExecutor.snapshot(self._db)
+        delta = ConfigurationDelta(list(actions))
+        with self._tracer.span(
+            "replay_pass", source=source, actions=len(actions)
+        ) as span:
+            try:
+                report = executor.execute(delta, self._db)
+            except TuningAbortedError as exc:
+                report = exc.report
+                now = self._db.clock.now_ms
+                self._last_tuning_ms = now
+                span.tag(failed=True)
+                self._events.log(
+                    now,
+                    EventKind.FAULT,
+                    f"replayed pass from {source or 'prior'} failed: "
+                    f"{exc}",
+                    source=source,
+                    action=report.failed_action,
+                    retries=report.retries,
+                )
+                self._events.log(
+                    now,
+                    EventKind.ROLLBACK,
+                    f"rolled back {report.rollback_actions} actions of "
+                    "failed replay",
+                    source=source,
+                    actions=report.rollback_actions,
+                    work_ms=report.rollback_work_ms,
+                )
+                return report
+            now = self._db.clock.now_ms
+            self._last_tuning_ms = now
+            record_id = self._store.append(
+                ConfigurationRecord(
+                    instance=ConfigurationInstance.capture(self._db),
+                    applied_at_ms=now,
+                    trigger=FLEET_REPLAY_TRIGGER,
+                    feature=None,
+                    action_summaries=list(report.action_summaries),
+                    predicted_benefit_ms=predicted_benefit_ms,
+                    reconfiguration_cost_ms=report.total_work_ms,
+                    measured_benefit_ms=cost_before_ms - cost_after_ms,
+                )
+            )
+            saved_epoch, saved_pool = pre_pass
+            self._guard.open_probation(
+                now,
+                features=features,
+                inverse_actions=tuple(report.inverse_actions),
+                saved_epoch=saved_epoch,
+                saved_pool=saved_pool,
+                record_id=record_id,
+            )
+            span.tag(
+                record_id=record_id,
+                predicted_benefit_ms=round(predicted_benefit_ms, 3),
+            )
+            self._events.log(
+                now,
+                EventKind.TUNING_FINISHED,
+                f"replayed pass from {source or 'prior'} applied: "
+                f"what-if {cost_before_ms:.2f} -> {cost_after_ms:.2f} ms "
+                f"({len(report.action_summaries)} actions)",
+                source=source,
+                predicted_benefit_ms=predicted_benefit_ms,
+                reconfiguration_ms=report.total_work_ms,
+                cost_before_ms=cost_before_ms,
+                cost_after_ms=cost_after_ms,
+            )
+        return report

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import warnings
 from collections import OrderedDict
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
@@ -72,6 +72,24 @@ class WhatIfCacheStats:
             "size": float(self.size),
             "hit_rate": self.hit_rate,
         }
+
+    @classmethod
+    def aggregate(
+        cls, stats: Iterable["WhatIfCacheStats"]
+    ) -> "WhatIfCacheStats":
+        """Fleet rollup: field-wise sum over per-tenant cache stats.
+
+        Each tenant's optimizer owns its own cache and stats; the fleet
+        view is this explicit sum, with ``hit_rate`` derived from the
+        summed hits/misses rather than averaged per tenant.
+        """
+        hits = misses = evictions = size = 0
+        for s in stats:
+            hits += s.hits
+            misses += s.misses
+            evictions += s.evictions
+            size += s.size
+        return cls(hits=hits, misses=misses, evictions=evictions, size=size)
 
 
 class WhatIfOptimizer:

@@ -1,0 +1,49 @@
+"""Fleet-scale multi-tenancy: tenant contexts, arbitration, shared priors.
+
+One :class:`TenantContext` per tenant (the complete self-management
+stack, lifted out of the driver), one :class:`FleetOrganizer` across
+them (tuning-budget arbitration plus prior sharing), and a
+:class:`FleetDriver` ticking every tenant's closed loop in lockstep
+simulated time. ``build_fleet`` is the one-call constructor the CLI and
+benchmarks use.
+"""
+
+from repro.fleet.arbiter import (
+    FleetConfig,
+    FleetOrganizer,
+    ReplayOutcome,
+    TuningPrior,
+)
+from repro.fleet.context import TenantContext
+from repro.fleet.driver import (
+    FleetDriver,
+    FleetReport,
+    TenantSummary,
+    build_fleet,
+    default_tenant_driver,
+)
+from repro.fleet.workload import (
+    TenantSpec,
+    build_tenant_suite,
+    build_tenant_trace,
+    profile_rates,
+    tenant_specs,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetDriver",
+    "FleetOrganizer",
+    "FleetReport",
+    "ReplayOutcome",
+    "TenantContext",
+    "TenantSpec",
+    "TenantSummary",
+    "TuningPrior",
+    "build_fleet",
+    "build_tenant_suite",
+    "build_tenant_trace",
+    "default_tenant_driver",
+    "profile_rates",
+    "tenant_specs",
+]

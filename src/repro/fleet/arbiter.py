@@ -1,0 +1,463 @@
+"""The fleet organizer: tuning-budget arbitration and shared priors.
+
+The paper's Organizer is "the arbiter of constraints and ordering" for
+one database; at fleet scale something must arbitrate *across* tenants.
+:class:`FleetOrganizer` does three things, all through the two hooks the
+per-tenant organizer exposes (admission + commit listener) and the
+:meth:`~repro.core.organizer.Organizer.replay_pass` entry point — it
+never reaches into another tenant's components:
+
+- **budget arbitration** — hot-tenant-first scheduling (within a
+  look-alike cluster, only the hottest tenant initiates full tuning
+  passes; colder tenants wait for its prior, with a starvation bound),
+  per-tenant fleet cooldowns, and a fleet-wide cap on concurrent
+  reconfigurations (tenants whose guard ledger holds an active probation
+  commit count against it);
+- **prior sharing** — every committed pass is harvested as a
+  :class:`TuningPrior` (its forward actions plus the source tenant's
+  observed mix — the cluster-level forecast model, fitted once per
+  cluster rather than once per tenant);
+- **prior replay** — after each fleet bin, priors are what-if validated
+  on look-alike tenants (total-variation distance between observed
+  mixes within :attr:`FleetConfig.cluster_tv`) by pricing the cluster
+  mix rescaled to the target tenant's volume, and applied through
+  ``replay_pass`` only when the validation predicts an improvement.
+  Replayed commits enter guard probation like any tuned pass, so the
+  regression watchdog protects replay targets too.
+
+Urgent work is never arbitrated: SLA-violation triggers are admitted
+unconditionally and guard escalations bypass admission entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.configuration.actions import Action
+from repro.configuration.delta import ConfigurationDelta
+from repro.core.organizer import Organizer, OrganizerRunReport
+from repro.core.triggers import SlaViolationTrigger, TriggerDecision
+from repro.fleet.context import TenantContext
+from repro.forecasting.scenarios import Forecast, WorkloadScenario
+from repro.guard.forecast_miss import total_variation
+from repro.kpi.metrics import QUERIES_EXECUTED
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Policy parameters of the fleet organizer."""
+
+    #: fleet-wide bound on tenants under active reconfiguration (an open
+    #: probation commit counts; the candidate itself does not, so a
+    #: one-tenant fleet is never capped)
+    max_concurrent_reconfigurations: int = 3
+    #: simulated ms between *fleet-admitted* full tunings of one tenant
+    #: (on top of the per-organizer cooldown; 0 adds nothing, keeping a
+    #: one-tenant fleet identical to the legacy driver)
+    tenant_cooldown_ms: float = 0.0
+    #: harvest priors from committed passes and replay them on
+    #: look-alike tenants (the cheap path of fleet tuning)
+    share_priors: bool = True
+    #: arbitrate admissions at all; off = every tenant tunes
+    #: independently (the bench baseline)
+    arbitrate: bool = True
+    #: total-variation bound between observed mixes for two tenants to
+    #: count as look-alike (one workload cluster)
+    cluster_tv: float = 0.35
+    #: observation window (bins) for mixes and volume ranking
+    mix_window_bins: int = 6
+    #: a cold tenant deferred this many times while waiting for a
+    #: cluster prior is admitted to tune itself (starvation bound)
+    max_defer_bins: int = 8
+    #: required predicted improvement fraction for a replay to apply
+    #: (0 = any strict improvement)
+    min_replay_improvement: float = 0.0
+    #: fraction of the prior's mix mass the target tenant must be able
+    #: to price (sample queries observed) before validation is trusted
+    min_replay_coverage: float = 0.9
+
+
+@dataclass(frozen=True)
+class TuningPrior:
+    """One committed pass, harvested for replay on look-alike tenants."""
+
+    prior_id: int
+    #: tenant whose organizer committed the pass
+    source: str
+    #: features the pass tuned (probation bookkeeping on replay targets)
+    features: tuple[str, ...]
+    #: forward actions of the committed pass, in application order
+    actions: tuple[Action, ...]
+    #: the source tenant's observed template mix at commit time — the
+    #: cluster-level forecast model the replay validation prices against
+    mix: dict[str, float]
+    #: the source pass's predicted benefit (diagnostics only)
+    predicted_benefit_ms: float
+    #: source-tenant simulated time of the commit
+    created_at_ms: float
+
+
+@dataclass
+class ReplayOutcome:
+    """What one validate-then-apply attempt on one tenant did."""
+
+    prior_id: int
+    source: str
+    tenant: str
+    applied: bool
+    reason: str
+    cost_before_ms: float = 0.0
+    cost_after_ms: float = 0.0
+
+
+class FleetOrganizer:
+    """Arbitrates tuning budget and shares priors across tenant contexts."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self._config = config or FleetConfig()
+        self._tenants: dict[str, TenantContext] = {}
+        self._priors: list[TuningPrior] = []
+        self._next_prior_id = 1
+        self._last_admitted_ms: dict[str, float] = {}
+        self._admitted_this_bin: set[str] = set()
+        self._defers: dict[str, int] = {}
+        #: (prior_id, tenant) pairs already attempted, applied or not
+        self._attempted: set[tuple[int, str]] = set()
+        self._outcomes: list[ReplayOutcome] = []
+        self._full_passes: dict[str, int] = {}
+        self._replays: dict[str, int] = {}
+
+    @property
+    def config(self) -> FleetConfig:
+        return self._config
+
+    @property
+    def priors(self) -> tuple[TuningPrior, ...]:
+        return tuple(self._priors)
+
+    @property
+    def outcomes(self) -> tuple[ReplayOutcome, ...]:
+        return tuple(self._outcomes)
+
+    def full_passes(self, tenant: str) -> int:
+        """Full tuning passes committed by ``tenant``'s own organizer."""
+        return self._full_passes.get(tenant, 0)
+
+    def replays(self, tenant: str) -> int:
+        """Priors successfully replayed *onto* ``tenant``."""
+        return self._replays.get(tenant, 0)
+
+    # ------------------------------------------------------------------
+    # registration & per-bin lifecycle
+
+    def register(self, ctx: TenantContext) -> None:
+        """Put one tenant under fleet arbitration.
+
+        Installs the admission hook and the commit listener on the
+        tenant's organizer; everything else stays the tenant's own.
+        """
+        if ctx.tenant in self._tenants:
+            raise ValueError(f"tenant {ctx.tenant!r} already registered")
+        self._tenants[ctx.tenant] = ctx
+        organizer = ctx.organizer
+        if self._config.arbitrate:
+            organizer.set_admission(
+                lambda org, decision, _ctx=ctx: self._admit(_ctx, decision)
+            )
+        organizer.set_commit_listener(
+            lambda org, report, _ctx=ctx: self._harvest(_ctx, report)
+        )
+
+    def begin_bin(self) -> None:
+        """Reset per-bin admission accounting (called at bin start)."""
+        self._admitted_this_bin.clear()
+
+    def active_reconfigurations(self, exclude: str | None = None) -> int:
+        """Tenants currently holding an active probation commit."""
+        return sum(
+            1
+            for tenant, ctx in self._tenants.items()
+            if tenant != exclude
+            and ctx.organizer.guard.active_commit is not None
+        )
+
+    # ------------------------------------------------------------------
+    # admission (the per-tenant organizer calls this from tick())
+
+    def _admit(
+        self, ctx: TenantContext, decision: TriggerDecision
+    ) -> tuple[bool, str]:
+        config = self._config
+        tenant = ctx.tenant
+        now = ctx.database.clock.now_ms
+        # urgent work is never deferred: an SLA breach outranks budgets
+        if decision.trigger == SlaViolationTrigger.name:
+            self._note_admitted(tenant, now)
+            return True, "sla violation (urgent)"
+        last = self._last_admitted_ms.get(tenant)
+        if (
+            last is not None
+            and config.tenant_cooldown_ms > 0
+            and now - last < config.tenant_cooldown_ms
+        ):
+            remaining = config.tenant_cooldown_ms - (now - last)
+            return False, f"fleet cooldown for another {remaining:.0f} ms"
+        busy = self.active_reconfigurations(exclude=tenant) + len(
+            self._admitted_this_bin - {tenant}
+        )
+        if busy >= config.max_concurrent_reconfigurations:
+            return False, (
+                f"{busy} tenants already reconfiguring "
+                f"(cap {config.max_concurrent_reconfigurations})"
+            )
+        if config.share_priors:
+            hotter = self._hotter_lookalike(ctx)
+            if hotter is not None:
+                deferred = self._defers.get(tenant, 0)
+                if deferred < config.max_defer_bins:
+                    self._defers[tenant] = deferred + 1
+                    return False, (
+                        f"waiting for a prior from hotter look-alike "
+                        f"{hotter!r} ({deferred + 1}/{config.max_defer_bins})"
+                    )
+        self._note_admitted(tenant, now)
+        return True, "admitted"
+
+    def _note_admitted(self, tenant: str, now_ms: float) -> None:
+        self._last_admitted_ms[tenant] = now_ms
+        self._admitted_this_bin.add(tenant)
+        self._defers.pop(tenant, None)
+
+    def _hotter_lookalike(self, ctx: TenantContext) -> str | None:
+        """The hottest look-alike tenant strictly hotter than ``ctx``.
+
+        Hotness is recent query volume (ties break toward the lower
+        tenant index, so the ranking is total and deterministic).
+        """
+        mix = self._observed_mix(ctx)
+        if not mix:
+            return None
+        own = self._hotness(ctx)
+        hottest: TenantContext | None = None
+        hottest_rank: tuple[float, float] | None = None
+        for other in self._tenants.values():
+            if other.tenant == ctx.tenant:
+                continue
+            other_mix = self._observed_mix(other)
+            if not other_mix:
+                continue
+            if total_variation(mix, other_mix) > self._config.cluster_tv:
+                continue
+            rank = (self._hotness(other), -self._tenant_index(other))
+            if rank > (own, -self._tenant_index(ctx)) and (
+                hottest_rank is None or rank > hottest_rank
+            ):
+                hottest, hottest_rank = other, rank
+        return hottest.tenant if hottest is not None else None
+
+    def _hotness(self, ctx: TenantContext) -> float:
+        return ctx.monitor.mean(
+            QUERIES_EXECUTED, last_n=self._config.mix_window_bins
+        )
+
+    @staticmethod
+    def _tenant_index(ctx: TenantContext) -> int:
+        tenant = ctx.tenant
+        digits = "".join(c for c in tenant if c.isdigit())
+        return int(digits) if digits else 0
+
+    def _observed_mix(self, ctx: TenantContext) -> dict[str, float]:
+        """The tenant's recent template mix (raw frequencies; TV
+        comparisons normalise internally). Empty before any history."""
+        if ctx.predictor.history_bins == 0:
+            return {}
+        scenario = ctx.predictor.recent_scenario(
+            self._config.mix_window_bins, 1
+        )
+        return dict(scenario.frequencies)
+
+    # ------------------------------------------------------------------
+    # prior harvesting (the organizer's commit listener)
+
+    def _harvest(
+        self, ctx: TenantContext, report: OrganizerRunReport
+    ) -> None:
+        self._full_passes[ctx.tenant] = self._full_passes.get(ctx.tenant, 0) + 1
+        if not self._config.share_priors:
+            return
+        actions = tuple(
+            action
+            for run in report.tuning.runs
+            if not run.failed
+            for action in run.result.delta.actions
+        )
+        if not actions:
+            return
+        mix = self._observed_mix(ctx)
+        if not mix:
+            return
+        self._priors.append(
+            TuningPrior(
+                prior_id=self._next_prior_id,
+                source=ctx.tenant,
+                features=report.tuned_features,
+                actions=actions,
+                mix=mix,
+                predicted_benefit_ms=sum(
+                    run.result.predicted_benefit_ms
+                    for run in report.tuning.runs
+                    if not run.failed
+                ),
+                created_at_ms=ctx.database.clock.now_ms,
+            )
+        )
+        self._next_prior_id += 1
+
+    # ------------------------------------------------------------------
+    # prior replay (driven by the fleet driver after each bin)
+
+    def replay_round(self) -> list[ReplayOutcome]:
+        """Try every unattempted (prior, look-alike tenant) pair once.
+
+        Validation prices the prior's cluster mix — rescaled to the
+        target tenant's recent volume — on the *target's* optimizer,
+        with and without the prior's actions; the pass applies only when
+        the priced improvement clears the configured margin. The
+        fleet-wide reconfiguration cap applies to replays too.
+        """
+        if not self._config.share_priors:
+            return []
+        round_outcomes: list[ReplayOutcome] = []
+        for prior in self._priors:
+            for tenant, ctx in self._tenants.items():
+                key = (prior.prior_id, tenant)
+                if tenant == prior.source or key in self._attempted:
+                    continue
+                if (
+                    self.active_reconfigurations()
+                    >= self._config.max_concurrent_reconfigurations
+                ):
+                    return round_outcomes  # cap reached; retry next bin
+                outcome = self._try_replay(prior, ctx)
+                if outcome is None:
+                    continue  # not decidable yet; retry next bin
+                self._attempted.add(key)
+                self._outcomes.append(outcome)
+                round_outcomes.append(outcome)
+        return round_outcomes
+
+    def _try_replay(
+        self, prior: TuningPrior, ctx: TenantContext
+    ) -> ReplayOutcome | None:
+        config = self._config
+        organizer: Organizer = ctx.organizer
+        # a tenant whose own last tuning (full or replayed) is fresher
+        # than the prior has newer knowledge — but newer priors from the
+        # cluster still replay, so followers track the hot tenant's
+        # successive passes
+        if (
+            organizer.last_tuning_ms is not None
+            and organizer.last_tuning_ms >= prior.created_at_ms
+        ):
+            return ReplayOutcome(
+                prior.prior_id, prior.source, ctx.tenant,
+                applied=False, reason="tenant tuned more recently",
+            )
+        if organizer.guard.active_commit is not None:
+            return None  # probation in flight; retry next bin
+        mix = self._observed_mix(ctx)
+        if not mix:
+            return None  # no history yet; retry next bin
+        distance = total_variation(prior.mix, mix)
+        if distance > config.cluster_tv:
+            return ReplayOutcome(
+                prior.prior_id, prior.source, ctx.tenant,
+                applied=False,
+                reason=f"not look-alike (TV {distance:.2f})",
+            )
+        scenario, samples, coverage = self._cluster_scenario(prior, ctx)
+        if coverage < config.min_replay_coverage:
+            return None  # too few priced templates yet; retry next bin
+        delta = ConfigurationDelta(list(prior.actions))
+        cost_before = ctx.optimizer.scenario_cost_ms(scenario, samples)
+        cost_after = ctx.optimizer.cost_with(delta, scenario, samples)
+        required = cost_before * (1.0 - config.min_replay_improvement)
+        if not cost_after < required:
+            return ReplayOutcome(
+                prior.prior_id, prior.source, ctx.tenant,
+                applied=False,
+                reason=(
+                    f"what-if validation rejected: {cost_before:.2f} -> "
+                    f"{cost_after:.2f} ms"
+                ),
+                cost_before_ms=cost_before,
+                cost_after_ms=cost_after,
+            )
+        horizon = organizer.config.horizon_bins
+        forecast = Forecast(
+            scenarios=(scenario,),
+            horizon_bins=horizon,
+            bin_duration_ms=ctx.predictor.bin_duration_ms,
+            sample_queries=samples,
+        )
+        report = organizer.replay_pass(
+            prior.actions,
+            features=prior.features,
+            source=prior.source,
+            predicted_benefit_ms=cost_before - cost_after,
+            cost_before_ms=cost_before,
+            cost_after_ms=cost_after,
+            forecast=forecast,
+        )
+        applied = report is not None and not report.rolled_back
+        if applied:
+            self._replays[ctx.tenant] = self._replays.get(ctx.tenant, 0) + 1
+        return ReplayOutcome(
+            prior.prior_id, prior.source, ctx.tenant,
+            applied=applied,
+            reason="applied" if applied else "application failed",
+            cost_before_ms=cost_before,
+            cost_after_ms=cost_after,
+        )
+
+    def _cluster_scenario(
+        self, prior: TuningPrior, ctx: TenantContext
+    ) -> tuple[WorkloadScenario, dict, float]:
+        """The cluster mix rescaled to the target tenant's volume.
+
+        This is the "forecast fitted per cluster" of the tentpole: the
+        *shape* comes from the prior (the cluster model), only the total
+        volume is the target's own. Returns the scenario, the target's
+        sample queries, and the fraction of mix mass those samples can
+        price.
+        """
+        horizon = ctx.organizer.config.horizon_bins
+        volume = self._hotness(ctx) * horizon
+        mix_total = sum(prior.mix.values())
+        samples = ctx.predictor.sample_queries()
+        frequencies: dict[str, float] = {}
+        covered = 0.0
+        for key, weight in prior.mix.items():
+            share = weight / mix_total if mix_total else 0.0
+            if key in samples:
+                covered += share
+                frequencies[key] = share * volume
+        scenario = WorkloadScenario("expected", 1.0, frequencies)
+        return scenario, samples, covered
+
+    # ------------------------------------------------------------------
+    # rollup
+
+    def summary(self) -> dict[str, object]:
+        """Fleet-level arbitration counters for reports and the CLI."""
+        applied = [o for o in self._outcomes if o.applied]
+        return {
+            "tenants": len(self._tenants),
+            "priors": len(self._priors),
+            "full_passes": sum(self._full_passes.values()),
+            "replays_applied": len(applied),
+            "replays_rejected": sum(
+                1 for o in self._outcomes if not o.applied
+            ),
+            "active_reconfigurations": self.active_reconfigurations(),
+        }

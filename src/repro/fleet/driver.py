@@ -1,0 +1,315 @@
+"""The fleet driver: N tenant loops ticked concurrently in simulated time.
+
+Each tenant is one complete :class:`~repro.fleet.context.TenantContext`
+— its own database, clock, driver, trace, and closed-loop simulation —
+and the fleet driver advances all of them bin by bin: within a fleet
+bin, tenants run **hot-first** (descending scheduled query volume, the
+order the arbiter's budget should favour), then the arbiter gets one
+replay round to push freshly harvested priors onto look-alike tenants.
+Simulated time advances per tenant on its own clock; "concurrently"
+means lockstep per bin, which keeps runs deterministic and makes a
+one-tenant fleet bit-identical to the legacy
+``ClosedLoopSimulation(db, trace, seed).run()`` loop (the golden tests
+in ``tests/fleet/`` hold this on multiple seeds).
+
+:func:`build_fleet` is the canonical constructor: it lays out tenants
+with :func:`~repro.fleet.workload.tenant_specs` (skewed volumes, shared
+mix profiles), attaches one driver per tenant, and registers everything
+with a :class:`~repro.fleet.arbiter.FleetOrganizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.driver import Driver, DriverConfig
+from repro.core.organizer import OrganizerConfig
+from repro.core.simulation import BinRecord, ClosedLoopSimulation
+from repro.core.triggers import (
+    ForecastDriftTrigger,
+    PeriodicTrigger,
+    TuningTrigger,
+)
+from repro.cost.what_if import WhatIfCacheStats
+from repro.fleet.arbiter import FleetConfig, FleetOrganizer, ReplayOutcome
+from repro.fleet.context import TenantContext
+from repro.fleet.workload import (
+    TenantSpec,
+    build_tenant_suite,
+    build_tenant_trace,
+    tenant_specs,
+)
+from repro.plan.cache import PlanCacheStats
+from repro.telemetry.metrics import rollup_counters
+
+
+@dataclass
+class TenantSummary:
+    """One tenant's end-of-run accounting for the fleet report."""
+
+    tenant: str
+    profile: int
+    volume_scale: float
+    queries: int
+    mean_query_ms: float
+    #: mean over the final window (post-tuning steady state)
+    final_mean_query_ms: float
+    full_passes: int
+    replays: int
+    reconfigurations: int
+    whatif: WhatIfCacheStats
+    plan: PlanCacheStats
+    events: int
+
+
+@dataclass
+class FleetReport:
+    """Per-tenant summaries plus the explicit fleet rollup."""
+
+    summaries: list[TenantSummary]
+    #: aggregated what-if cache stats (explicit per-tenant sum)
+    whatif: WhatIfCacheStats
+    #: aggregated compiled-plan cache stats (explicit per-tenant sum)
+    plan: PlanCacheStats
+    #: counters summed across every tenant's registry
+    counters: dict[str, float] = field(default_factory=dict)
+    #: arbitration totals (priors, replays, full passes)
+    arbitration: dict[str, object] = field(default_factory=dict)
+    replay_outcomes: tuple[ReplayOutcome, ...] = ()
+
+    @property
+    def total_queries(self) -> int:
+        return sum(s.queries for s in self.summaries)
+
+    @property
+    def total_full_passes(self) -> int:
+        return sum(s.full_passes for s in self.summaries)
+
+    @property
+    def total_replays(self) -> int:
+        return sum(s.replays for s in self.summaries)
+
+
+class FleetDriver:
+    """Ticks every tenant's closed loop, hot-first, bin by bin."""
+
+    def __init__(
+        self,
+        contexts: list[TenantContext],
+        config: FleetConfig | None = None,
+    ) -> None:
+        if not contexts:
+            raise ValueError("a fleet needs at least one tenant context")
+        for ctx in contexts:
+            if ctx.trace is None or ctx.simulation is None:
+                raise ValueError(
+                    f"tenant {ctx.tenant!r} has no workload assigned "
+                    "(trace/simulation are fleet slots; see build_fleet)"
+                )
+        self._contexts = list(contexts)
+        self._arbiter = FleetOrganizer(config)
+        for ctx in self._contexts:
+            self._arbiter.register(ctx)
+        self._n_bins = min(len(ctx.trace.bins) for ctx in self._contexts)
+
+    @property
+    def tenants(self) -> tuple[TenantContext, ...]:
+        return tuple(self._contexts)
+
+    @property
+    def arbiter(self) -> FleetOrganizer:
+        return self._arbiter
+
+    @property
+    def n_bins(self) -> int:
+        return self._n_bins
+
+    def tenant(self, tenant_id: str) -> TenantContext:
+        for ctx in self._contexts:
+            if ctx.tenant == tenant_id:
+                return ctx
+        raise KeyError(tenant_id)
+
+    # ------------------------------------------------------------------
+    # the fleet loop
+
+    def _bin_order(self, index: int) -> list[TenantContext]:
+        """Hot-first: descending scheduled volume, stable by tenant id."""
+        return sorted(
+            self._contexts,
+            key=lambda ctx: (-ctx.trace.bins[index].total, ctx.tenant),
+        )
+
+    def run_bin(self, index: int) -> dict[str, BinRecord]:
+        """Advance every tenant one bin, then run one replay round."""
+        self._arbiter.begin_bin()
+        records: dict[str, BinRecord] = {}
+        for ctx in self._bin_order(index):
+            record = ctx.simulation.run_bin(index)
+            ctx.records.append(record)
+            records[ctx.tenant] = record
+        self._arbiter.replay_round()
+        return records
+
+    def run(self, stop: int | None = None) -> FleetReport:
+        """Run the fleet over its trace and return the rollup report."""
+        last = self._n_bins if stop is None else min(stop, self._n_bins)
+        for index in range(last):
+            self.run_bin(index)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def report(self, final_window_bins: int = 4) -> FleetReport:
+        summaries: list[TenantSummary] = []
+        for ctx in self._contexts:
+            records: list[BinRecord] = list(ctx.records)
+            queries = sum(r.queries_executed for r in records)
+            workload = sum(r.workload_ms for r in records)
+            tail = records[-final_window_bins:]
+            tail_queries = sum(r.queries_executed for r in tail)
+            tail_workload = sum(r.workload_ms for r in tail)
+            summaries.append(
+                TenantSummary(
+                    tenant=ctx.tenant,
+                    profile=ctx.profile,
+                    volume_scale=ctx.volume_scale,
+                    queries=queries,
+                    mean_query_ms=workload / queries if queries else 0.0,
+                    final_mean_query_ms=(
+                        tail_workload / tail_queries if tail_queries else 0.0
+                    ),
+                    full_passes=self._arbiter.full_passes(ctx.tenant),
+                    replays=self._arbiter.replays(ctx.tenant),
+                    reconfigurations=ctx.database.counters.reconfigurations,
+                    whatif=ctx.whatif_stats,
+                    plan=ctx.plan_stats,
+                    events=len(ctx.events),
+                )
+            )
+        registries = {
+            ctx.tenant: ctx.telemetry.registry for ctx in self._contexts
+        }
+        return FleetReport(
+            summaries=summaries,
+            whatif=WhatIfCacheStats.aggregate(s.whatif for s in summaries),
+            plan=PlanCacheStats.aggregate(s.plan for s in summaries),
+            counters=rollup_counters(registries),
+            arbitration=self._arbiter.summary(),
+            replay_outcomes=self._arbiter.outcomes,
+        )
+
+    def labelled_metrics(self) -> dict[str, float]:
+        """Every tenant's metrics in one flat ``tenant::name`` mapping."""
+        merged: dict[str, float] = {}
+        for ctx in self._contexts:
+            merged.update(
+                ctx.telemetry.registry.snapshot_labelled(ctx.tenant)
+            )
+        return merged
+
+
+# ----------------------------------------------------------------------
+# construction
+
+#: Defaults mirrored by the golden tests' legacy arm — change together.
+DEFAULT_TUNE_EVERY_BINS = 6
+DEFAULT_INDEX_BUDGET_MIB = 64.0
+
+
+def default_tenant_driver(
+    spec: TenantSpec,
+    features=None,
+    triggers: list[TuningTrigger] | None = None,
+    tune_every_bins: int = DEFAULT_TUNE_EVERY_BINS,
+    index_budget_mib: float = DEFAULT_INDEX_BUDGET_MIB,
+    organizer: OrganizerConfig | None = None,
+) -> Driver:
+    """The standard per-tenant driver, labelled with the tenant id.
+
+    Mirrors the single-tenant CLI setup (periodic + forecast-drift
+    triggers, index memory budget, 4-bin horizon); the golden tests
+    construct the legacy arm with exactly these parameters.
+    """
+    from repro.configuration import INDEX_MEMORY
+    from repro.configuration.constraints import ConstraintSet, ResourceBudget
+    from repro.tuning import standard_features
+    from repro.util.units import MIB
+
+    return Driver(
+        list(features) if features else standard_features(),
+        constraints=ConstraintSet(
+            [ResourceBudget(INDEX_MEMORY, index_budget_mib * MIB)]
+        ),
+        triggers=(
+            list(triggers)
+            if triggers is not None
+            else [
+                PeriodicTrigger(every_ms=tune_every_bins * 60_000),
+                ForecastDriftTrigger(relative_threshold=0.25),
+            ]
+        ),
+        config=DriverConfig(
+            tenant=spec.tenant_id,
+            organizer=organizer
+            or OrganizerConfig(
+                horizon_bins=4, min_history_bins=4, cooldown_ms=3 * 60_000
+            ),
+        ),
+    )
+
+
+def build_fleet(
+    n_tenants: int,
+    skew: float = 0.8,
+    seed: int = 7,
+    bins: int = 24,
+    rows: int = 20_000,
+    suite: str = "retail",
+    config: FleetConfig | None = None,
+    lookalike_fraction: float = 0.75,
+    tune_every_bins: int = DEFAULT_TUNE_EVERY_BINS,
+    index_budget_mib: float = DEFAULT_INDEX_BUDGET_MIB,
+    organizer: OrganizerConfig | None = None,
+    specs: list[TenantSpec] | None = None,
+) -> FleetDriver:
+    """Build a ready-to-run fleet of ``n_tenants`` skewed tenants.
+
+    Tenant 0 is the hot tenant (volume scale 1.0, profile 0, data and
+    trace seeds equal to ``seed``); volumes fall off as
+    ``(i + 1) ** -skew``. Each tenant gets its own database, driver (and
+    therefore TenantContext), trace, and simulation; the fleet driver
+    registers them all with one arbiter built from ``config``.
+
+    Pass explicit ``specs`` to override the layout entirely (e.g. two
+    digital-twin tenants sharing every seed — the replay identity tests).
+    """
+    if specs is None:
+        specs = tenant_specs(
+            n_tenants,
+            skew=skew,
+            seed=seed,
+            lookalike_fraction=lookalike_fraction,
+        )
+    contexts: list[TenantContext] = []
+    for spec in specs:
+        tenant_suite = build_tenant_suite(spec, suite=suite, rows=rows)
+        trace = build_tenant_trace(spec, tenant_suite, bins)
+        db = tenant_suite.database
+        driver = default_tenant_driver(
+            spec,
+            tune_every_bins=tune_every_bins,
+            index_budget_mib=index_budget_mib,
+            organizer=organizer,
+        )
+        db.plugin_host.attach(driver)
+        ctx = driver.context
+        ctx.driver = driver
+        ctx.trace = trace
+        ctx.simulation = ClosedLoopSimulation(db, trace, seed=spec.seed)
+        ctx.profile = spec.profile
+        ctx.volume_scale = spec.volume_scale
+        ctx.seed = spec.seed
+        contexts.append(ctx)
+    return FleetDriver(contexts, config=config)

@@ -1,0 +1,154 @@
+"""Fleet workload construction: N skewed tenants over shared mix profiles.
+
+A fleet run needs tenants that are *individually* realistic (their own
+database, their own Poisson-noised trace) yet *collectively* structured:
+a few workload-mix profiles shared by groups of tenants (so look-alike
+clusters exist for prior sharing) and a heavy-tailed volume skew (so one
+hot tenant dominates, mirroring real multi-tenant traffic). Both knobs
+are explicit here:
+
+- **profiles** permute the suite's per-family rates; tenants on the same
+  profile have the same *normalized* template mix (cluster-able by
+  total-variation distance) while their volumes differ;
+- **skew** scales tenant ``i``'s traffic by ``(i + 1) ** -skew`` — the
+  classic Zipf shape with tenant 0 the hottest at scale 1.0.
+
+Tenant 0 on profile 0 with scale 1.0 is *bit-identical* to the legacy
+single-tenant setup (same data seed, same trace seed, identity rate
+permutation) — the golden fleet-vs-driver tests depend on this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.workload.trace import WorkloadTrace, generate_trace
+
+if TYPE_CHECKING:
+    from repro.workload.benchmarks import BenchmarkSuite
+    from repro.workload.trace import FamilyRate
+
+#: Trace/simulation seeds step by this per tenant (prime, so derived
+#: streams never collide with the data-seed stream below).
+TENANT_SEED_STEP = 101
+
+#: Data seeds step by this per *profile*: look-alike tenants share the
+#: same generated data, differing only in traffic.
+PROFILE_SEED_STEP = 7919
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """How one tenant of the fleet is built."""
+
+    tenant_id: str
+    index: int
+    profile: int
+    #: traffic multiplier relative to the hottest tenant (tenant 0 = 1.0)
+    volume_scale: float
+    #: seed of this tenant's trace and simulation streams
+    seed: int
+    #: seed of this tenant's generated table data (shared per profile)
+    data_seed: int
+
+
+def tenant_specs(
+    n_tenants: int,
+    skew: float = 0.8,
+    seed: int = 7,
+    lookalike_fraction: float = 0.75,
+) -> list[TenantSpec]:
+    """Deterministic fleet layout: volumes, profiles, and seeds.
+
+    The first ``ceil(lookalike_fraction * n)`` tenants share profile 0
+    (the hot tenant's cluster — priors harvested from tenant 0 replay
+    widely); the rest land on profile 1. With one tenant there is only
+    profile 0 and scale 1.0 — the legacy single-tenant layout.
+    """
+    if n_tenants < 1:
+        raise ValueError("a fleet needs at least one tenant")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    cluster0 = max(1, math.ceil(lookalike_fraction * n_tenants))
+    specs = []
+    for i in range(n_tenants):
+        profile = 0 if i < cluster0 else 1
+        specs.append(
+            TenantSpec(
+                tenant_id=f"t{i}",
+                index=i,
+                profile=profile,
+                volume_scale=(i + 1) ** -skew,
+                seed=seed + TENANT_SEED_STEP * i,
+                data_seed=seed + PROFILE_SEED_STEP * profile,
+            )
+        )
+    return specs
+
+
+def profile_rates(
+    rates: "dict[str, FamilyRate]", profile: int, volume_scale: float = 1.0
+) -> "dict[str, FamilyRate]":
+    """The suite's rates under a mix profile and a volume scale.
+
+    Profile ``p`` rotates the rate *values* by ``p`` positions across the
+    family names (profile 0 is the identity — required for the golden
+    one-tenant tests), changing the normalized mix without inventing new
+    families. The volume scale multiplies base, amplitude, and trend —
+    the mix shape is untouched, so look-alike detection is volume-blind.
+    """
+    names = list(rates)
+    values = list(rates.values())
+    shift = profile % len(names) if names else 0
+    rotated = values[shift:] + values[:shift]
+    return {
+        name: replace(
+            rate,
+            base=rate.base * volume_scale,
+            amplitude=rate.amplitude * volume_scale,
+            trend_per_bin=rate.trend_per_bin * volume_scale,
+        )
+        for name, rate in zip(names, rotated)
+    }
+
+
+def build_tenant_suite(
+    spec: TenantSpec, suite: str = "retail", rows: int = 20_000
+) -> "BenchmarkSuite":
+    """One tenant's populated database + workload families.
+
+    All tenants run the same schema/generator (actions harvested on one
+    tenant name tables and columns that exist on every other); the data
+    seed is per profile, so look-alike tenants are look-alike in data
+    too, not just in mix.
+    """
+    from repro.workload.benchmarks import (
+        build_retail_suite,
+        build_telemetry_suite,
+    )
+
+    if suite == "retail":
+        return build_retail_suite(
+            orders_rows=rows, inventory_rows=rows // 4, seed=spec.data_seed
+        )
+    if suite == "telemetry":
+        return build_telemetry_suite(rows=rows, seed=spec.data_seed)
+    raise ValueError(f"unknown suite {suite!r} (retail | telemetry)")
+
+
+def build_tenant_trace(
+    spec: TenantSpec,
+    suite: "BenchmarkSuite",
+    bins: int,
+    bin_duration_ms: float = 60_000.0,
+) -> WorkloadTrace:
+    """The tenant's Poisson trace under its profile and volume scale."""
+    return generate_trace(
+        suite.families,
+        profile_rates(suite.rates, spec.profile, spec.volume_scale),
+        bins,
+        bin_duration_ms=bin_duration_ms,
+        seed=spec.seed,
+    )

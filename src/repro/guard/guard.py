@@ -93,12 +93,13 @@ class CommitGuard:
         config: GuardConfig | None = None,
         registry: MetricRegistry | None = None,
         events: EventLog | None = None,
+        tenant: str = "",
     ) -> None:
         self._monitor = monitor
         self._config = config or GuardConfig()
         self._events = events if events is not None else EventLog()
         registry = registry if registry is not None else MetricRegistry()
-        self._ledger = CommitLedger()
+        self._ledger = CommitLedger(tenant=tenant)
         self._detector = RegressionDetector(
             metric=self._config.metric,
             regression_bound=self._config.regression_bound,

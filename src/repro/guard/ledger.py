@@ -63,13 +63,24 @@ class ProbationCommit:
 class CommitLedger:
     """Holds the active probation commit plus the resolution history."""
 
-    def __init__(self, history_size: int = 64) -> None:
+    def __init__(self, history_size: int = 64, tenant: str = "") -> None:
+        """``tenant`` labels the ledger in a fleet ('' for single-tenant).
+        Each tenant's guard owns its own ledger — probation state and
+        commit ids are strictly per tenant; the fleet arbiter counts
+        concurrent reconfigurations by asking every ledger, never by
+        sharing one."""
         if history_size < 1:
             raise ValueError("history_size must be at least 1")
         self._history_size = history_size
+        self._tenant = tenant
         self._active: ProbationCommit | None = None
         self._resolved: list[ProbationCommit] = []
         self._next_id = 1
+
+    @property
+    def tenant(self) -> str:
+        """Tenant this ledger belongs to ('' for single-tenant)."""
+        return self._tenant
 
     @property
     def active(self) -> ProbationCommit | None:

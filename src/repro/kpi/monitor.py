@@ -52,13 +52,18 @@ class RuntimeKPIMonitor:
         db: Database,
         window: int = 64,
         registry: MetricRegistry | None = None,
+        tenant: str = "",
     ) -> None:
         """``registry`` is the telemetry registry whose counters/gauges are
         folded into every sample (the driver passes its shared one); a
-        private empty registry is used when omitted."""
+        private empty registry is used when omitted. ``tenant`` labels the
+        monitor in a fleet ('' for single-tenant); each tenant owns its
+        own monitor, window, and registry — KPIs never mix across tenants
+        except through an explicit fleet rollup."""
         if window < 2:
             raise ValueError("window must be at least 2")
         self._db = db
+        self._tenant = tenant
         self._samples: deque[KPISample] = deque(maxlen=window)
         self._last_snapshot = db.runtime_snapshot()
         self._sla_streaks: dict[str, int] = {}
@@ -71,6 +76,11 @@ class RuntimeKPIMonitor:
     def registry(self) -> MetricRegistry:
         """The registry whose metrics are folded into each sample."""
         return self._registry
+
+    @property
+    def tenant(self) -> str:
+        """Tenant this monitor belongs to ('' for single-tenant)."""
+        return self._tenant
 
     def sample(self) -> KPISample:
         """Close one monitoring interval and derive its KPIs."""

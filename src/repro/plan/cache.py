@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.plan.ir import PhysicalPlan
 
@@ -27,7 +27,13 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Cumulative counters of the compiled-plan cache."""
+    """Cumulative counters of *one* compiled-plan cache.
+
+    Stats are strictly per cache instance — in a fleet every tenant's
+    planner owns its own — and never shared between tenants; a fleet-wide
+    view is an explicit :meth:`aggregate` over the per-tenant stats, so
+    one tenant's hit rate can never pollute another's KPIs.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -50,6 +56,28 @@ class PlanCacheStats:
             "size": float(self.size),
             "hit_rate": self.hit_rate,
         }
+
+    @classmethod
+    def aggregate(cls, stats: Iterable["PlanCacheStats"]) -> "PlanCacheStats":
+        """Fleet rollup: field-wise sum over per-tenant stats.
+
+        ``hit_rate`` is derived from the summed hits/misses (a mean of
+        per-tenant rates would weight an idle tenant like a hot one).
+        """
+        hits = misses = evictions = invalidations = size = 0
+        for s in stats:
+            hits += s.hits
+            misses += s.misses
+            evictions += s.evictions
+            invalidations += s.invalidations
+            size += s.size
+        return cls(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            invalidations=invalidations,
+            size=size,
+        )
 
 
 class CompiledPlanCache:

@@ -10,6 +10,8 @@ from repro.telemetry.metrics import (
     Gauge,
     MetricInterval,
     MetricRegistry,
+    rollup_counters,
+    tenant_metric,
 )
 from repro.telemetry.sinks import (
     JsonlSink,
@@ -36,4 +38,6 @@ __all__ = [
     "Tracer",
     "read_jsonl",
     "render_span_tree",
+    "rollup_counters",
+    "tenant_metric",
 ]

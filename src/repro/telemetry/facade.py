@@ -43,8 +43,13 @@ class Telemetry:
         self,
         clock: object | None = None,
         config: TelemetryConfig | None = None,
+        tenant: str = "",
     ) -> None:
+        """``tenant`` labels every span record this spine emits (and is
+        surfaced for consumers like the fleet rollup); the empty string —
+        the single-tenant default — keeps legacy output shapes."""
         self.config = config or TelemetryConfig()
+        self.tenant = tenant
         self.registry = MetricRegistry()
         self.ring = RingSink(self.config.ring_capacity)
         self.jsonl: JsonlSink | None = (
@@ -63,6 +68,7 @@ class Telemetry:
             sink=self.sink if self.config.enabled else None,
             enabled=self.config.enabled,
             max_roots=self.config.max_root_spans,
+            tenant=tenant,
         )
 
     @classmethod

@@ -11,7 +11,16 @@ dict lookup on the hot path.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping
+
+#: Separator between a tenant label and a metric name in labelled
+#: snapshots (``tenant::metric``); bare names mean the single-tenant path.
+TENANT_SEP = "::"
+
+
+def tenant_metric(tenant: str, name: str) -> str:
+    """The labelled form of ``name`` for ``tenant`` ('' leaves it bare)."""
+    return f"{tenant}{TENANT_SEP}{name}" if tenant else name
 
 
 class Counter:
@@ -177,6 +186,36 @@ class MetricRegistry:
         snap.update(self.snapshot_gauges())
         return snap
 
+    def snapshot_labelled(self, tenant: str) -> dict[str, float]:
+        """:meth:`snapshot` with every name prefixed ``tenant::name``.
+
+        The labelled form lets per-tenant registries be merged into one
+        flat fleet view without name collisions; an empty tenant label
+        leaves names bare (the single-tenant path is unchanged).
+        """
+        return {
+            tenant_metric(tenant, name): value
+            for name, value in self.snapshot().items()
+        }
+
     def interval(self) -> MetricInterval:
         """Open an interval baselined at the current counter values."""
         return MetricInterval(self)
+
+
+def rollup_counters(
+    registries: Mapping[str, "MetricRegistry"],
+) -> dict[str, float]:
+    """Fleet rollup: counter values summed across tenant registries.
+
+    Only counters are summed — gauges (sizes, rates, coverage) do not
+    add meaningfully across tenants and stay visible through
+    :meth:`MetricRegistry.snapshot_labelled` instead. Each tenant keeps
+    its own registry; this explicit aggregation is the only place
+    tenants' numbers meet.
+    """
+    totals: dict[str, float] = {}
+    for registry in registries.values():
+        for name, value in registry.snapshot_counters().items():
+            totals[name] = totals.get(name, 0.0) + value
+    return totals

@@ -133,18 +133,25 @@ class Tracer:
         sink: "TelemetrySink | None" = None,
         enabled: bool = True,
         max_roots: int = 64,
+        tenant: str = "",
     ) -> None:
         if max_roots < 1:
             raise ValueError("max_roots must be at least 1")
         self._clock = clock
         self._sink = sink
         self._enabled = enabled
+        self._tenant = tenant
         self._stack: list[Span] = []
         self._roots: deque[Span] = deque(maxlen=max_roots)
 
     @property
     def enabled(self) -> bool:
         return self._enabled
+
+    @property
+    def tenant(self) -> str:
+        """Tenant id stamped on every sink record ('' for single-tenant)."""
+        return self._tenant
 
     @property
     def current(self) -> Span | None:
@@ -224,7 +231,11 @@ class Tracer:
         if span.parent is None:
             self._roots.append(span)
         if self._sink is not None:
-            self._sink.emit(span.as_record())
+            # the tenant rides on the record, not the span: span objects
+            # stay tenant-agnostic, the sink stream stays separable
+            record = span.as_record()
+            record["tenant"] = self._tenant
+            self._sink.emit(record)
 
     # ------------------------------------------------------------------
     # finished-root access

@@ -1,0 +1,147 @@
+"""Unit tests for fleet admission arbitration (fakes, no databases)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.triggers import TriggerDecision
+from repro.fleet.arbiter import FleetConfig, FleetOrganizer
+
+
+def _decision(trigger="periodic"):
+    return TriggerDecision(should_tune=True, trigger=trigger, reason="test")
+
+
+def _fake_context(
+    tenant,
+    now_ms=0.0,
+    active_commit=None,
+    hotness=10.0,
+    mix=None,
+    history_bins=8,
+):
+    """The slice of TenantContext the arbiter's admission path reads."""
+    mix = {"q1": 8.0, "q2": 2.0} if mix is None else mix
+
+    def recent_scenario(window_bins, horizon_bins):
+        return SimpleNamespace(frequencies=dict(mix))
+
+    return SimpleNamespace(
+        tenant=tenant,
+        database=SimpleNamespace(clock=SimpleNamespace(now_ms=now_ms)),
+        organizer=SimpleNamespace(
+            guard=SimpleNamespace(active_commit=active_commit),
+            set_admission=lambda hook: None,
+            set_commit_listener=lambda hook: None,
+        ),
+        monitor=SimpleNamespace(mean=lambda metric, last_n=None: hotness),
+        predictor=SimpleNamespace(
+            history_bins=history_bins, recent_scenario=recent_scenario
+        ),
+    )
+
+
+def test_admits_when_nothing_competes():
+    arbiter = FleetOrganizer()
+    ctx = _fake_context("t0")
+    arbiter.register(ctx)
+    admitted, reason = arbiter._admit(ctx, _decision())
+    assert admitted
+    assert reason == "admitted"
+
+
+def test_sla_violations_bypass_all_arbitration():
+    arbiter = FleetOrganizer(
+        FleetConfig(max_concurrent_reconfigurations=0, tenant_cooldown_ms=1e9)
+    )
+    ctx = _fake_context("t0")
+    arbiter.register(ctx)
+    admitted, reason = arbiter._admit(ctx, _decision("sla_violation"))
+    assert admitted
+    assert "urgent" in reason
+
+
+def test_fleet_cooldown_defers_repeat_admissions():
+    arbiter = FleetOrganizer(FleetConfig(tenant_cooldown_ms=10_000.0))
+    ctx = _fake_context("t0", now_ms=0.0, hotness=10.0, mix={"q": 1.0})
+    arbiter.register(ctx)
+    assert arbiter._admit(ctx, _decision())[0]
+    ctx.database.clock.now_ms = 5_000.0
+    admitted, reason = arbiter._admit(ctx, _decision())
+    assert not admitted
+    assert "cooldown" in reason
+    ctx.database.clock.now_ms = 10_000.0
+    assert arbiter._admit(ctx, _decision())[0]
+
+
+def test_concurrent_reconfiguration_cap_counts_other_tenants():
+    arbiter = FleetOrganizer(
+        FleetConfig(max_concurrent_reconfigurations=1, share_priors=False)
+    )
+    busy = _fake_context("t0", active_commit=object())
+    candidate = _fake_context("t1", mix={"other": 1.0})
+    arbiter.register(busy)
+    arbiter.register(candidate)
+    admitted, reason = arbiter._admit(candidate, _decision())
+    assert not admitted
+    assert "cap" in reason
+
+
+def test_cap_never_counts_the_candidate_itself():
+    # a one-tenant fleet under probation must still admit itself: the
+    # golden single-tenant identity depends on this
+    arbiter = FleetOrganizer(FleetConfig(max_concurrent_reconfigurations=1))
+    ctx = _fake_context("t0", active_commit=object())
+    arbiter.register(ctx)
+    assert arbiter._admit(ctx, _decision())[0]
+
+
+def test_cold_lookalike_defers_to_the_hotter_tenant():
+    arbiter = FleetOrganizer(FleetConfig(max_defer_bins=2))
+    hot = _fake_context("t0", hotness=100.0)
+    cold = _fake_context("t1", hotness=10.0)
+    arbiter.register(hot)
+    arbiter.register(cold)
+    admitted, reason = arbiter._admit(cold, _decision())
+    assert not admitted
+    assert "t0" in reason
+    # the starvation bound: after max_defer_bins denials it tunes anyway
+    assert not arbiter._admit(cold, _decision())[0]
+    assert arbiter._admit(cold, _decision())[0]
+
+
+def test_hot_tenant_is_not_deferred():
+    arbiter = FleetOrganizer()
+    hot = _fake_context("t0", hotness=100.0)
+    cold = _fake_context("t1", hotness=10.0)
+    arbiter.register(hot)
+    arbiter.register(cold)
+    assert arbiter._admit(hot, _decision())[0]
+
+
+def test_different_mixes_are_not_lookalikes():
+    arbiter = FleetOrganizer()
+    hot = _fake_context("t0", hotness=100.0, mix={"a": 1.0})
+    cold = _fake_context("t1", hotness=10.0, mix={"b": 1.0})
+    arbiter.register(hot)
+    arbiter.register(cold)
+    # disjoint mixes (total variation 1.0): no cluster, no deferral
+    assert arbiter._admit(cold, _decision())[0]
+
+
+def test_register_rejects_duplicate_tenants():
+    arbiter = FleetOrganizer()
+    arbiter.register(_fake_context("t0"))
+    with pytest.raises(ValueError):
+        arbiter.register(_fake_context("t0"))
+
+
+def test_summary_shape():
+    arbiter = FleetOrganizer()
+    arbiter.register(_fake_context("t0"))
+    summary = arbiter.summary()
+    assert summary["tenants"] == 1
+    assert summary["priors"] == 0
+    assert summary["full_passes"] == 0
+    assert summary["replays_applied"] == 0
+    assert summary["active_reconfigurations"] == 0

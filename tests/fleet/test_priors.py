@@ -1,0 +1,118 @@
+"""Tests for shared tuning priors: harvest, what-if validation, replay."""
+
+import pytest
+
+from repro.configuration.config import ConfigurationInstance
+from repro.core.organizer import FLEET_REPLAY_TRIGGER
+from repro.fleet import FleetConfig, TenantSpec, build_fleet
+
+BINS = 9
+ROWS = 4_000
+SEED = 7
+
+
+def _twins():
+    """Two digital-twin tenants: same data, same trace, same volume."""
+    return [
+        TenantSpec("t0", 0, 0, 1.0, SEED, SEED),
+        TenantSpec("t1", 1, 0, 1.0, SEED, SEED),
+    ]
+
+
+@pytest.fixture(scope="module")
+def twin_runs():
+    shared = build_fleet(2, bins=BINS, rows=ROWS, specs=_twins())
+    shared_report = shared.run()
+    independent = build_fleet(
+        2,
+        bins=BINS,
+        rows=ROWS,
+        specs=_twins(),
+        config=FleetConfig(share_priors=False, arbitrate=False),
+    )
+    independent_report = independent.run()
+    return shared, shared_report, independent, independent_report
+
+
+def test_prior_is_harvested_from_the_hot_tenant(twin_runs):
+    shared, report, _, _ = twin_runs
+    assert len(shared.arbiter.priors) == 1
+    prior = shared.arbiter.priors[0]
+    assert prior.source == "t0"
+    assert prior.actions
+    assert prior.mix
+    # the hot tenant tuned itself; the look-alike only received a replay
+    by_tenant = {s.tenant: s for s in report.summaries}
+    assert by_tenant["t0"].full_passes == 1
+    assert by_tenant["t0"].replays == 0
+    assert by_tenant["t1"].full_passes == 0
+    assert by_tenant["t1"].replays == 1
+
+
+def test_replay_passed_what_if_validation(twin_runs):
+    shared, report, _, _ = twin_runs
+    (outcome,) = report.replay_outcomes
+    assert outcome.applied
+    assert outcome.source == "t0"
+    assert outcome.tenant == "t1"
+    # the validation priced a strict improvement before applying
+    assert outcome.cost_after_ms < outcome.cost_before_ms
+
+
+def test_replayed_config_is_bit_identical_to_tuning_directly(twin_runs):
+    shared, _, independent, _ = twin_runs
+    # tenant t1 never ran a full pass in the shared arm — its entire
+    # configuration came from replaying t0's prior. On a digital twin
+    # that must equal what t1 chooses when tuning itself.
+    replayed = ConfigurationInstance.capture(shared.tenant("t1").database)
+    tuned = ConfigurationInstance.capture(independent.tenant("t1").database)
+    assert replayed == tuned
+
+
+def test_replay_is_recorded_in_the_store_and_guarded(twin_runs):
+    shared, _, _, _ = twin_runs
+    ctx = shared.tenant("t1")
+    records = ctx.store.history()
+    assert any(r.trigger == FLEET_REPLAY_TRIGGER for r in records)
+    # the replayed commit went through guard probation like any pass
+    assert len(ctx.organizer.guard.ledger.snapshot()) >= 1
+
+
+def test_replay_saves_tuning_work_on_skewed_lookalikes():
+    shared = build_fleet(2, skew=0.8, seed=SEED, bins=BINS, rows=ROWS)
+    shared_report = shared.run()
+    independent = build_fleet(
+        2,
+        skew=0.8,
+        seed=SEED,
+        bins=BINS,
+        rows=ROWS,
+        config=FleetConfig(share_priors=False, arbitrate=False),
+    )
+    independent_report = independent.run()
+    # sharing must strictly reduce the number of full tuning passes ...
+    assert (
+        shared_report.total_full_passes
+        < independent_report.total_full_passes
+    )
+    # ... while keeping every replayed tenant's post-commit workload
+    # cost within 5% of tuning that tenant independently
+    independent_by = {s.tenant: s for s in independent_report.summaries}
+    replayed = [s for s in shared_report.summaries if s.replays]
+    assert replayed
+    for summary in replayed:
+        baseline = independent_by[summary.tenant].final_mean_query_ms
+        assert summary.final_mean_query_ms <= baseline * 1.05
+
+
+def test_priors_can_be_disabled():
+    fleet = build_fleet(
+        2,
+        bins=BINS,
+        rows=ROWS,
+        specs=_twins(),
+        config=FleetConfig(share_priors=False),
+    )
+    report = fleet.run()
+    assert not fleet.arbiter.priors
+    assert report.total_replays == 0

@@ -1,0 +1,72 @@
+"""Tests for the fleet workload layout (specs, profiles, skew)."""
+
+import pytest
+
+from repro.fleet.workload import (
+    PROFILE_SEED_STEP,
+    TENANT_SEED_STEP,
+    profile_rates,
+    tenant_specs,
+)
+from repro.workload.trace import FamilyRate
+
+
+def test_tenant_specs_layout_and_seeds():
+    specs = tenant_specs(4, skew=0.8, seed=7, lookalike_fraction=0.75)
+    assert [s.tenant_id for s in specs] == ["t0", "t1", "t2", "t3"]
+    # ceil(0.75 * 4) = 3 tenants share profile 0, the last is profile 1
+    assert [s.profile for s in specs] == [0, 0, 0, 1]
+    assert specs[0].volume_scale == 1.0
+    assert specs[1].volume_scale == pytest.approx(2**-0.8)
+    # trace seeds step per tenant, data seeds per profile
+    assert [s.seed for s in specs] == [7 + TENANT_SEED_STEP * i for i in range(4)]
+    assert specs[0].data_seed == specs[2].data_seed == 7
+    assert specs[3].data_seed == 7 + PROFILE_SEED_STEP
+
+
+def test_tenant_zero_matches_legacy_single_tenant_layout():
+    (spec,) = tenant_specs(1, seed=42)
+    assert spec.profile == 0
+    assert spec.volume_scale == 1.0
+    assert spec.seed == 42
+    assert spec.data_seed == 42
+
+
+def test_tenant_specs_validation():
+    with pytest.raises(ValueError):
+        tenant_specs(0)
+    with pytest.raises(ValueError):
+        tenant_specs(2, skew=-0.1)
+
+
+def test_profile_zero_is_the_identity():
+    rates = {"a": FamilyRate(4.0), "b": FamilyRate(2.0)}
+    assert profile_rates(rates, 0, 1.0) == rates
+
+
+def test_profile_rotation_permutes_the_mix():
+    rates = {
+        "a": FamilyRate(4.0),
+        "b": FamilyRate(2.0),
+        "c": FamilyRate(1.0),
+    }
+    rotated = profile_rates(rates, 1, 1.0)
+    assert rotated["a"].base == 2.0
+    assert rotated["b"].base == 1.0
+    assert rotated["c"].base == 4.0
+    # same multiset of rates: same total traffic, different mix
+    assert sorted(r.base for r in rotated.values()) == [1.0, 2.0, 4.0]
+
+
+def test_volume_scale_preserves_mix_shape():
+    rates = {
+        "a": FamilyRate(4.0, amplitude=1.0, trend_per_bin=0.2),
+        "b": FamilyRate(2.0),
+    }
+    scaled = profile_rates(rates, 0, 0.5)
+    assert scaled["a"].base == 2.0
+    assert scaled["a"].amplitude == 0.5
+    assert scaled["a"].trend_per_bin == pytest.approx(0.1)
+    assert scaled["b"].base == 1.0
+    # the normalized mix is untouched by volume
+    assert scaled["a"].base / scaled["b"].base == rates["a"].base / rates["b"].base

@@ -112,6 +112,7 @@ def test_event_log_mirrors_structured_records_into_the_sink():
     record = ring.records(type="event")[0]
     assert record == {
         "type": "event",
+        "tenant": "",
         "at_ms": 5.0,
         "kind": "tuning_finished",
         "message": "tuned",

@@ -46,6 +46,26 @@ def test_simulate_command_small(capsys):
     assert "self-management log" in out
 
 
+def test_fleet_command_small(capsys):
+    assert (
+        main(
+            [
+                "fleet",
+                "--tenants", "2",
+                "--rows", "2000",
+                "--bins", "8",
+                "--seed", "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fleet: 2 tenants" in out
+    assert "t0" in out and "t1" in out
+    assert "fleet rollup:" in out
+    assert "what-if cache (all tenants):" in out
+
+
 def test_order_command_small(capsys):
     assert (
         main(["order", "--rows", "4000", "--features", "2", "--seed", "3"])
