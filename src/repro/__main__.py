@@ -149,9 +149,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         config=config,
         tune_every_bins=args.tune_every_bins,
         index_budget_mib=args.index_budget_mib,
+        parallel=args.parallel,
+        workers=args.workers,
     )
+    mode = "" if args.parallel == "serial" else f", {args.parallel} mode"
     print(f"fleet: {args.tenants} tenants over the {args.suite} workload, "
-          f"skew {args.skew}, {args.bins} bins, seed {args.seed}")
+          f"skew {args.skew}, {args.bins} bins, seed {args.seed}{mode}")
     report = fleet.run()
 
     print()
@@ -560,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable prior sharing (independent tuning)")
     fleet.add_argument("--no-arbitrate", action="store_true",
                        help="disable admission arbitration")
+    fleet.add_argument("--parallel", default="serial",
+                       choices=["serial", "thread", "process"],
+                       help="execution mode for tenant bins (results are "
+                            "bit-identical across modes)")
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="process-mode worker count (default: cpu count, "
+                            "capped at the tenant count)")
     fleet.set_defaults(run=_cmd_fleet)
 
     order = commands.add_parser(

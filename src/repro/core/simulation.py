@@ -29,6 +29,26 @@ class BinRecord:
     reconfigured: bool = False
 
 
+@dataclass
+class PendingBin:
+    """A bin whose queries ran but whose plugin tick is still owed.
+
+    :meth:`ClosedLoopSimulation.execute_bin` returns one of these;
+    :meth:`ClosedLoopSimulation.finish_bin` consumes it. The split is
+    what makes fleet bins parallelizable: query execution touches only
+    the tenant's own state and can run concurrently across tenants,
+    while the tick — where the self-management loop (and with it the
+    fleet arbiter) runs — is serialized at a deterministic barrier.
+    Only scalars live here, so a pending bin crosses process
+    boundaries for free.
+    """
+
+    index: int
+    start_queries: int
+    start_query_ms: float
+    start_reconf_ms: float
+
+
 class ClosedLoopSimulation:
     """Replays a trace, bin by bin, ticking plugins at bin boundaries."""
 
@@ -37,8 +57,24 @@ class ClosedLoopSimulation:
         self._trace = trace
         self._seed = seed
 
-    def run_bin(self, bin_index: int) -> BinRecord:
-        """Execute the queries of one bin and tick the plugin host."""
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    @property
+    def trace(self) -> WorkloadTrace:
+        return self._trace
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def execute_bin(self, bin_index: int) -> PendingBin:
+        """Execute one bin's queries and idle to the bin boundary.
+
+        No plugin ticks run: pair with :meth:`finish_bin`, which ticks
+        the plugin host and assembles the :class:`BinRecord`.
+        """
         db = self._db
         trace_bin = self._trace.bins[bin_index]
         rng = derive_rng(self._seed, f"sim-bin-{trace_bin.index}")
@@ -50,9 +86,12 @@ class ClosedLoopSimulation:
             schedule.extend([name] * count)
         rng.shuffle(schedule)
 
-        start_queries = db.counters.queries_executed
-        start_query_ms = db.counters.total_query_ms
-        start_reconf_ms = db.counters.total_reconfiguration_ms
+        pending = PendingBin(
+            index=trace_bin.index,
+            start_queries=db.counters.queries_executed,
+            start_query_ms=db.counters.total_query_ms,
+            start_reconf_ms=db.counters.total_reconfiguration_ms,
+        )
         bin_started = db.clock.now_ms
 
         for name in schedule:
@@ -63,14 +102,20 @@ class ClosedLoopSimulation:
         busy = db.clock.now_ms - bin_started
         if busy < trace_bin.duration_ms:
             db.clock.advance(trace_bin.duration_ms - busy)
+        return pending
 
+    def finish_bin(self, pending: PendingBin) -> BinRecord:
+        """Tick the plugin host and close out an executed bin."""
+        db = self._db
         db.plugin_host.tick(db.clock.now_ms)
 
-        queries = db.counters.queries_executed - start_queries
-        workload_ms = db.counters.total_query_ms - start_query_ms
-        reconf_ms = db.counters.total_reconfiguration_ms - start_reconf_ms
+        queries = db.counters.queries_executed - pending.start_queries
+        workload_ms = db.counters.total_query_ms - pending.start_query_ms
+        reconf_ms = (
+            db.counters.total_reconfiguration_ms - pending.start_reconf_ms
+        )
         return BinRecord(
-            index=trace_bin.index,
+            index=pending.index,
             queries_executed=queries,
             workload_ms=workload_ms,
             reconfiguration_ms=reconf_ms,
@@ -78,6 +123,10 @@ class ClosedLoopSimulation:
             now_ms=db.clock.now_ms,
             reconfigured=reconf_ms > 0,
         )
+
+    def run_bin(self, bin_index: int) -> BinRecord:
+        """Execute the queries of one bin and tick the plugin host."""
+        return self.finish_bin(self.execute_bin(bin_index))
 
     def run(self, start: int = 0, stop: int | None = None) -> list[BinRecord]:
         """Replay bins ``[start, stop)``; returns one record per bin."""

@@ -132,12 +132,16 @@ class WhatIfOptimizer:
         self._misses = self._registry.counter(WHATIF_CACHE_MISSES)
         self._evictions = self._registry.counter(WHATIF_CACHE_EVICTIONS)
         self._size_gauge = self._registry.gauge(
-            WHATIF_CACHE_SIZE, lambda: float(len(self._cache))
+            WHATIF_CACHE_SIZE, self._cache_len
         )
         # coverage of the most recent scenario pricing; 1.0 until a
         # scenario with missing sample queries is priced
         self._coverage_gauge = self._registry.gauge(WHATIF_SCENARIO_COVERAGE)
         self._coverage_gauge.set(1.0)
+
+    def _cache_len(self) -> float:
+        """Picklable gauge callback (bound method, not a lambda)."""
+        return float(len(self._cache))
 
     @property
     def database(self) -> Database:

@@ -79,7 +79,9 @@ class Database:
         self.catalog = Catalog()
         self.knobs = KnobRegistry(standard_knobs())
         self.plan_cache = QueryPlanCache(plan_cache_capacity)
-        self.planner = QueryPlanner(epoch_fn=lambda: self._plan_epoch)
+        # a bound method (not a lambda) so the whole database remains
+        # picklable — fleet workers ship tenant stacks across processes
+        self.planner = QueryPlanner(epoch_fn=self._read_plan_epoch)
         self.executor = QueryExecutor(self.hardware, self.knobs, self.planner)
         self.plugin_host = PluginHost(self)
         self.counters = RuntimeCounters()
@@ -107,6 +109,10 @@ class Database:
         self._plan_epoch_of_config: OrderedDict[int, int] = OrderedDict(
             {0: 0}
         )
+
+    def _read_plan_epoch(self) -> int:
+        """Picklable ``epoch_fn`` for the planner (see ``__init__``)."""
+        return self._plan_epoch
 
     # ------------------------------------------------------------------
     # configuration identity

@@ -4,14 +4,18 @@ One :class:`TenantContext` per tenant (the complete self-management
 stack, lifted out of the driver), one :class:`FleetOrganizer` across
 them (tuning-budget arbitration plus prior sharing), and a
 :class:`FleetDriver` ticking every tenant's closed loop in lockstep
-simulated time. ``build_fleet`` is the one-call constructor the CLI and
-benchmarks use.
+simulated time — serially or concurrently (``parallel="thread" |
+"process"``) behind a commit-ordered arbiter barrier that keeps
+concurrent runs bit-identical to serial. ``build_fleet`` is the
+one-call constructor the CLI and benchmarks use.
 """
 
 from repro.fleet.arbiter import (
+    ArbiterView,
     FleetConfig,
     FleetOrganizer,
     ReplayOutcome,
+    TenantDigest,
     TuningPrior,
 )
 from repro.fleet.context import TenantContext
@@ -31,12 +35,14 @@ from repro.fleet.workload import (
 )
 
 __all__ = [
+    "ArbiterView",
     "FleetConfig",
     "FleetDriver",
     "FleetOrganizer",
     "FleetReport",
     "ReplayOutcome",
     "TenantContext",
+    "TenantDigest",
     "TenantSpec",
     "TenantSummary",
     "TuningPrior",

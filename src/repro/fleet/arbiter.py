@@ -27,6 +27,17 @@ never reaches into another tenant's components:
 
 Urgent work is never arbitrated: SLA-violation triggers are admitted
 unconditionally and guard escalations bypass admission entirely.
+
+**Concurrent fleets.** The decision logic is factored into pure
+functions over small picklable snapshots so the parallel fleet driver
+can run tenant ticks in worker processes while keeping every arbiter
+decision deterministic: :func:`compute_digest` captures the slice of a
+tenant another tenant's admission may read (hotness, observed mix,
+guard state — values that only change at tick time),
+:class:`ArbiterView` freezes the arbiter's mutable state plus all
+digests, and :func:`rule_admission` / :func:`replay_gate` /
+:func:`attempt_replay` reproduce the serial decisions bit-for-bit from
+those snapshots (``tests/fleet/test_parallel.py`` holds the identity).
 """
 
 from __future__ import annotations
@@ -110,6 +121,346 @@ class ReplayOutcome:
     cost_after_ms: float = 0.0
 
 
+# ----------------------------------------------------------------------
+# picklable decision snapshots (shared by the serial and parallel paths)
+
+
+@dataclass(frozen=True)
+class TenantDigest:
+    """The slice of one tenant the arbiter reads about *other* tenants.
+
+    Every field changes only inside the tenant's plugin tick, so a
+    digest captured after a tick stays exact until the tenant's next
+    tick — the invariant the parallel fleet's barrier relies on.
+    """
+
+    tenant: str
+    #: numeric tenant index (total deterministic tie-break in rankings)
+    index: int
+    #: recent query volume (mean QUERIES_EXECUTED over the mix window)
+    hotness: float
+    #: observed template mix; empty before any predictor history
+    mix: dict[str, float]
+    #: the guard ledger holds an active probation commit
+    guard_active: bool
+    #: simulated time of the tenant's last tuning (full or replayed)
+    last_tuning_ms: float | None
+    #: the tenant's simulated clock when the digest was taken
+    now_ms: float
+
+
+@dataclass(frozen=True)
+class ArbiterView:
+    """Frozen arbiter state a worker needs to rule on one admission."""
+
+    config: FleetConfig
+    #: all tenants' digests, in registration order (ranking iteration
+    #: order is part of the deterministic contract)
+    digests: dict[str, TenantDigest]
+    admitted_this_bin: set[str]
+    defers: dict[str, int]
+    last_admitted_ms: dict[str, float]
+
+
+@dataclass(frozen=True)
+class AdmissionRuling:
+    """One admission decision plus the arbiter mutations it implies."""
+
+    tenant: str
+    admitted: bool
+    reason: str
+    #: increment the tenant's defer count (waiting for a cluster prior)
+    deferred: bool = False
+    #: apply the ``_note_admitted`` bookkeeping (stamp + per-bin set)
+    noted: bool = False
+    now_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class HarvestRecord:
+    """One committed pass as captured at commit time (picklable)."""
+
+    tenant: str
+    features: tuple[str, ...]
+    actions: tuple[Action, ...]
+    predicted_benefit_ms: float
+    mix: dict[str, float]
+    created_at_ms: float
+
+
+def tenant_rank_index(tenant: str) -> int:
+    """Numeric index embedded in a tenant id ('t12' -> 12; no digits -> 0)."""
+    digits = "".join(c for c in tenant if c.isdigit())
+    return int(digits) if digits else 0
+
+
+def observed_mix(ctx: TenantContext, window_bins: int) -> dict[str, float]:
+    """The tenant's recent template mix (raw frequencies; TV comparisons
+    normalise internally). Empty before any history."""
+    if ctx.predictor.history_bins == 0:
+        return {}
+    scenario = ctx.predictor.recent_scenario(window_bins, 1)
+    return dict(scenario.frequencies)
+
+
+def compute_digest(ctx: TenantContext, config: FleetConfig) -> TenantDigest:
+    """Capture the arbiter-visible slice of ``ctx`` (tick-stable)."""
+    return TenantDigest(
+        tenant=ctx.tenant,
+        index=tenant_rank_index(ctx.tenant),
+        hotness=ctx.monitor.mean(
+            QUERIES_EXECUTED, last_n=config.mix_window_bins
+        ),
+        mix=observed_mix(ctx, config.mix_window_bins),
+        guard_active=ctx.organizer.guard.active_commit is not None,
+        last_tuning_ms=ctx.organizer.last_tuning_ms,
+        now_ms=ctx.database.clock.now_ms,
+    )
+
+
+def _hotter_lookalike(view: ArbiterView, own: TenantDigest) -> str | None:
+    """The hottest look-alike tenant strictly hotter than ``own``.
+
+    Hotness is recent query volume (ties break toward the lower tenant
+    index, so the ranking is total and deterministic).
+    """
+    if not own.mix:
+        return None
+    own_rank = (own.hotness, -own.index)
+    hottest: TenantDigest | None = None
+    hottest_rank: tuple[float, float] | None = None
+    for other in view.digests.values():
+        if other.tenant == own.tenant:
+            continue
+        if not other.mix:
+            continue
+        if total_variation(own.mix, other.mix) > view.config.cluster_tv:
+            continue
+        rank = (other.hotness, -other.index)
+        if rank > own_rank and (hottest_rank is None or rank > hottest_rank):
+            hottest, hottest_rank = other, rank
+    return hottest.tenant if hottest is not None else None
+
+
+def rule_admission(
+    view: ArbiterView, own: TenantDigest, trigger: str
+) -> AdmissionRuling:
+    """Rule on one admission request — pure function of its snapshots.
+
+    ``own`` must be a digest taken *at admission time* (the candidate's
+    predictor has already observed the current bin); ``view.digests``
+    carries the other tenants as of their last tick. The caller applies
+    the returned mutations via :meth:`FleetOrganizer.apply_ruling`.
+    """
+    config = view.config
+    tenant = own.tenant
+    now = own.now_ms
+    # urgent work is never deferred: an SLA breach outranks budgets
+    if trigger == SlaViolationTrigger.name:
+        return AdmissionRuling(
+            tenant, True, "sla violation (urgent)", noted=True, now_ms=now
+        )
+    last = view.last_admitted_ms.get(tenant)
+    if (
+        last is not None
+        and config.tenant_cooldown_ms > 0
+        and now - last < config.tenant_cooldown_ms
+    ):
+        remaining = config.tenant_cooldown_ms - (now - last)
+        return AdmissionRuling(
+            tenant, False, f"fleet cooldown for another {remaining:.0f} ms"
+        )
+    busy = sum(
+        1
+        for name, digest in view.digests.items()
+        if name != tenant and digest.guard_active
+    ) + len(view.admitted_this_bin - {tenant})
+    if busy >= config.max_concurrent_reconfigurations:
+        return AdmissionRuling(
+            tenant,
+            False,
+            f"{busy} tenants already reconfiguring "
+            f"(cap {config.max_concurrent_reconfigurations})",
+        )
+    if config.share_priors:
+        hotter = _hotter_lookalike(view, own)
+        if hotter is not None:
+            deferred = view.defers.get(tenant, 0)
+            if deferred < config.max_defer_bins:
+                return AdmissionRuling(
+                    tenant,
+                    False,
+                    f"waiting for a prior from hotter look-alike "
+                    f"{hotter!r} ({deferred + 1}/{config.max_defer_bins})",
+                    deferred=True,
+                )
+    return AdmissionRuling(tenant, True, "admitted", noted=True, now_ms=now)
+
+
+def build_harvest(
+    ctx: TenantContext, report: OrganizerRunReport, window_bins: int
+) -> HarvestRecord:
+    """Capture a committed pass at commit time (clock, mix, actions)."""
+    actions = tuple(
+        action
+        for run in report.tuning.runs
+        if not run.failed
+        for action in run.result.delta.actions
+    )
+    return HarvestRecord(
+        tenant=ctx.tenant,
+        features=report.tuned_features,
+        actions=actions,
+        predicted_benefit_ms=sum(
+            run.result.predicted_benefit_ms
+            for run in report.tuning.runs
+            if not run.failed
+        ),
+        mix=observed_mix(ctx, window_bins),
+        created_at_ms=ctx.database.clock.now_ms,
+    )
+
+
+#: Sentinel returned by :func:`replay_gate` when the cheap digest-only
+#: gates pass and the expensive validation should run on the tenant.
+PROCEED = object()
+
+
+def replay_gate(
+    prior: TuningPrior, digest: TenantDigest, config: FleetConfig
+):
+    """Digest-only replay gates: an outcome, ``None`` (retry next bin),
+    or :data:`PROCEED` when what-if validation should run."""
+    # a tenant whose own last tuning (full or replayed) is fresher
+    # than the prior has newer knowledge — but newer priors from the
+    # cluster still replay, so followers track the hot tenant's
+    # successive passes
+    if (
+        digest.last_tuning_ms is not None
+        and digest.last_tuning_ms >= prior.created_at_ms
+    ):
+        return ReplayOutcome(
+            prior.prior_id, prior.source, digest.tenant,
+            applied=False, reason="tenant tuned more recently",
+        )
+    if digest.guard_active:
+        return None  # probation in flight; retry next bin
+    if not digest.mix:
+        return None  # no history yet; retry next bin
+    distance = total_variation(prior.mix, digest.mix)
+    if distance > config.cluster_tv:
+        return ReplayOutcome(
+            prior.prior_id, prior.source, digest.tenant,
+            applied=False,
+            reason=f"not look-alike (TV {distance:.2f})",
+        )
+    return PROCEED
+
+
+def _cluster_scenario(
+    prior: TuningPrior, ctx: TenantContext, config: FleetConfig
+) -> tuple[WorkloadScenario, dict, float]:
+    """The cluster mix rescaled to the target tenant's volume.
+
+    This is the "forecast fitted per cluster" of the fleet layer: the
+    *shape* comes from the prior (the cluster model), only the total
+    volume is the target's own. Returns the scenario, the target's
+    sample queries, and the fraction of mix mass those samples can
+    price.
+    """
+    horizon = ctx.organizer.config.horizon_bins
+    volume = (
+        ctx.monitor.mean(QUERIES_EXECUTED, last_n=config.mix_window_bins)
+        * horizon
+    )
+    mix_total = sum(prior.mix.values())
+    samples = ctx.predictor.sample_queries()
+    frequencies: dict[str, float] = {}
+    covered = 0.0
+    for key, weight in prior.mix.items():
+        share = weight / mix_total if mix_total else 0.0
+        if key in samples:
+            covered += share
+            frequencies[key] = share * volume
+    scenario = WorkloadScenario("expected", 1.0, frequencies)
+    return scenario, samples, covered
+
+
+def attempt_replay(
+    ctx: TenantContext, prior: TuningPrior, config: FleetConfig
+) -> ReplayOutcome | None:
+    """Validate a prior on ``ctx``'s own optimizer and maybe apply it.
+
+    The expensive half of a replay attempt (pricing + ``replay_pass``);
+    runs wherever the tenant's stack lives — in-process for the serial
+    fleet, inside the owning worker for the parallel fleet. Touches no
+    arbiter state: the caller records the outcome.
+    """
+    organizer: Organizer = ctx.organizer
+    scenario, samples, coverage = _cluster_scenario(prior, ctx, config)
+    if coverage < config.min_replay_coverage:
+        return None  # too few priced templates yet; retry next bin
+    delta = ConfigurationDelta(list(prior.actions))
+    cost_before = ctx.optimizer.scenario_cost_ms(scenario, samples)
+    cost_after = ctx.optimizer.cost_with(delta, scenario, samples)
+    required = cost_before * (1.0 - config.min_replay_improvement)
+    if not cost_after < required:
+        return ReplayOutcome(
+            prior.prior_id, prior.source, ctx.tenant,
+            applied=False,
+            reason=(
+                f"what-if validation rejected: {cost_before:.2f} -> "
+                f"{cost_after:.2f} ms"
+            ),
+            cost_before_ms=cost_before,
+            cost_after_ms=cost_after,
+        )
+    horizon = organizer.config.horizon_bins
+    forecast = Forecast(
+        scenarios=(scenario,),
+        horizon_bins=horizon,
+        bin_duration_ms=ctx.predictor.bin_duration_ms,
+        sample_queries=samples,
+    )
+    report = organizer.replay_pass(
+        prior.actions,
+        features=prior.features,
+        source=prior.source,
+        predicted_benefit_ms=cost_before - cost_after,
+        cost_before_ms=cost_before,
+        cost_after_ms=cost_after,
+        forecast=forecast,
+    )
+    applied = report is not None and not report.rolled_back
+    return ReplayOutcome(
+        prior.prior_id, prior.source, ctx.tenant,
+        applied=applied,
+        reason="applied" if applied else "application failed",
+        cost_before_ms=cost_before,
+        cost_after_ms=cost_after,
+    )
+
+
+class _LocalTransport:
+    """Replay transport over in-process contexts (the serial fleet)."""
+
+    def __init__(self, organizer: "FleetOrganizer") -> None:
+        self._organizer = organizer
+
+    def active_reconfigurations(self) -> int:
+        return self._organizer.active_reconfigurations()
+
+    def digest(self, tenant: str) -> TenantDigest:
+        organizer = self._organizer
+        return compute_digest(organizer._tenants[tenant], organizer.config)
+
+    def attempt(self, prior: TuningPrior, tenant: str) -> ReplayOutcome | None:
+        organizer = self._organizer
+        return attempt_replay(
+            organizer._tenants[tenant], prior, organizer.config
+        )
+
+
 class FleetOrganizer:
     """Arbitrates tuning budget and shares priors across tenant contexts."""
 
@@ -126,6 +477,9 @@ class FleetOrganizer:
         self._outcomes: list[ReplayOutcome] = []
         self._full_passes: dict[str, int] = {}
         self._replays: dict[str, int] = {}
+        #: replay transport override (the parallel driver installs one
+        #: that routes attempts to worker processes); None = in-process
+        self._transport = None
 
     @property
     def config(self) -> FleetConfig:
@@ -159,6 +513,15 @@ class FleetOrganizer:
         if ctx.tenant in self._tenants:
             raise ValueError(f"tenant {ctx.tenant!r} already registered")
         self._tenants[ctx.tenant] = ctx
+        self.rebind(ctx)
+
+    def rebind(self, ctx: TenantContext) -> None:
+        """(Re)install the arbiter hooks on ``ctx``'s organizer.
+
+        Used at registration and again after the parallel driver merges
+        worker state back (the merged context carries a fresh organizer
+        whose hooks were detached for transfer).
+        """
         organizer = ctx.organizer
         if self._config.arbitrate:
             organizer.set_admission(
@@ -182,99 +545,60 @@ class FleetOrganizer:
         )
 
     # ------------------------------------------------------------------
+    # decision snapshots (the parallel driver ships these to workers)
+
+    def digest(self, ctx: TenantContext) -> TenantDigest:
+        """Live digest of one registered tenant."""
+        return compute_digest(ctx, self._config)
+
+    def view(
+        self, digests: dict[str, TenantDigest] | None = None
+    ) -> ArbiterView:
+        """Freeze the arbiter's mutable state (plus digests) for a ruling.
+
+        Without ``digests`` they are computed live from the registered
+        contexts, in registration order; the parallel driver passes its
+        digest cache instead (same order, same values — every digest
+        field is tick-stable).
+        """
+        if digests is None:
+            digests = {
+                tenant: self.digest(ctx)
+                for tenant, ctx in self._tenants.items()
+            }
+        return ArbiterView(
+            config=self._config,
+            digests=dict(digests),
+            admitted_this_bin=set(self._admitted_this_bin),
+            defers=dict(self._defers),
+            last_admitted_ms=dict(self._last_admitted_ms),
+        )
+
+    def apply_ruling(self, ruling: AdmissionRuling) -> None:
+        """Apply the arbiter mutations one admission ruling implies."""
+        if ruling.deferred:
+            self._defers[ruling.tenant] = (
+                self._defers.get(ruling.tenant, 0) + 1
+            )
+        if ruling.noted:
+            self._note_admitted(ruling.tenant, ruling.now_ms)
+
+    # ------------------------------------------------------------------
     # admission (the per-tenant organizer calls this from tick())
 
     def _admit(
         self, ctx: TenantContext, decision: TriggerDecision
     ) -> tuple[bool, str]:
-        config = self._config
-        tenant = ctx.tenant
-        now = ctx.database.clock.now_ms
-        # urgent work is never deferred: an SLA breach outranks budgets
-        if decision.trigger == SlaViolationTrigger.name:
-            self._note_admitted(tenant, now)
-            return True, "sla violation (urgent)"
-        last = self._last_admitted_ms.get(tenant)
-        if (
-            last is not None
-            and config.tenant_cooldown_ms > 0
-            and now - last < config.tenant_cooldown_ms
-        ):
-            remaining = config.tenant_cooldown_ms - (now - last)
-            return False, f"fleet cooldown for another {remaining:.0f} ms"
-        busy = self.active_reconfigurations(exclude=tenant) + len(
-            self._admitted_this_bin - {tenant}
+        ruling = rule_admission(
+            self.view(), self.digest(ctx), decision.trigger
         )
-        if busy >= config.max_concurrent_reconfigurations:
-            return False, (
-                f"{busy} tenants already reconfiguring "
-                f"(cap {config.max_concurrent_reconfigurations})"
-            )
-        if config.share_priors:
-            hotter = self._hotter_lookalike(ctx)
-            if hotter is not None:
-                deferred = self._defers.get(tenant, 0)
-                if deferred < config.max_defer_bins:
-                    self._defers[tenant] = deferred + 1
-                    return False, (
-                        f"waiting for a prior from hotter look-alike "
-                        f"{hotter!r} ({deferred + 1}/{config.max_defer_bins})"
-                    )
-        self._note_admitted(tenant, now)
-        return True, "admitted"
+        self.apply_ruling(ruling)
+        return ruling.admitted, ruling.reason
 
     def _note_admitted(self, tenant: str, now_ms: float) -> None:
         self._last_admitted_ms[tenant] = now_ms
         self._admitted_this_bin.add(tenant)
         self._defers.pop(tenant, None)
-
-    def _hotter_lookalike(self, ctx: TenantContext) -> str | None:
-        """The hottest look-alike tenant strictly hotter than ``ctx``.
-
-        Hotness is recent query volume (ties break toward the lower
-        tenant index, so the ranking is total and deterministic).
-        """
-        mix = self._observed_mix(ctx)
-        if not mix:
-            return None
-        own = self._hotness(ctx)
-        hottest: TenantContext | None = None
-        hottest_rank: tuple[float, float] | None = None
-        for other in self._tenants.values():
-            if other.tenant == ctx.tenant:
-                continue
-            other_mix = self._observed_mix(other)
-            if not other_mix:
-                continue
-            if total_variation(mix, other_mix) > self._config.cluster_tv:
-                continue
-            rank = (self._hotness(other), -self._tenant_index(other))
-            if rank > (own, -self._tenant_index(ctx)) and (
-                hottest_rank is None or rank > hottest_rank
-            ):
-                hottest, hottest_rank = other, rank
-        return hottest.tenant if hottest is not None else None
-
-    def _hotness(self, ctx: TenantContext) -> float:
-        return ctx.monitor.mean(
-            QUERIES_EXECUTED, last_n=self._config.mix_window_bins
-        )
-
-    @staticmethod
-    def _tenant_index(ctx: TenantContext) -> int:
-        tenant = ctx.tenant
-        digits = "".join(c for c in tenant if c.isdigit())
-        return int(digits) if digits else 0
-
-    def _observed_mix(self, ctx: TenantContext) -> dict[str, float]:
-        """The tenant's recent template mix (raw frequencies; TV
-        comparisons normalise internally). Empty before any history."""
-        if ctx.predictor.history_bins == 0:
-            return {}
-        scenario = ctx.predictor.recent_scenario(
-            self._config.mix_window_bins, 1
-        )
-        return dict(scenario.frequencies)
 
     # ------------------------------------------------------------------
     # prior harvesting (the organizer's commit listener)
@@ -282,39 +606,52 @@ class FleetOrganizer:
     def _harvest(
         self, ctx: TenantContext, report: OrganizerRunReport
     ) -> None:
-        self._full_passes[ctx.tenant] = self._full_passes.get(ctx.tenant, 0) + 1
+        self.ingest_harvest(
+            build_harvest(ctx, report, self._config.mix_window_bins)
+        )
+
+    def ingest_harvest(self, record: HarvestRecord) -> None:
+        """Account one committed pass and maybe turn it into a prior.
+
+        Any committed pass — fleet-admitted, SLA-urgent, or a guard
+        escalation that bypassed admission entirely — also clears the
+        tenant's defer count: the tenant just tuned, so a stale
+        wait-for-prior tally must not skew the starvation bound later.
+        """
+        tenant = record.tenant
+        self._full_passes[tenant] = self._full_passes.get(tenant, 0) + 1
+        self._defers.pop(tenant, None)
         if not self._config.share_priors:
             return
-        actions = tuple(
-            action
-            for run in report.tuning.runs
-            if not run.failed
-            for action in run.result.delta.actions
-        )
-        if not actions:
+        if not record.actions:
             return
-        mix = self._observed_mix(ctx)
-        if not mix:
+        if not record.mix:
             return
         self._priors.append(
             TuningPrior(
                 prior_id=self._next_prior_id,
-                source=ctx.tenant,
-                features=report.tuned_features,
-                actions=actions,
-                mix=mix,
-                predicted_benefit_ms=sum(
-                    run.result.predicted_benefit_ms
-                    for run in report.tuning.runs
-                    if not run.failed
-                ),
-                created_at_ms=ctx.database.clock.now_ms,
+                source=tenant,
+                features=record.features,
+                actions=record.actions,
+                mix=dict(record.mix),
+                predicted_benefit_ms=record.predicted_benefit_ms,
+                created_at_ms=record.created_at_ms,
             )
         )
         self._next_prior_id += 1
 
     # ------------------------------------------------------------------
     # prior replay (driven by the fleet driver after each bin)
+
+    def set_transport(self, transport) -> None:
+        """Install (or clear) the replay transport.
+
+        The transport answers three questions — how many tenants are
+        busy, what is a tenant's digest, and what does a validate-then-
+        apply attempt return — against wherever the tenant stacks
+        currently live. ``None`` restores the in-process default.
+        """
+        self._transport = transport
 
     def replay_round(self) -> list[ReplayOutcome]:
         """Try every unattempted (prior, look-alike tenant) pair once.
@@ -327,123 +664,33 @@ class FleetOrganizer:
         """
         if not self._config.share_priors:
             return []
+        transport = self._transport or _LocalTransport(self)
         round_outcomes: list[ReplayOutcome] = []
         for prior in self._priors:
-            for tenant, ctx in self._tenants.items():
+            for tenant in self._tenants:
                 key = (prior.prior_id, tenant)
                 if tenant == prior.source or key in self._attempted:
                     continue
                 if (
-                    self.active_reconfigurations()
+                    transport.active_reconfigurations()
                     >= self._config.max_concurrent_reconfigurations
                 ):
                     return round_outcomes  # cap reached; retry next bin
-                outcome = self._try_replay(prior, ctx)
+                outcome = replay_gate(
+                    prior, transport.digest(tenant), self._config
+                )
+                if outcome is PROCEED:
+                    outcome = transport.attempt(prior, tenant)
                 if outcome is None:
                     continue  # not decidable yet; retry next bin
                 self._attempted.add(key)
                 self._outcomes.append(outcome)
                 round_outcomes.append(outcome)
+                if outcome.applied:
+                    self._replays[tenant] = self._replays.get(tenant, 0) + 1
+                    # the prior this tenant was deferring for has arrived
+                    self._defers.pop(tenant, None)
         return round_outcomes
-
-    def _try_replay(
-        self, prior: TuningPrior, ctx: TenantContext
-    ) -> ReplayOutcome | None:
-        config = self._config
-        organizer: Organizer = ctx.organizer
-        # a tenant whose own last tuning (full or replayed) is fresher
-        # than the prior has newer knowledge — but newer priors from the
-        # cluster still replay, so followers track the hot tenant's
-        # successive passes
-        if (
-            organizer.last_tuning_ms is not None
-            and organizer.last_tuning_ms >= prior.created_at_ms
-        ):
-            return ReplayOutcome(
-                prior.prior_id, prior.source, ctx.tenant,
-                applied=False, reason="tenant tuned more recently",
-            )
-        if organizer.guard.active_commit is not None:
-            return None  # probation in flight; retry next bin
-        mix = self._observed_mix(ctx)
-        if not mix:
-            return None  # no history yet; retry next bin
-        distance = total_variation(prior.mix, mix)
-        if distance > config.cluster_tv:
-            return ReplayOutcome(
-                prior.prior_id, prior.source, ctx.tenant,
-                applied=False,
-                reason=f"not look-alike (TV {distance:.2f})",
-            )
-        scenario, samples, coverage = self._cluster_scenario(prior, ctx)
-        if coverage < config.min_replay_coverage:
-            return None  # too few priced templates yet; retry next bin
-        delta = ConfigurationDelta(list(prior.actions))
-        cost_before = ctx.optimizer.scenario_cost_ms(scenario, samples)
-        cost_after = ctx.optimizer.cost_with(delta, scenario, samples)
-        required = cost_before * (1.0 - config.min_replay_improvement)
-        if not cost_after < required:
-            return ReplayOutcome(
-                prior.prior_id, prior.source, ctx.tenant,
-                applied=False,
-                reason=(
-                    f"what-if validation rejected: {cost_before:.2f} -> "
-                    f"{cost_after:.2f} ms"
-                ),
-                cost_before_ms=cost_before,
-                cost_after_ms=cost_after,
-            )
-        horizon = organizer.config.horizon_bins
-        forecast = Forecast(
-            scenarios=(scenario,),
-            horizon_bins=horizon,
-            bin_duration_ms=ctx.predictor.bin_duration_ms,
-            sample_queries=samples,
-        )
-        report = organizer.replay_pass(
-            prior.actions,
-            features=prior.features,
-            source=prior.source,
-            predicted_benefit_ms=cost_before - cost_after,
-            cost_before_ms=cost_before,
-            cost_after_ms=cost_after,
-            forecast=forecast,
-        )
-        applied = report is not None and not report.rolled_back
-        if applied:
-            self._replays[ctx.tenant] = self._replays.get(ctx.tenant, 0) + 1
-        return ReplayOutcome(
-            prior.prior_id, prior.source, ctx.tenant,
-            applied=applied,
-            reason="applied" if applied else "application failed",
-            cost_before_ms=cost_before,
-            cost_after_ms=cost_after,
-        )
-
-    def _cluster_scenario(
-        self, prior: TuningPrior, ctx: TenantContext
-    ) -> tuple[WorkloadScenario, dict, float]:
-        """The cluster mix rescaled to the target tenant's volume.
-
-        This is the "forecast fitted per cluster" of the tentpole: the
-        *shape* comes from the prior (the cluster model), only the total
-        volume is the target's own. Returns the scenario, the target's
-        sample queries, and the fraction of mix mass those samples can
-        price.
-        """
-        horizon = ctx.organizer.config.horizon_bins
-        volume = self._hotness(ctx) * horizon
-        mix_total = sum(prior.mix.values())
-        samples = ctx.predictor.sample_queries()
-        frequencies: dict[str, float] = {}
-        covered = 0.0
-        for key, weight in prior.mix.items():
-            share = weight / mix_total if mix_total else 0.0
-            if key in samples:
-                covered += share
-                frequencies[key] = share * volume
-        scenario = WorkloadScenario("expected", 1.0, frequencies)
-        return scenario, samples, covered
 
     # ------------------------------------------------------------------
     # rollup

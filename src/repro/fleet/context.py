@@ -20,7 +20,9 @@ refactor surfaced are tested in ``tests/fleet/test_isolation.py``).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.configuration.constraints import ConstraintSet
@@ -124,8 +126,10 @@ class TenantContext:
         monitor = RuntimeKPIMonitor(
             database, registry=telemetry.registry, tenant=tenant
         )
-        factory = model_factory or (
-            lambda: SeasonalNaive(config.default_seasonal_period)
+        # functools.partial (not a lambda) keeps the analyzer — and with
+        # it the whole context — picklable for fleet process workers
+        factory = model_factory or partial(
+            SeasonalNaive, config.default_seasonal_period
         )
         analyzer = WorkloadAnalyzer(factory, config.analyzer)
         predictor = WorkloadPredictor(
@@ -218,6 +222,60 @@ class TenantContext:
     def plan_stats(self) -> PlanCacheStats:
         """This tenant's compiled-plan cache stats (never shared)."""
         return self.database.planner.cache_stats
+
+    # ------------------------------------------------------------------
+    # state transfer (fleet process workers)
+
+    def transfer_snapshot(self) -> bytes:
+        """Pickle this context for transfer out of a fleet worker.
+
+        The arbiter hooks are detached (they close over worker-local
+        recorders) and the workload slots are nulled: the trace holds
+        query-family sampler closures that cannot pickle, and the parent
+        still owns its own copy — the workload is immutable, so nothing
+        is lost. Everything else — database, clock, telemetry, events,
+        predictor history, the guard ledger — crosses verbatim.
+        """
+        self.organizer.set_admission(None)
+        self.organizer.set_commit_listener(None)
+        trace, simulation, records = self.trace, self.simulation, self.records
+        self.trace = None
+        self.simulation = None
+        self.records = []
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            self.trace = trace
+            self.simulation = simulation
+            self.records = records
+
+    def absorb_transfer(self, blob: bytes) -> None:
+        """Replace this (parent) context's state with a worker snapshot.
+
+        The object identity is preserved — the fleet driver and arbiter
+        keep their references — while every field is swapped for the
+        worker's version. The workload slots are rebuilt from the
+        parent's own trace (stripped for transfer), and the records list
+        stays the parent's: the driver appends bin records parent-side
+        as ticks complete, so the parent copy is the complete one. The
+        caller must re-install the arbiter hooks (``FleetOrganizer.
+        rebind``) afterwards.
+        """
+        from repro.core.simulation import ClosedLoopSimulation
+
+        incoming: TenantContext = pickle.loads(blob)
+        incoming.trace = self.trace
+        incoming.simulation = ClosedLoopSimulation(
+            incoming.database, self.trace, seed=self.simulation.seed
+        )
+        incoming.records = self.records
+        self.__dict__.clear()
+        self.__dict__.update(incoming.__dict__)
+        # the unpickled driver still points at its clone context; repoint
+        # it here or the clone (holding the live trace) rides along into
+        # the next transfer_snapshot and breaks its pickling
+        if self.driver is not None:
+            self.driver.context = self
 
     def close(self) -> None:
         """Release what the context holds on the database (detach path)."""

@@ -12,6 +12,24 @@ one-tenant fleet bit-identical to the legacy
 ``ClosedLoopSimulation(db, trace, seed).run()`` loop (the golden tests
 in ``tests/fleet/`` hold this on multiple seeds).
 
+**Execution modes.** ``parallel="serial"`` (the default) is the legacy
+loop. ``"thread"`` and ``"process"`` run each bin's *execute* phases
+concurrently across tenants — the only phase that scales with cores —
+then rendezvous at a commit-ordered barrier: plugin ticks (where the
+self-management loop and the fleet arbiter run) happen one tenant at a
+time in the same hot-first order as the serial loop. Everything the
+arbiter reads about a tenant changes only at tick time, so the barrier
+makes all three modes **bit-identical** — same bin records, same event
+streams, same commits (``tests/fleet/test_parallel.py`` holds this on
+multiple seeds). Process mode forks persistent workers
+(:mod:`repro.fleet.parallel`) and merges their state back before
+reporting.
+
+Fleet rollups are **incremental**: every tenant registry gets a
+:class:`~repro.telemetry.metrics.DeltaTracker`, and per-bin counter
+deltas accumulate into the report as bins complete —
+:meth:`FleetDriver.report` never re-walks the registries.
+
 :func:`build_fleet` is the canonical constructor: it lays out tenants
 with :func:`~repro.fleet.workload.tenant_specs` (skewed volumes, shared
 mix profiles), attaches one driver per tenant, and registers everything
@@ -20,6 +38,7 @@ with a :class:`~repro.fleet.arbiter.FleetOrganizer`.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.driver import Driver, DriverConfig
@@ -31,7 +50,12 @@ from repro.core.triggers import (
     TuningTrigger,
 )
 from repro.cost.what_if import WhatIfCacheStats
-from repro.fleet.arbiter import FleetConfig, FleetOrganizer, ReplayOutcome
+from repro.fleet.arbiter import (
+    FleetConfig,
+    FleetOrganizer,
+    ReplayOutcome,
+    TenantDigest,
+)
 from repro.fleet.context import TenantContext
 from repro.fleet.workload import (
     TenantSpec,
@@ -40,7 +64,10 @@ from repro.fleet.workload import (
     tenant_specs,
 )
 from repro.plan.cache import PlanCacheStats
-from repro.telemetry.metrics import rollup_counters
+from repro.telemetry.metrics import DeltaTracker
+
+#: Execution modes accepted by :class:`FleetDriver`.
+PARALLEL_MODES = ("serial", "thread", "process")
 
 
 @dataclass
@@ -76,6 +103,11 @@ class FleetReport:
     #: arbitration totals (priors, replays, full passes)
     arbitration: dict[str, object] = field(default_factory=dict)
     replay_outcomes: tuple[ReplayOutcome, ...] = ()
+    #: the final-window size actually used for ``final_mean_query_ms``
+    final_window_bins: int = 4
+    #: True when fewer bins ran than the requested window, so the
+    #: "final" means still include warm-up bins' worth of clamping
+    final_window_clamped: bool = False
 
     @property
     def total_queries(self) -> int:
@@ -97,6 +129,8 @@ class FleetDriver:
         self,
         contexts: list[TenantContext],
         config: FleetConfig | None = None,
+        parallel: str | None = None,
+        workers: int | None = None,
     ) -> None:
         if not contexts:
             raise ValueError("a fleet needs at least one tenant context")
@@ -106,11 +140,44 @@ class FleetDriver:
                     f"tenant {ctx.tenant!r} has no workload assigned "
                     "(trace/simulation are fleet slots; see build_fleet)"
                 )
+        mode = parallel or "serial"
+        if mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {mode!r} "
+                f"(expected one of {PARALLEL_MODES})"
+            )
+        self._mode = mode
+        self._workers = workers
         self._contexts = list(contexts)
         self._arbiter = FleetOrganizer(config)
         for ctx in self._contexts:
             self._arbiter.register(ctx)
         self._n_bins = min(len(ctx.trace.bins) for ctx in self._contexts)
+        #: the only bin :meth:`run_bin` will accept next (re-entry guard)
+        self._next_bin = 0
+        # incremental rollup: a one-time baseline walk here, then only
+        # per-bin dirty-counter drains — report() never re-walks the
+        # registries, it sums this latest-value cache instead
+        self._trackers: dict[str, DeltaTracker] = {
+            ctx.tenant: ctx.telemetry.registry.delta_tracker()
+            for ctx in self._contexts
+        }
+        self._latest: dict[str, dict[str, float]] = {
+            ctx.tenant: ctx.telemetry.registry.snapshot_counters()
+            for ctx in self._contexts
+        }
+        # process-mode machinery (inert in serial/thread modes)
+        self._pool = None
+        self._digests: dict[str, TenantDigest] = {}
+
+    @property
+    def parallel_mode(self) -> str:
+        return self._mode
+
+    @property
+    def next_bin(self) -> int:
+        """Index of the next unrun fleet bin (== bins run so far)."""
+        return self._next_bin
 
     @property
     def tenants(self) -> tuple[TenantContext, ...]:
@@ -141,33 +208,210 @@ class FleetDriver:
         )
 
     def run_bin(self, index: int) -> dict[str, BinRecord]:
-        """Advance every tenant one bin, then run one replay round."""
+        """Advance every tenant one bin, then run one replay round.
+
+        Bins must run in order, each exactly once: re-running a bin
+        would duplicate records and replay simulated time, so anything
+        but the next unrun bin (see :attr:`next_bin`) is an error.
+        """
+        if index != self._next_bin:
+            raise ValueError(
+                f"fleet bins run in order, each exactly once: expected "
+                f"bin {self._next_bin}, got {index}"
+            )
+        if index >= self._n_bins:
+            raise ValueError(
+                f"bin {index} is out of range (fleet has {self._n_bins})"
+            )
         self._arbiter.begin_bin()
+        if self._mode == "process":
+            records = self._run_bin_process(index)
+        elif self._mode == "thread":
+            records = self._run_bin_thread(index)
+        else:
+            records = self._run_bin_serial(index)
+        self._next_bin = index + 1
+        return records
+
+    def _run_bin_serial(self, index: int) -> dict[str, BinRecord]:
         records: dict[str, BinRecord] = {}
         for ctx in self._bin_order(index):
             record = ctx.simulation.run_bin(index)
             ctx.records.append(record)
             records[ctx.tenant] = record
         self._arbiter.replay_round()
+        self._drain_trackers()
+        return records
+
+    def _run_bin_thread(self, index: int) -> dict[str, BinRecord]:
+        """Parallel execute phases, then the serial hot-first tick barrier."""
+        order = self._bin_order(index)
+        max_workers = min(self._workers or len(order), len(order))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            pendings = {
+                ctx.tenant: pool.submit(ctx.simulation.execute_bin, index)
+                for ctx in order
+            }
+        records: dict[str, BinRecord] = {}
+        for ctx in order:
+            record = ctx.simulation.finish_bin(pendings[ctx.tenant].result())
+            ctx.records.append(record)
+            records[ctx.tenant] = record
+        self._arbiter.replay_round()
+        self._drain_trackers()
+        return records
+
+    def _run_bin_process(self, index: int) -> dict[str, BinRecord]:
+        """The thread-mode barrier, with ticks RPC'd to fork workers.
+
+        The canonical arbiter stays in this process: each tick ships a
+        frozen view out, and the worker's recorded rulings/harvests are
+        applied back — in tick order — before the next tenant ticks, so
+        the arbiter state evolves exactly as in the serial loop.
+        """
+        from repro.fleet.parallel import HARVEST, PoolReplayTransport
+
+        pool = self._ensure_pool()
+        pool.execute_all(index)
+        records: dict[str, BinRecord] = {}
+        for ctx in self._bin_order(index):
+            result = pool.tick(
+                ctx.tenant, self._arbiter.view(digests=self._digests)
+            )
+            for kind, payload in result.actions:
+                if kind == HARVEST:
+                    self._arbiter.ingest_harvest(payload)
+                else:
+                    self._arbiter.apply_ruling(payload)
+            self._digests[ctx.tenant] = result.digest
+            self._accumulate(ctx.tenant, result.counter_updates)
+            ctx.records.append(result.record)
+            records[ctx.tenant] = result.record
+        transport = PoolReplayTransport(
+            pool, self._digests, self._accumulate
+        )
+        self._arbiter.set_transport(transport)
+        try:
+            self._arbiter.replay_round()
+        finally:
+            self._arbiter.set_transport(None)
         return records
 
     def run(self, stop: int | None = None) -> FleetReport:
-        """Run the fleet over its trace and return the rollup report."""
-        last = self._n_bins if stop is None else min(stop, self._n_bins)
-        for index in range(last):
+        """Run the fleet to bin ``stop`` and return the rollup report.
+
+        Resumable: bins already run (via :meth:`run_bin` or an earlier
+        ``run``) are never re-run, so calling ``run()`` twice reports
+        the same single pass instead of doubling every record.
+        ``stop=0`` runs nothing (an empty report); negative values are
+        an error.
+        """
+        if stop is None:
+            last = self._n_bins
+        elif stop < 0:
+            raise ValueError(f"stop must be >= 0, got {stop}")
+        else:
+            last = min(stop, self._n_bins)
+        for index in range(self._next_bin, last):
             self.run_bin(index)
         return self.report()
+
+    # ------------------------------------------------------------------
+    # process-mode pool lifecycle
+
+    def _ensure_pool(self):
+        """Start (or return) the worker pool; parent state must be current."""
+        if self._pool is None:
+            from repro.fleet.parallel import FleetWorkerPool
+
+            # digests seeded from the live contexts: at fork time the
+            # workers are exact copies, so cache and workers agree
+            self._digests = {
+                ctx.tenant: self._arbiter.digest(ctx)
+                for ctx in self._contexts
+            }
+            self._pool = FleetWorkerPool(
+                self._contexts, self._arbiter.config, workers=self._workers
+            )
+        return self._pool
+
+    def sync_workers(self) -> None:
+        """Merge worker state back into the parent contexts (no-op when
+        no pool is running).
+
+        After this the parent contexts carry everything the workers did
+        — clocks, events, guard ledgers, caches — and the pool is gone;
+        the next process-mode bin forks a fresh one from the merged
+        state. Called automatically by :meth:`report` and
+        :meth:`labelled_metrics`.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        try:
+            for tenant, moved, blob in pool.sync():
+                self._accumulate(tenant, moved)
+                ctx = self.tenant(tenant)
+                ctx.absorb_transfer(blob)
+                self._arbiter.rebind(ctx)
+                # same registry object as before pickling on the worker
+                # side, so the tracker keeps its drain baseline
+                self._trackers[tenant] = (
+                    ctx.telemetry.registry.delta_tracker()
+                )
+        finally:
+            pool.stop()
+        self._digests = {}
+
+    # ------------------------------------------------------------------
+    # incremental rollup plumbing
+
+    def _accumulate(self, tenant: str, moved: dict[str, float]) -> None:
+        """Overlay one drain (current values of moved counters)."""
+        self._latest[tenant].update(moved)
+
+    def _drain_trackers(self) -> None:
+        for tenant, tracker in self._trackers.items():
+            self._accumulate(tenant, tracker.drain())
+
+    def _rollup_counters(self) -> dict[str, float]:
+        """Sum the latest-value cache — bit-equal to a registry walk.
+
+        Per-tenant addends and their order match ``rollup_counters``
+        over the live registries exactly, so the incremental path has
+        no float drift relative to the full walk.
+        """
+        totals: dict[str, float] = {}
+        for ctx in self._contexts:
+            for name, value in self._latest[ctx.tenant].items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # reporting
 
     def report(self, final_window_bins: int = 4) -> FleetReport:
+        """Roll the fleet up; ``final_window_bins`` is the steady-state
+        window for ``final_mean_query_ms``.
+
+        When fewer bins have run than the requested window, the window
+        is clamped to the bins that exist and the report says so
+        (``final_window_clamped``) — a 2-bin run must not quietly sell
+        its warm-up bins as a "final" steady state.
+        """
+        if final_window_bins < 1:
+            raise ValueError(
+                f"final_window_bins must be >= 1, got {final_window_bins}"
+            )
+        self.sync_workers()
+        self._drain_trackers()
+        window = min(final_window_bins, self._next_bin)
         summaries: list[TenantSummary] = []
         for ctx in self._contexts:
             records: list[BinRecord] = list(ctx.records)
             queries = sum(r.queries_executed for r in records)
             workload = sum(r.workload_ms for r in records)
-            tail = records[-final_window_bins:]
+            tail = records[-window:] if window > 0 else []
             tail_queries = sum(r.queries_executed for r in tail)
             tail_workload = sum(r.workload_ms for r in tail)
             summaries.append(
@@ -188,20 +432,23 @@ class FleetDriver:
                     events=len(ctx.events),
                 )
             )
-        registries = {
-            ctx.tenant: ctx.telemetry.registry for ctx in self._contexts
-        }
         return FleetReport(
             summaries=summaries,
             whatif=WhatIfCacheStats.aggregate(s.whatif for s in summaries),
             plan=PlanCacheStats.aggregate(s.plan for s in summaries),
-            counters=rollup_counters(registries),
+            # the incremental rollup (baseline + per-bin drains); the
+            # equivalence with a full registry walk is held by
+            # tests/fleet/test_stats.py
+            counters=self._rollup_counters(),
             arbitration=self._arbiter.summary(),
             replay_outcomes=self._arbiter.outcomes,
+            final_window_bins=window,
+            final_window_clamped=window < final_window_bins,
         )
 
     def labelled_metrics(self) -> dict[str, float]:
         """Every tenant's metrics in one flat ``tenant::name`` mapping."""
+        self.sync_workers()
         merged: dict[str, float] = {}
         for ctx in self._contexts:
             merged.update(
@@ -273,6 +520,8 @@ def build_fleet(
     index_budget_mib: float = DEFAULT_INDEX_BUDGET_MIB,
     organizer: OrganizerConfig | None = None,
     specs: list[TenantSpec] | None = None,
+    parallel: str | None = None,
+    workers: int | None = None,
 ) -> FleetDriver:
     """Build a ready-to-run fleet of ``n_tenants`` skewed tenants.
 
@@ -312,4 +561,6 @@ def build_fleet(
         ctx.volume_scale = spec.volume_scale
         ctx.seed = spec.seed
         contexts.append(ctx)
-    return FleetDriver(contexts, config=config)
+    return FleetDriver(
+        contexts, config=config, parallel=parallel, workers=workers
+    )

@@ -1,0 +1,351 @@
+"""Fork-based worker pool for the parallel fleet driver.
+
+The fleet loop has exactly one phase that scales with cores: executing
+each tenant's queries for the bin. Everything arbiter-visible — KPI
+samples, predictor history, guard state — mutates only inside the
+plugin tick, so the :class:`~repro.fleet.driver.FleetDriver` can run all
+execute phases concurrently and then serialize the ticks at a
+commit-ordered barrier (hot-first, the same order as the serial loop)
+without changing a single decision. This module is the process-mode
+transport for that plan:
+
+- :class:`FleetWorkerPool` forks workers that each own a subset of
+  tenant contexts (fork start method only: contexts hold sampler
+  closures that cannot pickle, so they must be inherited by memory
+  image). The parent broadcasts ``execute`` for a bin, then drives one
+  ``tick`` RPC per tenant in barrier order.
+- Inside a worker, :class:`TickRecorder` stands in for the fleet
+  arbiter: the parent ships a frozen
+  :class:`~repro.fleet.arbiter.ArbiterView` with each tick, the
+  recorder answers the organizer's admission hook from it via the same
+  pure :func:`~repro.fleet.arbiter.rule_admission` the serial arbiter
+  uses, and every ruling and harvested commit is recorded
+  chronologically for the parent to apply to the canonical arbiter.
+- Each tick reply carries a fresh
+  :class:`~repro.fleet.arbiter.TenantDigest` (the parent's digest cache
+  is how later admissions and replay gates see this tenant) plus the
+  current values of its moved counters for the incremental fleet
+  rollup.
+- Replay validation (:func:`~repro.fleet.arbiter.attempt_replay`) is an
+  RPC to the owning worker; the cheap digest-only gates run parent-side
+  against the cache.
+- ``sync`` pickles each context back
+  (:meth:`~repro.fleet.context.TenantContext.transfer_snapshot`) so the
+  parent's contexts end the run carrying the workers' state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass, field
+
+from repro.core.simulation import BinRecord, PendingBin
+from repro.fleet.arbiter import (
+    AdmissionRuling,
+    ArbiterView,
+    FleetConfig,
+    HarvestRecord,
+    ReplayOutcome,
+    TenantDigest,
+    TuningPrior,
+    attempt_replay,
+    build_harvest,
+    compute_digest,
+    rule_admission,
+)
+from repro.fleet.context import TenantContext
+
+#: Tag for a recorded admission ruling in a tick's action stream.
+RULING = "ruling"
+#: Tag for a recorded harvested commit in a tick's action stream.
+HARVEST = "harvest"
+
+
+@dataclass
+class TickResult:
+    """Everything the parent needs from one tenant's tick."""
+
+    tenant: str
+    record: BinRecord
+    #: the tenant's digest *after* this tick (refreshes the cache)
+    digest: TenantDigest
+    #: chronological arbiter actions the tick produced: ``(RULING,
+    #: AdmissionRuling)`` and ``(HARVEST, HarvestRecord)`` tuples
+    actions: list[tuple[str, AdmissionRuling | HarvestRecord]] = field(
+        default_factory=list
+    )
+    #: current values of the counters that moved since the worker's
+    #: last drain (overlays the parent's incremental-rollup cache)
+    counter_updates: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ReplayResult:
+    """Reply to one replay-validation RPC."""
+
+    outcome: ReplayOutcome | None
+    #: the target's digest after the attempt (an applied replay changes
+    #: its guard state and last-tuning stamp)
+    digest: TenantDigest
+    counter_updates: dict[str, float] = field(default_factory=dict)
+
+
+class TickRecorder:
+    """Worker-side stand-in for the fleet arbiter during one tick.
+
+    Rules on admissions with :func:`rule_admission` over the view the
+    parent shipped, exactly as the serial arbiter would, and records
+    every ruling and harvest in call order. Mid-tick arbiter mutations
+    (a guard-escalation commit clears the tenant's defer count *before*
+    the admission check in the same tick) are mirrored onto the local
+    view copy so a later ruling in the same tick sees them.
+    """
+
+    def __init__(self, ctx: TenantContext, config: FleetConfig) -> None:
+        self._ctx = ctx
+        self._config = config
+        self._view: ArbiterView | None = None
+        self.actions: list[tuple[str, object]] = []
+
+    def arm(self, view: ArbiterView) -> None:
+        self._view = view
+        self.actions = []
+
+    # the organizer's AdmissionHook signature
+    def admission(self, organizer, decision) -> tuple[bool, str]:
+        view = self._view
+        ruling = rule_admission(
+            view, compute_digest(self._ctx, self._config), decision.trigger
+        )
+        self.actions.append((RULING, ruling))
+        # mirror apply_ruling on the local copy (view's dicts/sets are
+        # private copies; the frozen dataclass shell never changes)
+        if ruling.deferred:
+            view.defers[ruling.tenant] = view.defers.get(ruling.tenant, 0) + 1
+        if ruling.noted:
+            view.last_admitted_ms[ruling.tenant] = ruling.now_ms
+            view.admitted_this_bin.add(ruling.tenant)
+            view.defers.pop(ruling.tenant, None)
+        return ruling.admitted, ruling.reason
+
+    # the organizer's CommitListener signature
+    def commit(self, organizer, report) -> None:
+        record = build_harvest(
+            self._ctx, report, self._config.mix_window_bins
+        )
+        self.actions.append((HARVEST, record))
+        # mirror ingest_harvest's only admission-visible effect
+        self._view.defers.pop(self._ctx.tenant, None)
+
+
+def _worker_main(conn, contexts: list[TenantContext], config: FleetConfig):
+    """One worker: owns its contexts, answers the parent's RPCs."""
+    try:
+        tenants = {ctx.tenant: ctx for ctx in contexts}
+        recorders: dict[str, TickRecorder] = {}
+        trackers = {}
+        for ctx in contexts:
+            recorder = TickRecorder(ctx, config)
+            recorders[ctx.tenant] = recorder
+            # replace the inherited parent-arbiter hooks: decisions in
+            # this process come from the shipped views, nothing else
+            ctx.organizer.set_admission(
+                recorder.admission if config.arbitrate else None
+            )
+            ctx.organizer.set_commit_listener(recorder.commit)
+            trackers[ctx.tenant] = ctx.telemetry.registry.delta_tracker()
+        pending: dict[str, PendingBin] = {}
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "execute":
+                for ctx in contexts:
+                    pending[ctx.tenant] = ctx.simulation.execute_bin(msg[1])
+                conn.send(("ok",))
+            elif cmd == "tick":
+                _, tenant, view = msg
+                ctx = tenants[tenant]
+                recorder = recorders[tenant]
+                recorder.arm(view)
+                record = ctx.simulation.finish_bin(pending.pop(tenant))
+                conn.send(
+                    (
+                        "ok",
+                        TickResult(
+                            tenant=tenant,
+                            record=record,
+                            digest=compute_digest(ctx, config),
+                            actions=recorder.actions,
+                            counter_updates=trackers[tenant].drain(),
+                        ),
+                    )
+                )
+            elif cmd == "replay":
+                _, tenant, prior = msg
+                ctx = tenants[tenant]
+                outcome = attempt_replay(ctx, prior, config)
+                conn.send(
+                    (
+                        "ok",
+                        ReplayResult(
+                            outcome=outcome,
+                            digest=compute_digest(ctx, config),
+                            counter_updates=trackers[tenant].drain(),
+                        ),
+                    )
+                )
+            elif cmd == "sync":
+                blobs = [
+                    (
+                        ctx.tenant,
+                        trackers[ctx.tenant].drain(),
+                        ctx.transfer_snapshot(),
+                    )
+                    for ctx in contexts
+                ]
+                conn.send(("ok", blobs))
+            elif cmd == "stop":
+                conn.send(("ok",))
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown command {cmd!r}"))
+                return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+
+
+class FleetWorkerPool:
+    """Forked workers, each owning a round-robin slice of the tenants."""
+
+    def __init__(
+        self,
+        contexts: list[TenantContext],
+        config: FleetConfig,
+        workers: int | None = None,
+    ) -> None:
+        try:
+            mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - platform-dependent
+            raise RuntimeError(
+                "parallel='process' needs the fork start method (tenant "
+                "workloads hold closures that cannot pickle); use "
+                "parallel='thread' on this platform"
+            ) from exc
+        n_workers = max(
+            1, min(workers or os.cpu_count() or 1, len(contexts))
+        )
+        assignments: list[list[TenantContext]] = [
+            [] for _ in range(n_workers)
+        ]
+        self._owner: dict[str, int] = {}
+        for i, ctx in enumerate(contexts):
+            assignments[i % n_workers].append(ctx)
+            self._owner[ctx.tenant] = i % n_workers
+        self._conns = []
+        self._procs = []
+        for owned in assignments:
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(
+                target=_worker_main,
+                args=(child_conn, owned, config),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    def _recv(self, worker: int):
+        reply = self._conns[worker].recv()
+        if reply[0] == "error":
+            self.stop()
+            raise RuntimeError(f"fleet worker failed:\n{reply[1]}")
+        return reply[1] if len(reply) > 1 else None
+
+    # ------------------------------------------------------------------
+    # the per-bin protocol
+
+    def execute_all(self, bin_index: int) -> None:
+        """Run every tenant's execute phase for ``bin_index``, in parallel."""
+        for conn in self._conns:
+            conn.send(("execute", bin_index))
+        for worker in range(len(self._conns)):
+            self._recv(worker)
+
+    def tick(self, tenant: str, view: ArbiterView) -> TickResult:
+        """Tick one tenant against a frozen arbiter view (barrier order)."""
+        worker = self._owner[tenant]
+        self._conns[worker].send(("tick", tenant, view))
+        return self._recv(worker)
+
+    def replay(self, tenant: str, prior: TuningPrior) -> ReplayResult:
+        """Validate (and maybe apply) a prior on its owning worker."""
+        worker = self._owner[tenant]
+        self._conns[worker].send(("replay", tenant, prior))
+        return self._recv(worker)
+
+    def sync(self) -> list[tuple[str, dict[str, float], bytes]]:
+        """Drain and snapshot every tenant: (tenant, moved, pickle)."""
+        for conn in self._conns:
+            conn.send(("sync",))
+        collected: list[tuple[str, dict[str, float], bytes]] = []
+        for worker in range(len(self._conns)):
+            collected.extend(self._recv(worker))
+        return collected
+
+    def stop(self) -> None:
+        """Shut the workers down (idempotent)."""
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                if proc.is_alive():
+                    conn.send(("stop",))
+                    conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            finally:
+                conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hard kill fallback
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+
+class PoolReplayTransport:
+    """Replay transport over a worker pool plus the parent digest cache.
+
+    Digest-only gates read the cache (every entry is post-tick fresh);
+    the expensive validate-then-apply attempt is an RPC to the tenant's
+    owning worker, whose reply refreshes the cache — so a replay applied
+    earlier in the round is visible to every later cap check and gate,
+    exactly as in the serial round.
+    """
+
+    def __init__(self, pool, digests, on_updates) -> None:
+        self._pool = pool
+        self._digests = digests
+        #: callback(tenant, moved-counter values) into the parent's
+        #: incremental rollup cache
+        self._on_updates = on_updates
+
+    def active_reconfigurations(self) -> int:
+        return sum(1 for d in self._digests.values() if d.guard_active)
+
+    def digest(self, tenant: str) -> TenantDigest:
+        return self._digests[tenant]
+
+    def attempt(self, prior: TuningPrior, tenant: str) -> ReplayOutcome | None:
+        result = self._pool.replay(tenant, prior)
+        self._digests[tenant] = result.digest
+        self._on_updates(tenant, result.counter_updates)
+        return result.outcome

@@ -83,8 +83,12 @@ class QueryPlanner:
         self._evictions = self._registry.counter(PLAN_CACHE_EVICTIONS)
         self._invalidations = self._registry.counter(PLAN_CACHE_INVALIDATIONS)
         self._size_gauge = self._registry.gauge(
-            PLAN_CACHE_SIZE, lambda: float(len(self._cache))
+            PLAN_CACHE_SIZE, self._cache_len
         )
+
+    def _cache_len(self) -> float:
+        """Picklable gauge callback (bound method, not a lambda)."""
+        return float(len(self._cache))
 
     # ------------------------------------------------------------------
     # observability

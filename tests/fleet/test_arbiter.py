@@ -31,6 +31,7 @@ def _fake_context(
         database=SimpleNamespace(clock=SimpleNamespace(now_ms=now_ms)),
         organizer=SimpleNamespace(
             guard=SimpleNamespace(active_commit=active_commit),
+            last_tuning_ms=None,
             set_admission=lambda hook: None,
             set_commit_listener=lambda hook: None,
         ),
@@ -145,3 +146,108 @@ def test_summary_shape():
     assert summary["full_passes"] == 0
     assert summary["replays_applied"] == 0
     assert summary["active_reconfigurations"] == 0
+
+
+# ----------------------------------------------------------------------
+# stale defer counts (regression: a committed pass must reset the
+# wait-for-prior tally, however the pass was admitted)
+
+
+def test_sla_admission_clears_pending_defers():
+    arbiter = FleetOrganizer(FleetConfig(max_defer_bins=4))
+    hot = _fake_context("t0", hotness=100.0)
+    cold = _fake_context("t1", hotness=10.0)
+    arbiter.register(hot)
+    arbiter.register(cold)
+    assert not arbiter._admit(cold, _decision())[0]
+    assert not arbiter._admit(cold, _decision())[0]
+    assert arbiter._defers["t1"] == 2
+    # an SLA breach admits unconditionally — and resets the tally
+    assert arbiter._admit(cold, _decision("sla_violation"))[0]
+    assert "t1" not in arbiter._defers
+
+
+def test_harvested_commit_clears_pending_defers():
+    """A guard-escalated commit bypasses admission entirely; the harvest
+    (the commit listener) is the only place its defers can be reset."""
+    from repro.fleet.arbiter import HarvestRecord
+
+    arbiter = FleetOrganizer(FleetConfig(max_defer_bins=4))
+    hot = _fake_context("t0", hotness=100.0)
+    cold = _fake_context("t1", hotness=10.0)
+    arbiter.register(hot)
+    arbiter.register(cold)
+    assert not arbiter._admit(cold, _decision())[0]
+    assert arbiter._defers["t1"] == 1
+    arbiter.ingest_harvest(
+        HarvestRecord(
+            tenant="t1",
+            features=("index",),
+            actions=(),
+            predicted_benefit_ms=0.0,
+            mix={"q1": 1.0},
+            created_at_ms=0.0,
+        )
+    )
+    assert "t1" not in arbiter._defers
+    assert arbiter.full_passes("t1") == 1
+    # actions were empty, so no prior was harvested from it
+    assert arbiter.priors == ()
+
+
+def test_applied_replay_clears_pending_defers():
+    """The prior a tenant was deferring for has arrived: the tally must
+    reset when a replay applies, or the starvation bound is skewed."""
+    from repro.fleet.arbiter import (
+        ReplayOutcome,
+        TenantDigest,
+        TuningPrior,
+    )
+
+    arbiter = FleetOrganizer(FleetConfig(max_defer_bins=4))
+    hot = _fake_context("t0", hotness=100.0)
+    cold = _fake_context("t1", hotness=10.0)
+    arbiter.register(hot)
+    arbiter.register(cold)
+    assert not arbiter._admit(cold, _decision())[0]
+    assert arbiter._defers["t1"] == 1
+    arbiter._priors.append(
+        TuningPrior(
+            prior_id=1,
+            source="t0",
+            features=("index",),
+            actions=(),
+            mix={"q1": 8.0, "q2": 2.0},
+            predicted_benefit_ms=5.0,
+            created_at_ms=100.0,
+        )
+    )
+
+    class _AppliedTransport:
+        """Replay transport stub: every attempt applies."""
+
+        def active_reconfigurations(self):
+            return 0
+
+        def digest(self, tenant):
+            return TenantDigest(
+                tenant=tenant,
+                index=1,
+                hotness=10.0,
+                mix={"q1": 8.0, "q2": 2.0},
+                guard_active=False,
+                last_tuning_ms=None,
+                now_ms=200.0,
+            )
+
+        def attempt(self, prior, tenant):
+            return ReplayOutcome(
+                prior.prior_id, prior.source, tenant,
+                applied=True, reason="applied",
+            )
+
+    arbiter.set_transport(_AppliedTransport())
+    outcomes = arbiter.replay_round()
+    assert [o.applied for o in outcomes] == [True]
+    assert arbiter.replays("t1") == 1
+    assert "t1" not in arbiter._defers

@@ -95,3 +95,26 @@ def test_labelled_metrics_namespace_every_tenant():
     assert merged["t0::exec_queries"] > 0
     assert merged["t1::exec_queries"] > 0
     assert not any(name.startswith("::") for name in merged)
+
+
+def test_incremental_rollup_matches_full_registry_walk():
+    """report().counters accumulates per-bin deltas; the result must be
+    exactly what a full walk of every tenant registry would produce."""
+    fleet = build_fleet(2, seed=5, bins=BINS, rows=ROWS)
+    report = fleet.run()
+    registries = {
+        ctx.tenant: ctx.telemetry.registry for ctx in fleet.tenants
+    }
+    assert report.counters == rollup_counters(registries)
+
+
+def test_incremental_rollup_stays_exact_across_partial_reports():
+    fleet = build_fleet(2, seed=5, bins=BINS, rows=ROWS)
+    fleet.run(stop=2)
+    partial = fleet.report()
+    registries = {
+        ctx.tenant: ctx.telemetry.registry for ctx in fleet.tenants
+    }
+    assert partial.counters == rollup_counters(registries)
+    final = fleet.run()  # resumes; the accumulator keeps counting
+    assert final.counters == rollup_counters(registries)
