@@ -1,0 +1,365 @@
+"""E20 — goal-driven policy planning: declared objectives met with fewer
+feature passes than reactive tuning, re-planning on forecast miss.
+
+Three scenarios against the policy engine (repro.policy):
+
+(a) **objective** — the same trace tuned twice: trigger-reactively
+    (every admitted feature executes each pass) and under a declared
+    "p99 latency under X ms with index memory under Y MiB" policy. The
+    policy run must end with every objective met, commit its plans under
+    guard probation, and execute *fewer per-feature passes* than the
+    reactive baseline — the plan picks the smallest feasible prefix
+    instead of running every feature every time.
+(b) **replan** — a ``swap_dominance`` drift invalidates the forecast the
+    plan was priced against; the forecast-miss escalation must *re-plan*
+    (propose and price fresh alternatives against the declared
+    objectives) rather than blindly re-run the reactive pass.
+(c) **golden** — with no policy configured the loop is the bit-identical
+    trigger-reactive path: two identical runs produce identical bins and
+    event streams (the no-policy golden the CI smoke job checks).
+
+Runs under pytest (``PYTHONPATH=src python -m pytest
+benchmarks/bench_e20_policy.py``) or standalone (``PYTHONPATH=src python
+benchmarks/bench_e20_policy.py --quick --seed 2 --only objective``),
+which is what the CI policy matrix does across seeds 1-3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from conftest import save_table
+
+from repro import (
+    ClosedLoopSimulation,
+    ConstraintSet,
+    Driver,
+    DriverConfig,
+    GuardConfig,
+    ObjectiveSpec,
+    OrganizerConfig,
+    PolicyConfig,
+    ResourceBudget,
+)
+from repro.configuration.constraints import INDEX_MEMORY
+from repro.core import EventKind, PeriodicTrigger
+from repro.kpi import metrics
+from repro.tuning import standard_features
+from repro.util.units import MIB
+from repro.workload import build_retail_suite, generate_trace, swap_dominance
+
+#: the declared objective: p99 under this bound ...
+P99_BOUND_MS = 50.0
+#: ... with index memory under this budget (also the hard constraint)
+MEMORY_BOUND_MIB = 4.0
+
+POLICY = PolicyConfig(
+    name="e20-slo",
+    objectives=(
+        ObjectiveSpec(kind="latency", bound=P99_BOUND_MS, metric="p99"),
+        ObjectiveSpec(kind="memory", bound=MEMORY_BOUND_MIB * MIB),
+    ),
+)
+
+GUARD = GuardConfig(
+    baseline_samples=4,
+    min_samples=3,
+    probation_samples=8,
+    regression_bound=0.30,
+)
+
+
+def _suite():
+    return build_retail_suite(
+        orders_rows=20_000, inventory_rows=5_000, chunk_size=8_192
+    )
+
+
+def _run_loop(
+    seed: int,
+    bins: int,
+    tune_every_bins: int,
+    policy: PolicyConfig | None,
+    trace=None,
+    guard: GuardConfig | None = None,
+):
+    suite = _suite()
+    db = suite.database
+    if trace is None:
+        trace = generate_trace(
+            suite.families, suite.rates, bins,
+            bin_duration_ms=60_000, seed=seed,
+        )
+    organizer = OrganizerConfig(horizon_bins=4, min_history_bins=4)
+    if guard is not None:
+        organizer = OrganizerConfig(
+            horizon_bins=4, min_history_bins=4, guard=guard
+        )
+    driver = Driver(
+        standard_features()[:3],
+        constraints=ConstraintSet(
+            [ResourceBudget(INDEX_MEMORY, MEMORY_BOUND_MIB * MIB)]
+        ),
+        triggers=[PeriodicTrigger(every_ms=tune_every_bins * 60_000.0)],
+        config=DriverConfig(organizer=organizer, policy=policy),
+    )
+    db.plugin_host.attach(driver)
+    records = ClosedLoopSimulation(db, trace, seed=seed).run()
+    return driver, records
+
+
+def _feature_passes(driver) -> int:
+    """Per-feature tuning executions across the run (pass records have
+    ``feature is None``; each executed feature adds one record)."""
+    return sum(
+        1 for r in driver.store.history() if r.feature is not None
+    )
+
+
+# ----------------------------------------------------------------------
+# (a) objective: met, under probation, with fewer feature passes
+
+
+def run_objective(seed: int = 1, bins: int = 18) -> dict:
+    reactive, _ = _run_loop(seed, bins, tune_every_bins=6, policy=None)
+    policy, _ = _run_loop(seed, bins, tune_every_bins=6, policy=POLICY)
+
+    assessment = policy.organizer.policy_status()
+    snap = policy.telemetry.registry.snapshot()
+    plan_events = [
+        e
+        for e in policy.events.events(EventKind.POLICY)
+        if "plan chosen" in e.message
+    ]
+    return {
+        "seed": seed,
+        "assessment": assessment,
+        "reactive_feature_passes": _feature_passes(reactive),
+        "policy_feature_passes": _feature_passes(policy),
+        "plan_events": plan_events,
+        "counters": {
+            name: int(snap.get(name, 0.0))
+            for name in (*metrics.POLICY_KPIS, *metrics.GUARD_KPIS)
+        },
+    }
+
+
+def check_objective(result: dict) -> None:
+    counters = result["counters"]
+    # plans were proposed, priced, and executed ...
+    assert counters[metrics.POLICY_PLANS_EVALUATED] >= 1
+    assert counters[metrics.POLICY_PLANS_EXECUTED] >= 1
+    assert result["plan_events"]
+    # ... under guard probation like any reactive commit
+    assert counters[metrics.GUARD_COMMITS] >= 1
+    # every declared objective ends the run met
+    assessment = result["assessment"]
+    assert assessment.satisfied, (
+        f"seed {result['seed']}: objectives violated at end of run: "
+        + "; ".join(s.detail for s in assessment.violated)
+    )
+    # and goal-driven plans executed fewer per-feature passes than the
+    # reactive baseline on the identical trace
+    assert (
+        result["policy_feature_passes"] < result["reactive_feature_passes"]
+    ), (
+        f"seed {result['seed']}: policy ran "
+        f"{result['policy_feature_passes']} feature passes vs reactive "
+        f"{result['reactive_feature_passes']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# (b) replan: forecast miss re-plans against the objectives
+
+
+def run_replan(seed: int = 1, bins: int = 20, swap_at: int = 10) -> dict:
+    suite = _suite()
+    trace = generate_trace(
+        suite.families, suite.rates, bins, bin_duration_ms=60_000, seed=seed
+    )
+    by_rate = sorted(suite.rates, key=lambda name: suite.rates[name].base)
+    trace = swap_dominance(trace, by_rate[-1], by_rate[0], at_bin=swap_at)
+    # the periodic trigger is deliberately too slow to notice the swap;
+    # any pass after the first is the guard's escalation — which, with a
+    # policy configured, must re-plan
+    driver, _ = _run_loop(
+        seed,
+        bins,
+        tune_every_bins=2 * bins,
+        policy=POLICY,
+        trace=trace,
+        guard=GUARD,
+    )
+    snap = driver.telemetry.registry.snapshot()
+    replan_events = [
+        e
+        for e in driver.events.events(EventKind.POLICY)
+        if "re-planning" in e.message
+    ]
+    return {
+        "seed": seed,
+        "swap_at": swap_at,
+        "replan_events": replan_events,
+        "counters": {
+            name: int(snap.get(name, 0.0))
+            for name in (*metrics.POLICY_KPIS, *metrics.GUARD_KPIS)
+        },
+    }
+
+
+def check_replan(result: dict) -> None:
+    counters = result["counters"]
+    # the forecast envelope was breached and escalated ...
+    assert counters[metrics.GUARD_ESCALATIONS] >= 1
+    # ... and the escalation re-planned instead of blindly re-tuning
+    assert counters[metrics.POLICY_REPLANS] >= 1, (
+        f"seed {result['seed']}: escalation did not re-plan"
+    )
+    assert result["replan_events"]
+    # the re-plan became observable only after the drift
+    assert result["replan_events"][0].at_ms >= result["swap_at"] * 60_000.0
+
+
+# ----------------------------------------------------------------------
+# (c) golden: the no-policy path is deterministic
+
+
+def _digest(driver, records) -> tuple:
+    bins = tuple(
+        (r.index, r.queries_executed, round(r.mean_query_ms, 9),
+         r.reconfigured)
+        for r in records
+    )
+    events = tuple(
+        (e.at_ms, e.kind.value, e.message) for e in driver.events.events()
+    )
+    return bins, events
+
+
+def run_golden(seed: int = 1, bins: int = 12) -> dict:
+    first = _digest(*_run_loop(seed, bins, tune_every_bins=5, policy=None))
+    second = _digest(*_run_loop(seed, bins, tune_every_bins=5, policy=None))
+    return {"seed": seed, "first": first, "second": second}
+
+
+def check_golden(result: dict) -> None:
+    assert result["first"] == result["second"], (
+        f"seed {result['seed']}: the no-policy reactive loop is not "
+        "deterministic"
+    )
+
+
+# ----------------------------------------------------------------------
+# reporting and entry points
+
+
+def report(
+    objective: dict | None, replan: dict | None, golden: dict | None
+) -> None:
+    rows = []
+    if objective is not None:
+        c = objective["counters"]
+        rows.append([
+            f"objective (seed {objective['seed']})",
+            "met" if objective["assessment"].satisfied else "VIOLATED",
+            f"{objective['policy_feature_passes']} vs "
+            f"{objective['reactive_feature_passes']} reactive",
+            c[metrics.POLICY_PLANS_EXECUTED],
+            c[metrics.POLICY_REPLANS],
+        ])
+    if replan is not None:
+        c = replan["counters"]
+        rows.append([
+            f"replan (seed {replan['seed']})",
+            f"re-planned after swap at bin {replan['swap_at']}",
+            "-",
+            c[metrics.POLICY_PLANS_EXECUTED],
+            c[metrics.POLICY_REPLANS],
+        ])
+    if golden is not None:
+        rows.append([
+            f"golden (seed {golden['seed']})",
+            "no-policy runs bit-identical",
+            "-",
+            0,
+            0,
+        ])
+    save_table(
+        "e20_policy",
+        ["scenario", "outcome", "feature passes", "plans", "replans"],
+        rows,
+        "E20: goal-driven policy planning — declared objectives met with "
+        "fewer feature passes; forecast miss re-plans",
+    )
+
+
+def test_e20_objective_met_with_fewer_passes():
+    result = run_objective(seed=1)
+    report(result, None, None)
+    check_objective(result)
+
+
+def test_e20_forecast_miss_replans():
+    result = run_replan(seed=1)
+    report(None, result, None)
+    check_replan(result)
+
+
+def test_e20_no_policy_golden():
+    result = run_golden(seed=1)
+    report(None, None, result)
+    check_golden(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=["objective", "replan", "golden"],
+        default=None,
+        help="run a single scenario (default: all three)",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload/trace seed")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter traces (the CI smoke setting)")
+    args = parser.parse_args(argv)
+
+    objective = replan = golden = None
+    if args.only in (None, "objective"):
+        objective = run_objective(
+            seed=args.seed, bins=12 if args.quick else 18
+        )
+        check_objective(objective)
+    if args.only in (None, "replan"):
+        replan = run_replan(
+            seed=args.seed,
+            bins=16 if args.quick else 20,
+            swap_at=8 if args.quick else 10,
+        )
+        check_replan(replan)
+    if args.only in (None, "golden"):
+        golden = run_golden(seed=args.seed, bins=8 if args.quick else 12)
+        check_golden(golden)
+    report(objective, replan, golden)
+    parts = []
+    if objective is not None:
+        parts.append(
+            f"objectives met with {objective['policy_feature_passes']} vs "
+            f"{objective['reactive_feature_passes']} reactive feature "
+            "passes"
+        )
+    if replan is not None:
+        parts.append(
+            f"{replan['counters'][metrics.POLICY_REPLANS]} replan(s)"
+        )
+    if golden is not None:
+        parts.append("no-policy golden identical")
+    print(f"OK ({', '.join(parts)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

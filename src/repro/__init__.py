@@ -33,7 +33,11 @@ framework end to end, including every substrate it depends on:
   rolls bad commits back, and forecast-miss escalation;
 - :mod:`repro.fleet` — fleet-scale multi-tenancy: per-tenant contexts,
   a fleet organizer arbitrating the tuning budget across tenants, and
-  shared tuning priors replayed onto look-alike tenants.
+  shared tuning priors replayed onto look-alike tenants;
+- :mod:`repro.policy` — goal-driven planning: declarative objectives
+  (latency, memory, throughput) compiled into multi-feature
+  reconfiguration plans, evaluated with the what-if oracle and executed
+  under guard probation.
 
 Quickstart::
 
@@ -84,6 +88,16 @@ from repro.ordering import (
     RecursiveTuningPlanner,
 )
 from repro.plan import PhysicalPlan, PlanStep, QueryPlanner, StepKind
+from repro.policy import (
+    LatencyObjective,
+    MemoryBudgetObjective,
+    ObjectiveSpec,
+    ObjectiveViolationTrigger,
+    Policy,
+    PolicyConfig,
+    PolicyEngine,
+    ThroughputObjective,
+)
 from repro.telemetry import (
     MetricRegistry,
     Telemetry,
@@ -119,14 +133,21 @@ __all__ = [
     "Forecast",
     "GuardConfig",
     "LPOrderOptimizer",
+    "LatencyObjective",
     "LearnedCostModel",
     "LogicalCostModel",
+    "MemoryBudgetObjective",
     "MetricRegistry",
+    "ObjectiveSpec",
+    "ObjectiveViolationTrigger",
     "Organizer",
     "OrganizerConfig",
     "PhysicalCostModel",
     "PhysicalPlan",
     "PlanStep",
+    "Policy",
+    "PolicyConfig",
+    "PolicyEngine",
     "Predicate",
     "Query",
     "QueryPlanner",
@@ -138,6 +159,7 @@ __all__ = [
     "StorageTier",
     "TableSchema",
     "Telemetry",
+    "ThroughputObjective",
     "TelemetryConfig",
     "TenantContext",
     "Tracer",

@@ -19,6 +19,10 @@ Commands:
 - ``guard``       — run the closed loop with a mid-trace dominance swap
                     and print the guarded-commit record: probation
                     ledger, forecast-miss escalations, and GUARD events;
+- ``policy``      — run the closed loop under declared objectives (p99 /
+                    mean latency, memory budget, throughput floor) and
+                    print the POLICY plan record plus the final
+                    objective status;
 - ``components``  — list every registered exchangeable component.
 """
 
@@ -71,7 +75,30 @@ def _build_suite(name: str, rows: int, seed: int):
     raise SystemExit(f"unknown suite {name!r} (retail | telemetry)")
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _build_features(args: argparse.Namespace):
+    """The standard feature list, shaped by the common CLI flags."""
+    from repro.tuning import standard_features
+
+    features = standard_features(include_sort_order=args.sort_order)
+    return features[: args.features] if args.features else features
+
+
+def _bootstrap(
+    args: argparse.Namespace,
+    triggers=None,
+    organizer=None,
+    faults=None,
+    telemetry=None,
+    policy=None,
+    mutate_trace=None,
+):
+    """Shared driver/simulation bootstrap of the closed-loop subcommands.
+
+    Builds the suite, the binned trace (optionally transformed by
+    ``mutate_trace(suite, trace)`` — e.g. the guard command's dominance
+    swap), the driver with the common constraint/feature flags, attaches
+    it, and returns ``(suite, db, trace, driver, simulation)``.
+    """
     from repro import (
         ClosedLoopSimulation,
         ConstraintSet,
@@ -79,10 +106,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         DriverConfig,
         OrganizerConfig,
         ResourceBudget,
+        TelemetryConfig,
     )
     from repro.configuration import INDEX_MEMORY
-    from repro.core import EventKind, ForecastDriftTrigger, PeriodicTrigger
-    from repro.tuning import standard_features
     from repro.util.units import MIB
     from repro.workload import generate_trace
 
@@ -95,31 +121,54 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         bin_duration_ms=60_000,
         seed=args.seed,
     )
-    features = standard_features(include_sort_order=args.sort_order)
+    if mutate_trace is not None:
+        trace = mutate_trace(suite, trace)
     driver = Driver(
-        features[: args.features] if args.features else features,
+        _build_features(args),
         constraints=ConstraintSet(
             [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
         ),
+        triggers=triggers,
+        config=DriverConfig(
+            organizer=organizer
+            or OrganizerConfig(horizon_bins=4, min_history_bins=4),
+            faults=faults,
+            telemetry=telemetry or TelemetryConfig(),
+            policy=policy,
+        ),
+    )
+    db.plugin_host.attach(driver)
+    simulation = ClosedLoopSimulation(db, trace, seed=args.seed)
+    return suite, db, trace, driver, simulation
+
+
+def _print_bins(records) -> None:
+    print("bin  queries  mean_ms   tuned")
+    for record in records:
+        marker = "  *" if record.reconfigured else ""
+        print(f"{record.index:3d}  {record.queries_executed:7d}  "
+              f"{record.mean_query_ms:8.4f}{marker}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import OrganizerConfig
+    from repro.core import EventKind, ForecastDriftTrigger, PeriodicTrigger
+    from repro.util.units import MIB
+
+    _, db, _, driver, simulation = _bootstrap(
+        args,
         triggers=[
             PeriodicTrigger(every_ms=args.tune_every_bins * 60_000),
             ForecastDriftTrigger(relative_threshold=0.25),
         ],
-        config=DriverConfig(
-            organizer=OrganizerConfig(
-                horizon_bins=4, min_history_bins=4, cooldown_ms=3 * 60_000
-            )
+        organizer=OrganizerConfig(
+            horizon_bins=4, min_history_bins=4, cooldown_ms=3 * 60_000
         ),
     )
-    db.plugin_host.attach(driver)
 
     print(f"simulating {args.bins} bins of the {args.suite} workload "
           f"({db.catalog.table_names()}, {args.rows} rows)")
-    print("bin  queries  mean_ms   tuned")
-    for record in ClosedLoopSimulation(db, trace, seed=args.seed).run():
-        marker = "  *" if record.reconfigured else ""
-        print(f"{record.index:3d}  {record.queries_executed:7d}  "
-              f"{record.mean_query_ms:8.4f}{marker}")
+    _print_bins(simulation.run())
 
     print("\nself-management log:")
     for event in driver.events.events():
@@ -240,48 +289,18 @@ def _cmd_order(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro import (
-        ClosedLoopSimulation,
-        ConstraintSet,
-        Driver,
-        DriverConfig,
-        OrganizerConfig,
-        ResourceBudget,
-        TelemetryConfig,
-        render_span_tree,
-    )
-    from repro.configuration import INDEX_MEMORY
-    from repro.tuning import standard_features
-    from repro.util.units import MIB
-    from repro.workload import generate_trace
+    from repro import TelemetryConfig, render_span_tree
 
-    suite = _build_suite(args.suite, args.rows, args.seed)
-    db = suite.database
-    trace = generate_trace(
-        suite.families,
-        suite.rates,
-        args.bins,
-        bin_duration_ms=60_000,
-        seed=args.seed,
-    )
-    features = standard_features(include_sort_order=args.sort_order)
-    driver = Driver(
-        features[: args.features] if args.features else features,
-        constraints=ConstraintSet(
-            [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
-        ),
-        config=DriverConfig(
-            organizer=OrganizerConfig(horizon_bins=4, min_history_bins=4),
-            telemetry=TelemetryConfig(
-                query_sample_every=args.sample_every,
-                jsonl_path=args.jsonl,
-            ),
+    _, db, _, driver, simulation = _bootstrap(
+        args,
+        telemetry=TelemetryConfig(
+            query_sample_every=args.sample_every,
+            jsonl_path=args.jsonl,
         ),
     )
-    db.plugin_host.attach(driver)
 
     print(f"warming up: {args.bins} bins of the {args.suite} workload ...")
-    for _ in ClosedLoopSimulation(db, trace, seed=args.seed).run():
+    for _ in simulation.run():
         pass
     report = driver.tune_now()
     if report is None:
@@ -327,47 +346,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro import (
-        ClosedLoopSimulation,
-        ConstraintSet,
-        Driver,
-        DriverConfig,
-        FaultConfig,
-        OrganizerConfig,
-        ResourceBudget,
-    )
-    from repro.configuration import INDEX_MEMORY
+    from repro import FaultConfig, OrganizerConfig
     from repro.core import EventKind, PeriodicTrigger
     from repro.kpi.metrics import FAULT_KPIS
-    from repro.tuning import standard_features
-    from repro.util.units import MIB
-    from repro.workload import generate_trace
 
     def run(faults):
-        suite = _build_suite(args.suite, args.rows, args.seed)
-        db = suite.database
-        trace = generate_trace(
-            suite.families,
-            suite.rates,
-            args.bins,
-            bin_duration_ms=60_000,
-            seed=args.seed,
+        _, _, _, driver, simulation = _bootstrap(
+            args,
+            triggers=[
+                PeriodicTrigger(every_ms=args.tune_every_bins * 60_000)
+            ],
+            organizer=OrganizerConfig(horizon_bins=3, min_history_bins=3),
+            faults=faults,
         )
-        features = standard_features(include_sort_order=args.sort_order)
-        driver = Driver(
-            features[: args.features] if args.features else features,
-            constraints=ConstraintSet(
-                [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
-            ),
-            triggers=[PeriodicTrigger(every_ms=args.tune_every_bins * 60_000)],
-            config=DriverConfig(
-                organizer=OrganizerConfig(horizon_bins=3, min_history_bins=3),
-                faults=faults,
-            ),
-        )
-        db.plugin_host.attach(driver)
-        records = ClosedLoopSimulation(db, trace, seed=args.seed).run()
-        return records, driver
+        return simulation.run(), driver
 
     faults = FaultConfig(
         seed=args.fault_seed,
@@ -420,63 +412,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_guard(args: argparse.Namespace) -> int:
-    from repro import (
-        ClosedLoopSimulation,
-        ConstraintSet,
-        Driver,
-        DriverConfig,
-        OrganizerConfig,
-        ResourceBudget,
-    )
-    from repro.configuration import INDEX_MEMORY
-    from repro.core import EventKind, PeriodicTrigger
-    from repro.kpi.metrics import GUARD_KPIS
-    from repro.tuning import standard_features
-    from repro.util.units import MIB
-    from repro.workload import generate_trace
+def _swap_dominance_hook(args: argparse.Namespace, swapped: dict):
+    """A ``mutate_trace`` hook swapping family dominance mid-trace;
+    records the swapped pair in ``swapped`` for the caller's banner."""
     from repro.workload.drift import swap_dominance
 
-    suite = _build_suite(args.suite, args.rows, args.seed)
-    db = suite.database
-    trace = generate_trace(
-        suite.families,
-        suite.rates,
-        args.bins,
-        bin_duration_ms=60_000,
-        seed=args.seed,
-    )
-    swapped = None
-    if args.swap_at > 0:
+    def mutate(suite, trace):
+        if args.swap_at <= 0:
+            return trace
         by_rate = sorted(suite.rates, key=lambda n: suite.rates[n].base)
         family_a = args.swap_a or by_rate[-1]
         family_b = args.swap_b or by_rate[0]
-        trace = swap_dominance(trace, family_a, family_b, args.swap_at)
-        swapped = (family_a, family_b)
+        swapped["pair"] = (family_a, family_b)
+        return swap_dominance(trace, family_a, family_b, args.swap_at)
 
-    features = standard_features(include_sort_order=args.sort_order)
-    driver = Driver(
-        features[: args.features] if args.features else features,
-        constraints=ConstraintSet(
-            [ResourceBudget(INDEX_MEMORY, args.index_budget_mib * MIB)]
-        ),
+    return mutate
+
+
+def _cmd_guard(args: argparse.Namespace) -> int:
+    from repro.core import EventKind, PeriodicTrigger
+    from repro.kpi.metrics import GUARD_KPIS
+
+    swapped: dict = {}
+    _, _, _, driver, simulation = _bootstrap(
+        args,
         triggers=[PeriodicTrigger(every_ms=args.tune_every_bins * 60_000)],
-        config=DriverConfig(
-            organizer=OrganizerConfig(horizon_bins=4, min_history_bins=4)
-        ),
+        mutate_trace=_swap_dominance_hook(args, swapped),
     )
-    db.plugin_host.attach(driver)
 
     print(f"simulating {args.bins} bins of the {args.suite} workload "
           "under the commit guard")
     if swapped:
+        pair = swapped["pair"]
         print(f"dominance swap at bin {args.swap_at}: "
-              f"{swapped[0]} <-> {swapped[1]}")
-    print("bin  queries  mean_ms   tuned")
-    for record in ClosedLoopSimulation(db, trace, seed=args.seed).run():
-        marker = "  *" if record.reconfigured else ""
-        print(f"{record.index:3d}  {record.queries_executed:7d}  "
-              f"{record.mean_query_ms:8.4f}{marker}")
+              f"{pair[0]} <-> {pair[1]}")
+    _print_bins(simulation.run())
 
     print("\nguard record:")
     snap = driver.telemetry.registry.snapshot()
@@ -505,6 +475,74 @@ def _cmd_guard(args: argparse.Namespace) -> int:
             print(f"  [{event.at_ms / 60_000:5.1f} min] "
                   f"{event.kind.value:10s} {event.message}")
     return 0
+
+
+def _policy_config(args: argparse.Namespace):
+    """Build a PolicyConfig from --objectives YAML or the inline flags."""
+    from repro.policy import ObjectiveSpec, PolicyConfig
+    from repro.util.units import MIB
+
+    if args.objectives:
+        return PolicyConfig.from_yaml_file(args.objectives)
+    specs = []
+    if args.p99_ms is not None:
+        specs.append(ObjectiveSpec(kind="latency", bound=args.p99_ms))
+    if args.mean_ms is not None:
+        specs.append(
+            ObjectiveSpec(
+                kind="latency", bound=args.mean_ms, metric="mean_query_ms"
+            )
+        )
+    if args.memory_mib is not None:
+        specs.append(
+            ObjectiveSpec(kind="memory", bound=args.memory_mib * MIB)
+        )
+    if args.min_qps is not None:
+        specs.append(ObjectiveSpec(kind="throughput", bound=args.min_qps))
+    if not specs:
+        raise SystemExit(
+            "declare at least one objective (--p99-ms / --mean-ms / "
+            "--memory-mib / --min-qps) or pass --objectives <yaml>"
+        )
+    return PolicyConfig(
+        objectives=tuple(specs),
+        violation_patience=args.patience,
+    )
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.core import EventKind
+    from repro.kpi.metrics import POLICY_KPIS
+
+    config = _policy_config(args)
+    _, db, _, driver, simulation = _bootstrap(args, policy=config)
+
+    names = ", ".join(o.name or o.kind for o in config.objectives)
+    print(f"simulating {args.bins} bins of the {args.suite} workload "
+          f"under declared objectives: {names}")
+    _print_bins(simulation.run())
+
+    shown = [
+        e for e in driver.events.events() if e.kind == EventKind.POLICY
+    ]
+    if shown:
+        print("\npolicy events:")
+        for event in shown:
+            print(f"  [{event.at_ms / 60_000:5.1f} min] {event.message}")
+
+    print("\npolicy record:")
+    snap = driver.telemetry.registry.snapshot()
+    for name in POLICY_KPIS:
+        print(f"  {name:24s} {snap.get(name, 0.0):.0f}")
+
+    assessment = driver.organizer.policy_status()
+    print("\nfinal objective status:")
+    for status in assessment.statuses:
+        verdict = "met    " if status.satisfied else "VIOLATED"
+        print(f"  {verdict} {status.name}: {status.detail} "
+              f"(margin {status.margin:+.2%})")
+    print(f"  composite score: {assessment.score:+.4f}")
+    return 0 if assessment.satisfied else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -617,6 +655,27 @@ def build_parser() -> argparse.ArgumentParser:
     guard.add_argument("--swap-b", default=None,
                        help="second swapped family (default: lowest rate)")
     guard.set_defaults(run=_cmd_guard)
+
+    policy = commands.add_parser(
+        "policy", help="run the closed loop under declared objectives"
+    )
+    common(policy)
+    policy.add_argument("--bins", type=int, default=24)
+    policy.add_argument("--p99-ms", type=float, default=None,
+                        help="p99 query latency bound (ms)")
+    policy.add_argument("--mean-ms", type=float, default=None,
+                        help="mean query latency bound (ms)")
+    policy.add_argument("--memory-mib", type=float, default=None,
+                        help="index memory budget objective (MiB)")
+    policy.add_argument("--min-qps", type=float, default=None,
+                        help="throughput floor (queries/second)")
+    policy.add_argument("--patience", type=int, default=2,
+                        help="consecutive violated evaluations before the "
+                             "objective trigger fires")
+    policy.add_argument("--objectives", default=None,
+                        help="YAML file declaring the objectives "
+                             "(overrides the inline flags)")
+    policy.set_defaults(run=_cmd_policy)
     return parser
 
 

@@ -11,6 +11,7 @@ and detaching it leaves the database fully functional.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.configuration.constraints import ConstraintSet
 from repro.core.events import EventKind
@@ -26,6 +27,9 @@ from repro.forecasting.models.ensemble import ModelFactory
 from repro.telemetry import TelemetryConfig
 from repro.tuning.features.base import FeatureTuner
 from repro.tuning.selectors.base import Selector
+
+if TYPE_CHECKING:
+    from repro.policy.config import PolicyConfig
 
 
 @dataclass
@@ -54,6 +58,10 @@ class DriverConfig:
     #: tenant id labelling every event, span record, and ledger this
     #: driver's components produce ('' = single-tenant; see docs/fleet.md)
     tenant: str = ""
+    #: declared objectives for goal-driven planning; when set the
+    #: organizer runs plan-propose / plan-evaluate / plan-execute passes
+    #: instead of the trigger-reactive path (see docs/policy.md)
+    policy: "PolicyConfig | None" = None
 
 
 class Driver(Plugin):

@@ -30,6 +30,7 @@ class EventKind(enum.Enum):
     ROLLBACK = "rollback"
     QUARANTINE = "quarantine"
     GUARD = "guard"
+    POLICY = "policy"
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,12 @@ from repro.ordering.recursive import (
     RecursiveTuningPlanner,
     RecursiveTuningReport,
 )
+from repro.policy.engine import (
+    POLICY_TRIGGER,
+    ObjectiveViolationTrigger,
+    PolicyEngine,
+    PolicyPlanReport,
+)
 from repro.telemetry import Telemetry
 from repro.tuning.executors.base import ApplicationReport, TuningExecutor
 from repro.tuning.executors.sequential import SequentialExecutor
@@ -114,6 +120,9 @@ class OrganizerRunReport:
     skipped_features: tuple[str, ...] = field(default_factory=tuple)
     #: features excluded from this pass by the quarantine breaker
     quarantined_features: tuple[str, ...] = field(default_factory=tuple)
+    #: the plan-propose/plan-evaluate record of a policy pass (None for
+    #: trigger-reactive passes)
+    plan: PolicyPlanReport | None = None
 
 
 class Organizer:
@@ -133,6 +142,7 @@ class Organizer:
         optimizer: WhatIfOptimizer | None = None,
         executor: TuningExecutor | None = None,
         telemetry: Telemetry | None = None,
+        policy: PolicyEngine | None = None,
     ) -> None:
         self._db = db
         self._predictor = predictor
@@ -192,6 +202,20 @@ class Organizer:
         # fleet hooks: both stay None outside a fleet, costing nothing
         self._admission: AdmissionHook | None = None
         self._commit_listener: CommitListener | None = None
+        # goal-driven mode: with an engine configured every pass goes
+        # through plan-propose / plan-evaluate / plan-execute; without
+        # one the trigger-reactive path below runs unchanged
+        self._policy = policy
+        if policy is not None:
+            policy.bind(self._telemetry.registry, self._events)
+            if not any(
+                isinstance(t, ObjectiveViolationTrigger)
+                for t in self._triggers
+            ):
+                self._triggers = [
+                    *self._triggers,
+                    ObjectiveViolationTrigger(policy),
+                ]
 
     # ------------------------------------------------------------------
 
@@ -231,6 +255,11 @@ class Organizer:
     def cached_order(self) -> tuple[str, ...] | None:
         return self._cached_order
 
+    @property
+    def policy(self) -> PolicyEngine | None:
+        """The policy engine, when goal-driven planning is configured."""
+        return self._policy
+
     def set_admission(self, hook: AdmissionHook | None) -> None:
         """Install (or clear) the fleet arbiter's admission hook.
 
@@ -260,6 +289,18 @@ class Organizer:
             horizon_bins=self._config.horizon_bins,
             last_tuning_ms=self._last_tuning_ms,
         )
+
+    def policy_status(self):
+        """Assess the declared objectives against the current context.
+
+        Returns a :class:`~repro.policy.objectives.PolicyAssessment`, or
+        ``None`` when no policy is configured. A pure read: unlike the
+        engine's trigger-path assessment it does not advance the
+        ``policy_evaluations`` counters.
+        """
+        if self._policy is None:
+            return None
+        return self._policy.policy.assess(self._context())
 
     def evaluate_triggers(self) -> TriggerDecision:
         """First firing trigger wins; otherwise the last negative decision."""
@@ -325,6 +366,8 @@ class Organizer:
                     now,
                     EventKind.SKIP,
                     "tuning deferred: waiting for a low-utilization window",
+                    trigger=decision.trigger,
+                    **decision.details,
                 )
                 return None
         if self._admission is not None:
@@ -336,8 +379,11 @@ class Organizer:
                     f"tuning deferred by fleet arbiter: {reason}",
                     trigger=decision.trigger,
                     reason=reason,
+                    **decision.details,
                 )
                 return None
+        if self._policy is not None:
+            return self.run_policy_pass(decision)
         return self.run_tuning(decision)
 
     # ------------------------------------------------------------------
@@ -413,7 +459,11 @@ class Organizer:
 
         The cached tuning order was computed for the old mix, so it is
         invalidated first — the escalation pass re-measures dependencies
-        and re-solves the ordering LP against the fresh forecast.
+        and re-solves the ordering LP against the fresh forecast. With a
+        policy configured, the escalation *re-plans*: candidate plans
+        are re-proposed and re-evaluated against the declared objectives
+        under the fresh forecast instead of blindly re-running the
+        reactive pass.
         """
         self._cached_order = None
         decision = TriggerDecision(
@@ -423,6 +473,17 @@ class Organizer:
             f"scenario {verdict.nearest_scenario!r}",
             {"distance": verdict.distance},
         )
+        if self._policy is not None:
+            self._policy.note_replan()
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.POLICY,
+                "forecast miss: re-planning against the declared "
+                f"objectives ({decision.reason})",
+                distance=verdict.distance,
+                nearest_scenario=verdict.nearest_scenario,
+            )
+            return self.run_policy_pass(decision)
         return self.run_tuning(decision)
 
     def _feature_subset(self, order: tuple[str, ...]) -> tuple[str, ...]:
@@ -514,80 +575,207 @@ class Organizer:
                     probation_ms=self._config.quarantine_probation_ms,
                 )
 
+    def _begin_pass(
+        self, decision: TriggerDecision, mode: str = "reactive"
+    ):
+        """Shared pass preamble: forecast, guard note, interval, event.
+
+        The forecast this pass tunes for is also the envelope the guard
+        later judges the live workload against (forecast-miss
+        detection). Per-pass metric deltas come from a registry interval
+        read, so any counter a component registers (cache, executor,
+        policy engine, future subsystems) is automatically measurable
+        over the pass.
+        """
+        now = self._db.clock.now_ms
+        forecast = self._predictor.forecast(self._config.horizon_bins)
+        self._guard.note_forecast(forecast)
+        interval = self._telemetry.registry.interval()
+        label = "tuning" if mode == "reactive" else "policy"
+        self._events.log(
+            now,
+            EventKind.TUNING_STARTED,
+            f"{label} pass triggered by {decision.trigger}",
+            trigger=decision.trigger,
+            **decision.details,
+        )
+        return forecast, interval
+
+    def _select_features(
+        self, forecast: "Forecast", pass_span
+    ) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]] | None:
+        """Plan-propose prologue shared by both pass kinds: refresh the
+        LP ordering when due, then filter the ordered features through
+        the tuning-time budget and the quarantine breaker.
+
+        Returns ``(subset, skipped, quarantined)``, or ``None`` when no
+        feature survives — such a pass does no work, so it must not
+        append a configuration record, restart the cooldown, or count
+        against the order-refresh cadence.
+        """
+        refresh = (
+            self._cached_order is None
+            or self._runs_since_refresh >= self._config.order_refresh_every
+        )
+        if refresh and len(self._tuners) >= 2:
+            with self._tracer.span("order_refresh") as order_span:
+                matrix, solution = self._planner.plan_order(forecast)
+                order_span.tag(
+                    order=" -> ".join(solution.order),
+                    objective=solution.objective,
+                )
+            self._cached_order = solution.order
+            self._last_matrix = matrix
+            self._runs_since_refresh = 0
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.ORDER_PLANNED,
+                f"tuning order: {' -> '.join(solution.order)}",
+                objective=solution.objective,
+                solve_seconds=solution.solve_seconds,
+            )
+        order = self._cached_order or self._planner.feature_names
+        subset = self._feature_subset(order)
+        skipped = tuple(name for name in order if name not in subset)
+        if not subset:
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.SKIP,
+                "tuning skipped: time budget admits no feature",
+                budget_ms=self._config.tuning_time_budget_ms,
+                skipped=len(skipped),
+            )
+            pass_span.tag(skipped="time budget admits no feature")
+            return None
+        subset, quarantined = self._admit_features(subset)
+        if not subset:
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.SKIP,
+                "tuning skipped: all features quarantined",
+                quarantined=list(quarantined),
+            )
+            pass_span.tag(skipped="all features quarantined")
+            return None
+        self._runs_since_refresh += 1
+        return subset, skipped, quarantined
+
+    def _commit_pass(
+        self,
+        decision: TriggerDecision,
+        interval,
+        pass_span,
+        pre_pass,
+        report: RecursiveTuningReport,
+    ) -> int:
+        """Plan-execute epilogue shared by both pass kinds: feed outcomes
+        to the breaker, append configuration records, open guard
+        probation, and log the TUNING_FINISHED accounting."""
+        self._last_tuning_ms = self._db.clock.now_ms
+        self._record_run_outcomes(report)
+
+        # failed runs were rolled back: they contribute no actions,
+        # no predicted benefit, and no feedback training pairs
+        ok_runs = [r for r in report.runs if not r.failed]
+        predicted = sum(r.result.predicted_benefit_ms for r in ok_runs)
+        measured = report.initial_cost_ms - report.final_cost_ms
+        record = ConfigurationRecord(
+            instance=ConfigurationInstance.capture(self._db),
+            applied_at_ms=self._db.clock.now_ms,
+            trigger=decision.trigger,
+            feature=None,
+            action_summaries=[
+                summary
+                for r in ok_runs
+                for summary in r.report.action_summaries
+            ],
+            predicted_benefit_ms=predicted,
+            reconfiguration_cost_ms=report.total_reconfiguration_ms,
+            measured_benefit_ms=measured,
+        )
+        record_id = self._store.append(record)
+        # also store one record per feature so per-feature feedback
+        # learning (LearnedFeedbackAssessor) has training pairs
+        for r in ok_runs:
+            self._store.append(
+                ConfigurationRecord(
+                    instance=record.instance,
+                    applied_at_ms=record.applied_at_ms,
+                    trigger=decision.trigger,
+                    feature=r.feature,
+                    action_summaries=list(r.report.action_summaries),
+                    predicted_benefit_ms=r.result.predicted_benefit_ms,
+                    reconfiguration_cost_ms=r.report.total_work_ms,
+                    measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
+                )
+            )
+        # the committed pass enters probation: its inverse actions are
+        # retained instead of discarded, so a confirmed KPI regression
+        # can undo it bit-identically (see repro.guard)
+        saved_epoch, saved_pool = pre_pass
+        self._guard.open_probation(
+            self._db.clock.now_ms,
+            features=tuple(
+                r.feature for r in ok_runs if r.report.action_summaries
+            ),
+            inverse_actions=tuple(
+                a for r in ok_runs for a in r.report.inverse_actions
+            ),
+            saved_epoch=saved_epoch,
+            saved_pool=saved_pool,
+            record_id=record_id,
+        )
+        deltas = interval.deltas()
+        cache_hits = int(deltas.get(WHATIF_CACHE_HITS, 0.0))
+        cache_misses = int(deltas.get(WHATIF_CACHE_MISSES, 0.0))
+        cache_priced = cache_hits + cache_misses
+        pass_span.tag(
+            improvement=round(report.improvement, 4),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
+        if report.failed_features:
+            pass_span.tag(failed_features=len(report.failed_features))
+        self._events.log(
+            self._db.clock.now_ms,
+            EventKind.TUNING_FINISHED,
+            f"workload cost {report.initial_cost_ms:.2f} -> "
+            f"{report.final_cost_ms:.2f} ms "
+            f"(what-if cache: {cache_hits} hits / {cache_misses} misses)",
+            improvement=report.improvement,
+            # reconfiguration_ms records *work* (sum of per-action
+            # costs), not elapsed wall time; see tuning/executors/base.py
+            reconfiguration_ms=report.total_reconfiguration_ms,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_evictions=int(deltas.get(WHATIF_CACHE_EVICTIONS, 0.0)),
+            cache_hit_rate=(
+                cache_hits / cache_priced if cache_priced else 0.0
+            ),
+        )
+        return record_id
+
     def run_tuning(
         self, decision: TriggerDecision | None = None
     ) -> OrganizerRunReport | None:
-        """Run one full tuning pass (also callable manually).
+        """Run one full trigger-reactive tuning pass (also callable
+        manually).
 
         Returns ``None`` when the tuning-time budget admits no feature:
         a zero-feature pass would do no work, so it must not append a
         configuration record, restart the cooldown, or count against the
         order-refresh cadence.
         """
-        now = self._db.clock.now_ms
         decision = decision or TriggerDecision(True, "manual", "manual request")
-        forecast = self._predictor.forecast(self._config.horizon_bins)
-        # the forecast this pass tunes for is also the envelope the guard
-        # later judges the live workload against (forecast-miss detection)
-        self._guard.note_forecast(forecast)
-        # per-pass metric deltas come from a registry interval read, so any
-        # counter a component registers (cache, executor, future
-        # subsystems) is automatically measurable over the pass
-        interval = self._telemetry.registry.interval()
-        self._events.log(
-            now,
-            EventKind.TUNING_STARTED,
-            f"tuning pass triggered by {decision.trigger}",
-        )
+        forecast, interval = self._begin_pass(decision)
 
         with self._tracer.span(
             "tuning_pass", trigger=decision.trigger
         ) as pass_span:
-            refresh = (
-                self._cached_order is None
-                or self._runs_since_refresh >= self._config.order_refresh_every
-            )
-            if refresh and len(self._tuners) >= 2:
-                with self._tracer.span("order_refresh") as order_span:
-                    matrix, solution = self._planner.plan_order(forecast)
-                    order_span.tag(
-                        order=" -> ".join(solution.order),
-                        objective=solution.objective,
-                    )
-                self._cached_order = solution.order
-                self._last_matrix = matrix
-                self._runs_since_refresh = 0
-                self._events.log(
-                    self._db.clock.now_ms,
-                    EventKind.ORDER_PLANNED,
-                    f"tuning order: {' -> '.join(solution.order)}",
-                    objective=solution.objective,
-                    solve_seconds=solution.solve_seconds,
-                )
-            order = self._cached_order or self._planner.feature_names
-            subset = self._feature_subset(order)
-            skipped = tuple(name for name in order if name not in subset)
-            if not subset:
-                self._events.log(
-                    self._db.clock.now_ms,
-                    EventKind.SKIP,
-                    "tuning skipped: time budget admits no feature",
-                    budget_ms=self._config.tuning_time_budget_ms,
-                    skipped=len(skipped),
-                )
-                pass_span.tag(skipped="time budget admits no feature")
+            selected = self._select_features(forecast, pass_span)
+            if selected is None:
                 return None
-            subset, quarantined = self._admit_features(subset)
-            if not subset:
-                self._events.log(
-                    self._db.clock.now_ms,
-                    EventKind.SKIP,
-                    "tuning skipped: all features quarantined",
-                    quarantined=list(quarantined),
-                )
-                pass_span.tag(skipped="all features quarantined")
-                return None
-            self._runs_since_refresh += 1
+            subset, skipped, quarantined = selected
 
             # pre-pass state for a possible post-commit (guard) rollback:
             # the same snapshot the executors take per application
@@ -595,87 +783,8 @@ class Organizer:
             report = self._planner.run(
                 forecast, order=subset, executor=self._executor
             )
-            self._last_tuning_ms = self._db.clock.now_ms
-            self._record_run_outcomes(report)
-
-            # failed runs were rolled back: they contribute no actions,
-            # no predicted benefit, and no feedback training pairs
-            ok_runs = [r for r in report.runs if not r.failed]
-            predicted = sum(r.result.predicted_benefit_ms for r in ok_runs)
-            measured = report.initial_cost_ms - report.final_cost_ms
-            record = ConfigurationRecord(
-                instance=ConfigurationInstance.capture(self._db),
-                applied_at_ms=self._db.clock.now_ms,
-                trigger=decision.trigger,
-                feature=None,
-                action_summaries=[
-                    summary
-                    for r in ok_runs
-                    for summary in r.report.action_summaries
-                ],
-                predicted_benefit_ms=predicted,
-                reconfiguration_cost_ms=report.total_reconfiguration_ms,
-                measured_benefit_ms=measured,
-            )
-            record_id = self._store.append(record)
-            # also store one record per feature so per-feature feedback
-            # learning (LearnedFeedbackAssessor) has training pairs
-            for r in ok_runs:
-                self._store.append(
-                    ConfigurationRecord(
-                        instance=record.instance,
-                        applied_at_ms=record.applied_at_ms,
-                        trigger=decision.trigger,
-                        feature=r.feature,
-                        action_summaries=list(r.report.action_summaries),
-                        predicted_benefit_ms=r.result.predicted_benefit_ms,
-                        reconfiguration_cost_ms=r.report.total_work_ms,
-                        measured_benefit_ms=r.cost_before_ms - r.cost_after_ms,
-                    )
-                )
-            # the committed pass enters probation: its inverse actions are
-            # retained instead of discarded, so a confirmed KPI regression
-            # can undo it bit-identically (see repro.guard)
-            saved_epoch, saved_pool = pre_pass
-            self._guard.open_probation(
-                self._db.clock.now_ms,
-                features=tuple(
-                    r.feature for r in ok_runs if r.report.action_summaries
-                ),
-                inverse_actions=tuple(
-                    a for r in ok_runs for a in r.report.inverse_actions
-                ),
-                saved_epoch=saved_epoch,
-                saved_pool=saved_pool,
-                record_id=record_id,
-            )
-            deltas = interval.deltas()
-            cache_hits = int(deltas.get(WHATIF_CACHE_HITS, 0.0))
-            cache_misses = int(deltas.get(WHATIF_CACHE_MISSES, 0.0))
-            cache_priced = cache_hits + cache_misses
-            pass_span.tag(
-                improvement=round(report.improvement, 4),
-                cache_hits=cache_hits,
-                cache_misses=cache_misses,
-            )
-            if report.failed_features:
-                pass_span.tag(failed_features=len(report.failed_features))
-            self._events.log(
-                self._db.clock.now_ms,
-                EventKind.TUNING_FINISHED,
-                f"workload cost {report.initial_cost_ms:.2f} -> "
-                f"{report.final_cost_ms:.2f} ms "
-                f"(what-if cache: {cache_hits} hits / {cache_misses} misses)",
-                improvement=report.improvement,
-                # reconfiguration_ms records *work* (sum of per-action
-                # costs), not elapsed wall time; see tuning/executors/base.py
-                reconfiguration_ms=report.total_reconfiguration_ms,
-                cache_hits=cache_hits,
-                cache_misses=cache_misses,
-                cache_evictions=int(deltas.get(WHATIF_CACHE_EVICTIONS, 0.0)),
-                cache_hit_rate=(
-                    cache_hits / cache_priced if cache_priced else 0.0
-                ),
+            record_id = self._commit_pass(
+                decision, interval, pass_span, pre_pass, report
             )
         run_report = OrganizerRunReport(
             decision=decision,
@@ -685,6 +794,123 @@ class Organizer:
             tuned_features=subset,
             skipped_features=skipped,
             quarantined_features=quarantined,
+        )
+        if self._commit_listener is not None:
+            self._commit_listener(self, run_report)
+        return run_report
+
+    def run_policy_pass(
+        self, decision: TriggerDecision | None = None
+    ) -> OrganizerRunReport | None:
+        """Run one goal-driven pass: plan-propose, plan-evaluate,
+        plan-execute.
+
+        The LP ordering, the tuning-time budget, and the quarantine
+        breaker gate the candidate features exactly as in the reactive
+        path; the difference is that every admitted feature first
+        *proposes* (applying nothing), the proposed plan prefixes are
+        priced against the declared objectives with the batched what-if
+        oracle, and only the chosen alternative is executed — under
+        guard probation like any other pass.
+        """
+        engine = self._policy
+        if engine is None:
+            return self.run_tuning(decision)
+        decision = decision or TriggerDecision(
+            True, POLICY_TRIGGER, "manual policy pass"
+        )
+        forecast, interval = self._begin_pass(decision, mode="policy")
+
+        with self._tracer.span(
+            "tuning_pass", trigger=decision.trigger, mode="policy"
+        ) as pass_span:
+            selected = self._select_features(forecast, pass_span)
+            if selected is None:
+                return None
+            subset, skipped, quarantined = selected
+
+            with self._tracer.span("plan_propose") as propose_span:
+                steps = engine.propose_steps(
+                    tuners=self._planner.tuners,
+                    order=subset,
+                    forecast=forecast,
+                    constraints=self._constraints,
+                    optimizer=self._optimizer,
+                )
+                propose_span.tag(steps=len(steps))
+            if not steps:
+                # an empty plan still counts as an attempt: objectives
+                # that no feature can improve must not re-propose every
+                # tick, so the cooldown restarts (unlike a zero-feature
+                # budget skip, where no work was even possible)
+                now = self._db.clock.now_ms
+                self._last_tuning_ms = now
+                self._events.log(
+                    now,
+                    EventKind.SKIP,
+                    "policy pass skipped: no feature proposes a change",
+                    trigger=decision.trigger,
+                    **decision.details,
+                )
+                pass_span.tag(skipped="empty plan")
+                return None
+
+            with self._tracer.span("plan_evaluate") as eval_span:
+                plan_report = engine.evaluate_plans(
+                    steps=steps,
+                    forecast=forecast,
+                    optimizer=self._optimizer,
+                    db=self._db,
+                    context=self._context(),
+                )
+                chosen = plan_report.chosen
+                eval_span.tag(
+                    alternatives=len(plan_report.alternatives),
+                    chosen=len(chosen.steps),
+                    feasible=chosen.feasible,
+                )
+            self._events.log(
+                self._db.clock.now_ms,
+                EventKind.POLICY,
+                f"plan chosen: {' -> '.join(chosen.features)} "
+                f"({'meets' if chosen.feasible else 'closest to'} the "
+                f"declared objectives; predicted workload "
+                f"{plan_report.baseline_cost_ms:.2f} -> "
+                f"{chosen.metrics.expected_cost_ms:.2f} ms)",
+                trigger=decision.trigger,
+                features=list(chosen.features),
+                alternatives=len(plan_report.alternatives),
+                feasible=chosen.feasible,
+                baseline_cost_ms=plan_report.baseline_cost_ms,
+                predicted_cost_ms=chosen.metrics.expected_cost_ms,
+                score=chosen.score,
+                **{
+                    f"{s.name}_margin": s.margin for s in chosen.statuses
+                },
+            )
+
+            pre_pass = TuningExecutor.snapshot(self._db)
+            report = self._planner.run(
+                forecast,
+                order=chosen.features,
+                executor=self._executor,
+                proposals={s.feature: s.result for s in chosen.steps},
+            )
+            engine.note_executed(chosen)
+            record_id = self._commit_pass(
+                decision, interval, pass_span, pre_pass, report
+            )
+        in_plan = set(chosen.features)
+        dropped = tuple(name for name in subset if name not in in_plan)
+        run_report = OrganizerRunReport(
+            decision=decision,
+            order=chosen.features,
+            tuning=report,
+            record_id=record_id,
+            tuned_features=chosen.features,
+            skipped_features=skipped + dropped,
+            quarantined_features=quarantined,
+            plan=plan_report,
         )
         if self._commit_listener is not None:
             self._commit_listener(self, run_report)

@@ -133,3 +133,7 @@ class PluginError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration instance or delta is inconsistent."""
+
+
+class PolicyError(ReproError):
+    """A policy declaration (objectives, config, YAML) is invalid."""

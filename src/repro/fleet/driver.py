@@ -472,12 +472,16 @@ def default_tenant_driver(
     tune_every_bins: int = DEFAULT_TUNE_EVERY_BINS,
     index_budget_mib: float = DEFAULT_INDEX_BUDGET_MIB,
     organizer: OrganizerConfig | None = None,
+    policy=None,
 ) -> Driver:
     """The standard per-tenant driver, labelled with the tenant id.
 
     Mirrors the single-tenant CLI setup (periodic + forecast-drift
     triggers, index memory budget, 4-bin horizon); the golden tests
-    construct the legacy arm with exactly these parameters.
+    construct the legacy arm with exactly these parameters. ``policy``
+    (a :class:`~repro.policy.config.PolicyConfig`) switches the tenant's
+    organizer to goal-driven planning; its passes are fleet-arbitrated
+    like any other non-urgent trigger.
     """
     from repro.configuration import INDEX_MEMORY
     from repro.configuration.constraints import ConstraintSet, ResourceBudget
@@ -503,6 +507,7 @@ def default_tenant_driver(
             or OrganizerConfig(
                 horizon_bins=4, min_history_bins=4, cooldown_ms=3 * 60_000
             ),
+            policy=policy,
         ),
     )
 
@@ -522,6 +527,7 @@ def build_fleet(
     specs: list[TenantSpec] | None = None,
     parallel: str | None = None,
     workers: int | None = None,
+    policy=None,
 ) -> FleetDriver:
     """Build a ready-to-run fleet of ``n_tenants`` skewed tenants.
 
@@ -551,6 +557,7 @@ def build_fleet(
             tune_every_bins=tune_every_bins,
             index_budget_mib=index_budget_mib,
             organizer=organizer,
+            policy=policy,
         )
         db.plugin_host.attach(driver)
         ctx = driver.context

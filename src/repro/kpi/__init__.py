@@ -8,6 +8,8 @@ from repro.kpi.metrics import (
     MEAN_QUERY_MS,
     MEMORY_BYTES,
     MEMORY_UTILIZATION,
+    P99_QUERY_MS,
+    POLICY_KPIS,
     QUERIES_EXECUTED,
     RECONFIGURATION_MS,
     SYSTEM_KPIS,
@@ -27,6 +29,8 @@ __all__ = [
     "MEAN_QUERY_MS",
     "MEMORY_BYTES",
     "MEMORY_UTILIZATION",
+    "P99_QUERY_MS",
+    "POLICY_KPIS",
     "QUERIES_EXECUTED",
     "RECONFIGURATION_MS",
     "RuntimeKPIMonitor",

@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 
 # DBMS-specific KPIs
 MEAN_QUERY_MS = "mean_query_ms"
+#: 99th-percentile per-query latency of the interval, derived from the
+#: database's recent-latency ring (see RuntimeKPIMonitor.sample)
+P99_QUERY_MS = "p99_query_ms"
 THROUGHPUT_QPS = "throughput_qps"
 TOTAL_QUERY_MS = "total_query_ms"
 QUERIES_EXECUTED = "queries_executed"
@@ -103,6 +106,27 @@ GUARD_KPIS = (
     GUARD_ESCALATIONS,
 )
 
+# policy-engine counters (goal-driven planning; see repro.policy and
+# docs/policy.md). The engine owns all policy_* names; they live in the
+# shared telemetry MetricRegistry like the fault and guard counters.
+POLICY_EVALUATIONS = "policy_evaluations"
+POLICY_VIOLATIONS = "policy_violations"
+POLICY_STEPS_PROPOSED = "policy_steps_proposed"
+POLICY_PLANS_EVALUATED = "policy_plans_evaluated"
+POLICY_PLANS_EXECUTED = "policy_plans_executed"
+POLICY_PLANS_INFEASIBLE = "policy_plans_infeasible"
+POLICY_REPLANS = "policy_replans"
+
+POLICY_KPIS = (
+    POLICY_EVALUATIONS,
+    POLICY_VIOLATIONS,
+    POLICY_STEPS_PROPOSED,
+    POLICY_PLANS_EVALUATED,
+    POLICY_PLANS_EXECUTED,
+    POLICY_PLANS_INFEASIBLE,
+    POLICY_REPLANS,
+)
+
 # system-specific KPIs (simulated hardware view)
 CPU_UTILIZATION = "cpu_utilization"
 MEMORY_UTILIZATION = "memory_utilization"
@@ -110,6 +134,7 @@ CACHE_MISS_RATE = "cache_miss_rate"
 
 DBMS_KPIS = (
     MEAN_QUERY_MS,
+    P99_QUERY_MS,
     THROUGHPUT_QPS,
     TOTAL_QUERY_MS,
     QUERIES_EXECUTED,

@@ -18,6 +18,7 @@ what-if cost-cache KPIs flow through exactly this path.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from itertools import islice
 
@@ -28,6 +29,7 @@ from repro.kpi.metrics import (
     INDEX_MEMORY_BYTES,
     MEAN_QUERY_MS,
     MEMORY_BYTES,
+    P99_QUERY_MS,
     PLAN_CACHE_HIT_RATE,
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,
@@ -42,6 +44,15 @@ from repro.kpi.metrics import (
 )
 from repro.kpi.system import derive_system_kpis
 from repro.telemetry.metrics import MetricRegistry
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
 
 
 class RuntimeKPIMonitor:
@@ -110,11 +121,24 @@ class RuntimeKPIMonitor:
         elapsed_ms = current["now_ms"] - previous["now_ms"]
         queries = current["queries_executed"] - previous["queries_executed"]
         query_ms = current["total_query_ms"] - previous["total_query_ms"]
+        # tail latency of the interval, from the database's bounded
+        # recent-latency ring: the interval's queries are its newest
+        # entries (the ring only ever drops the oldest), so the last
+        # `queries` values are exactly this interval's latencies unless
+        # trimming outpaced the window — then the whole ring is the best
+        # available approximation
+        p99 = 0.0
+        if queries > 0:
+            recent = self._db.counters.recent_query_ms
+            tail_n = min(int(queries), len(recent))
+            if tail_n:
+                p99 = percentile(recent[-tail_n:], 0.99)
         values.update(
             {
                 QUERIES_EXECUTED: queries,
                 TOTAL_QUERY_MS: query_ms,
                 MEAN_QUERY_MS: query_ms / queries if queries > 0 else 0.0,
+                P99_QUERY_MS: p99,
                 THROUGHPUT_QPS: (
                     1000.0 * queries / elapsed_ms if elapsed_ms > 0 else 0.0
                 ),

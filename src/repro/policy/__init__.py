@@ -1,0 +1,44 @@
+"""Goal-driven policy planning: declarative objectives compiled into
+multi-feature reconfiguration plans (see docs/policy.md)."""
+
+from repro.policy.config import KINDS, ObjectiveSpec, PolicyConfig
+from repro.policy.engine import (
+    POLICY_TRIGGER,
+    ObjectiveViolationTrigger,
+    PlanAlternative,
+    PlanStep,
+    PolicyEngine,
+    PolicyPlanReport,
+)
+from repro.policy.objectives import (
+    LatencyObjective,
+    MemoryBudgetObjective,
+    Objective,
+    ObjectiveStatus,
+    PlanMetrics,
+    Policy,
+    PolicyAssessment,
+    ThroughputObjective,
+    TriggerObjective,
+)
+
+__all__ = [
+    "KINDS",
+    "LatencyObjective",
+    "MemoryBudgetObjective",
+    "Objective",
+    "ObjectiveSpec",
+    "ObjectiveStatus",
+    "ObjectiveViolationTrigger",
+    "POLICY_TRIGGER",
+    "PlanAlternative",
+    "PlanMetrics",
+    "PlanStep",
+    "Policy",
+    "PolicyAssessment",
+    "PolicyConfig",
+    "PolicyEngine",
+    "PolicyPlanReport",
+    "ThroughputObjective",
+    "TriggerObjective",
+]

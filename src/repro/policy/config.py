@@ -1,0 +1,246 @@
+"""Declarative policy configuration: objectives as data.
+
+A :class:`PolicyConfig` is the serializable form of a
+:class:`~repro.policy.objectives.Policy` — what a YAML file, the CLI, or
+:class:`~repro.core.driver.DriverConfig` carries around. The grammar
+(one mapping per objective):
+
+.. code-block:: yaml
+
+    name: latency-slo
+    objectives:
+      - kind: latency          # p99 (default) or mean latency bound
+        metric: p99_query_ms   # or mean_query_ms
+        max_ms: 1.5
+        weight: 2.0
+      - kind: memory           # index (default) or total memory budget
+        max_mib: 64            # or max_bytes
+      - kind: throughput
+        min_qps: 100
+    window_bins: 3             # observation window for latency/qps KPIs
+    violation_patience: 2      # consecutive violated evaluations to fire
+    max_alternatives: 6        # plan-prefix alternatives to price
+
+``build()`` turns the config into live objective instances; the config
+itself stays frozen and picklable (fleet process workers ship it inside
+``DriverConfig``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import PolicyError
+from repro.kpi.metrics import (
+    INDEX_MEMORY_BYTES,
+    MEAN_QUERY_MS,
+    MEMORY_BYTES,
+    P99_QUERY_MS,
+)
+from repro.policy.objectives import (
+    LatencyObjective,
+    MemoryBudgetObjective,
+    Objective,
+    Policy,
+    ThroughputObjective,
+)
+from repro.util.units import MIB
+
+#: accepted objective kinds
+KINDS = ("latency", "memory", "throughput")
+
+_LATENCY_ALIASES = {
+    "p99": P99_QUERY_MS,
+    "p99_query_ms": P99_QUERY_MS,
+    "mean": MEAN_QUERY_MS,
+    "mean_query_ms": MEAN_QUERY_MS,
+}
+_MEMORY_ALIASES = {
+    "index": INDEX_MEMORY_BYTES,
+    "index_memory_bytes": INDEX_MEMORY_BYTES,
+    "total": MEMORY_BYTES,
+    "memory_bytes": MEMORY_BYTES,
+}
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One objective in canonical units (ms, bytes, or qps)."""
+
+    kind: str
+    bound: float
+    metric: str = ""
+    name: str = ""
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise PolicyError(
+                f"unknown objective kind {self.kind!r} (expected one of "
+                f"{', '.join(KINDS)})"
+            )
+        if self.bound <= 0:
+            raise PolicyError(
+                f"objective {self.name or self.kind!r}: bound must be "
+                f"positive, got {self.bound}"
+            )
+        # normalize the metric: resolve aliases and fill the per-kind
+        # default, so directly-constructed specs (CLI flags, tests)
+        # build the same objectives as YAML-parsed ones
+        if self.kind == "latency":
+            metric = _LATENCY_ALIASES.get(self.metric or "p99")
+            if metric is None:
+                raise PolicyError(
+                    "latency metric must be p99_query_ms or mean_query_ms"
+                )
+        elif self.kind == "memory":
+            metric = _MEMORY_ALIASES.get(self.metric or "index")
+            if metric is None:
+                raise PolicyError(
+                    "memory metric must be index_memory_bytes or "
+                    "memory_bytes"
+                )
+        else:
+            metric = ""
+        object.__setattr__(self, "metric", metric)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "ObjectiveSpec":
+        data = dict(raw)
+        kind = str(data.pop("kind", ""))
+        name = str(data.pop("name", ""))
+        weight = float(data.pop("weight", 1.0))  # type: ignore[arg-type]
+        metric = str(data.pop("metric", ""))
+        if kind == "latency":
+            bound = float(data.pop("max_ms", 0.0))  # type: ignore[arg-type]
+        elif kind == "memory":
+            if "max_bytes" in data:
+                bound = float(data.pop("max_bytes"))  # type: ignore[arg-type]
+            else:
+                bound = float(data.pop("max_mib", 0.0)) * MIB  # type: ignore[arg-type]
+        elif kind == "throughput":
+            bound = float(data.pop("min_qps", 0.0))  # type: ignore[arg-type]
+        else:
+            raise PolicyError(
+                f"unknown objective kind {kind!r} (expected one of "
+                f"{', '.join(KINDS)})"
+            )
+        if data:
+            raise PolicyError(
+                f"objective {name or kind!r}: unknown keys "
+                f"{sorted(data)} in spec"
+            )
+        return cls(
+            kind=kind, bound=bound, metric=metric, name=name, weight=weight
+        )
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Frozen, picklable policy declaration (see module docstring)."""
+
+    objectives: tuple[ObjectiveSpec, ...]
+    name: str = "policy"
+    #: monitor window (bins) latency/throughput objectives average over
+    window_bins: int = 3
+    #: consecutive violated evaluations before the trigger fires
+    violation_patience: int = 2
+    #: how many plan-prefix alternatives the engine prices per pass
+    max_alternatives: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise PolicyError("a policy needs at least one objective")
+        if self.window_bins < 1:
+            raise PolicyError("window_bins must be at least 1")
+        if self.violation_patience < 1:
+            raise PolicyError("violation_patience must be at least 1")
+        if self.max_alternatives < 1:
+            raise PolicyError("max_alternatives must be at least 1")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "PolicyConfig":
+        data = dict(raw)
+        specs = data.pop("objectives", None)
+        if not isinstance(specs, (list, tuple)) or not specs:
+            raise PolicyError(
+                "policy config needs a non-empty 'objectives' list"
+            )
+        objectives = tuple(
+            spec
+            if isinstance(spec, ObjectiveSpec)
+            else ObjectiveSpec.from_dict(spec)  # type: ignore[arg-type]
+            for spec in specs
+        )
+        known = {
+            "name", "window_bins", "violation_patience", "max_alternatives"
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise PolicyError(
+                f"unknown policy config keys {sorted(unknown)}"
+            )
+        return cls(
+            objectives=objectives,
+            name=str(data.get("name", "policy")),
+            window_bins=int(data.get("window_bins", 3)),  # type: ignore[arg-type]
+            violation_patience=int(data.get("violation_patience", 2)),  # type: ignore[arg-type]
+            max_alternatives=int(data.get("max_alternatives", 6)),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "PolicyConfig":
+        """Parse a YAML policy document (requires PyYAML)."""
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - baked into the image
+            raise PolicyError(
+                "PyYAML is required to parse YAML policy configs; "
+                "pass a dict to PolicyConfig.from_dict instead"
+            ) from exc
+        raw = yaml.safe_load(text)
+        if not isinstance(raw, Mapping):
+            raise PolicyError(
+                "policy YAML must be a mapping with an 'objectives' list"
+            )
+        return cls.from_dict(raw)
+
+    @classmethod
+    def from_yaml_file(cls, path: str) -> "PolicyConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_yaml(handle.read())
+
+    def build(self) -> Policy:
+        """Instantiate the live objectives this config declares."""
+        objectives: list[Objective] = []
+        for spec in self.objectives:
+            if spec.kind == "latency":
+                objectives.append(
+                    LatencyObjective(
+                        bound_ms=spec.bound,
+                        metric=spec.metric,
+                        name=spec.name,
+                        weight=spec.weight,
+                        window_bins=self.window_bins,
+                    )
+                )
+            elif spec.kind == "memory":
+                objectives.append(
+                    MemoryBudgetObjective(
+                        bound_bytes=spec.bound,
+                        metric=spec.metric,
+                        name=spec.name,
+                        weight=spec.weight,
+                    )
+                )
+            else:
+                objectives.append(
+                    ThroughputObjective(
+                        min_qps=spec.bound,
+                        name=spec.name,
+                        weight=spec.weight,
+                        window_bins=self.window_bins,
+                    )
+                )
+        return Policy(name=self.name, objectives=tuple(objectives))

@@ -1,0 +1,376 @@
+"""Declarative tuning objectives: what the system should *achieve*.
+
+The reactive triggers of :mod:`repro.core.triggers` answer "should we
+tune now?"; objectives answer "is the system meeting its goals, and
+would a candidate plan meet them?". Every objective therefore has two
+faces over the same :class:`~repro.core.triggers.TriggerContext`:
+
+- :meth:`Objective.evaluate` judges the *observed* state (monitor KPIs,
+  memory accounting) — this is the generalized trigger condition the
+  :class:`~repro.policy.engine.ObjectiveViolationTrigger` fires on;
+- :meth:`Objective.predict` judges a candidate plan's *predicted* state
+  (:class:`PlanMetrics`, priced by the batched what-if oracle) — this is
+  what the policy engine ranks plan alternatives with.
+
+Reactive triggers embed unchanged as degenerate objectives through
+:class:`TriggerObjective`: the violation test is the trigger firing, and
+any plan discharges it — exactly the pre-policy semantics, which is why
+the trigger-only path needs no policy engine at all.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.triggers import TriggerContext, TuningTrigger
+from repro.kpi.metrics import (
+    INDEX_MEMORY_BYTES,
+    MEAN_QUERY_MS,
+    MEMORY_BYTES,
+    P99_QUERY_MS,
+    THROUGHPUT_QPS,
+)
+
+
+def slugify(name: str) -> str:
+    """A metric-key-safe slug of an objective name."""
+    return re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_") or "objective"
+
+
+@dataclass(frozen=True)
+class ObjectiveStatus:
+    """One objective's verdict at one instant (observed or predicted)."""
+
+    name: str
+    metric: str
+    value: float
+    target: float
+    satisfied: bool
+    #: signed headroom as a fraction of the target (>= 0 iff satisfied)
+    margin: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class PlanMetrics:
+    """What the what-if oracle predicts a plan alternative would do.
+
+    ``expected_cost_ms``/``baseline_cost_ms`` are probability-weighted
+    workload costs over the forecast scenarios (batched what-if pricing
+    under :meth:`~repro.cost.what_if.WhatIfOptimizer.hypothetical`);
+    memory numbers are exact hypothetical accounting. Rate-style KPIs
+    (latency percentiles, throughput) are predicted by scaling the
+    observed KPI with :attr:`cost_ratio` — a documented approximation:
+    per-query cost drives both in the closed loop.
+    """
+
+    expected_cost_ms: float
+    baseline_cost_ms: float
+    scenario_costs: dict[str, float] = field(default_factory=dict)
+    memory_bytes: float = 0.0
+    index_bytes: float = 0.0
+    reconfiguration_ms: float = 0.0
+
+    @property
+    def cost_ratio(self) -> float:
+        """Predicted workload cost relative to today's (1.0 = unchanged)."""
+        if self.baseline_cost_ms <= 0:
+            return 1.0
+        return self.expected_cost_ms / self.baseline_cost_ms
+
+
+class Objective(ABC):
+    """One declarative goal with a weight for composite scoring."""
+
+    def __init__(self, name: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("objective weight must be positive")
+        self.name = slugify(name)
+        self.weight = weight
+
+    @abstractmethod
+    def evaluate(self, context: TriggerContext) -> ObjectiveStatus:
+        """Judge the *observed* system state."""
+
+    @abstractmethod
+    def predict(
+        self, metrics: PlanMetrics, context: TriggerContext
+    ) -> ObjectiveStatus:
+        """Judge the *predicted* state under a candidate plan."""
+
+    def _status(
+        self, metric: str, value: float, target: float, upper: bool,
+        detail: str = "",
+    ) -> ObjectiveStatus:
+        if upper:
+            margin = (target - value) / target if target > 0 else 0.0
+        else:
+            margin = (value - target) / target if target > 0 else 0.0
+        return ObjectiveStatus(
+            name=self.name,
+            metric=metric,
+            value=value,
+            target=target,
+            satisfied=margin >= 0.0,
+            margin=margin,
+            detail=detail
+            or f"{metric} {value:.4g} vs {'max' if upper else 'min'} "
+            f"{target:.4g}",
+        )
+
+
+class LatencyObjective(Objective):
+    """Keep a latency KPI (mean or p99) under a bound, in ms."""
+
+    METRICS = (MEAN_QUERY_MS, P99_QUERY_MS)
+
+    def __init__(
+        self,
+        bound_ms: float,
+        metric: str = P99_QUERY_MS,
+        name: str = "",
+        weight: float = 1.0,
+        window_bins: int = 3,
+    ) -> None:
+        if bound_ms <= 0:
+            raise ValueError("bound_ms must be positive")
+        if metric not in self.METRICS:
+            raise ValueError(
+                f"latency metric must be one of {self.METRICS}, "
+                f"got {metric!r}"
+            )
+        super().__init__(name or metric, weight)
+        self.metric = metric
+        self.bound_ms = bound_ms
+        self.window_bins = window_bins
+
+    def _observed(self, context: TriggerContext) -> float:
+        return context.monitor.mean(self.metric, self.window_bins)
+
+    def evaluate(self, context: TriggerContext) -> ObjectiveStatus:
+        return self._status(
+            self.metric, self._observed(context), self.bound_ms, upper=True
+        )
+
+    def predict(
+        self, metrics: PlanMetrics, context: TriggerContext
+    ) -> ObjectiveStatus:
+        predicted = self._observed(context) * metrics.cost_ratio
+        return self._status(
+            self.metric,
+            predicted,
+            self.bound_ms,
+            upper=True,
+            detail=f"predicted {self.metric} {predicted:.4g} ms "
+            f"(observed scaled by cost ratio {metrics.cost_ratio:.3f})",
+        )
+
+
+class MemoryBudgetObjective(Objective):
+    """Keep memory (index or total) under a byte budget — priced exactly."""
+
+    METRICS = (INDEX_MEMORY_BYTES, MEMORY_BYTES)
+
+    def __init__(
+        self,
+        bound_bytes: float,
+        metric: str = INDEX_MEMORY_BYTES,
+        name: str = "",
+        weight: float = 1.0,
+    ) -> None:
+        if bound_bytes <= 0:
+            raise ValueError("bound_bytes must be positive")
+        if metric not in self.METRICS:
+            raise ValueError(
+                f"memory metric must be one of {self.METRICS}, "
+                f"got {metric!r}"
+            )
+        super().__init__(name or metric, weight)
+        self.metric = metric
+        self.bound_bytes = bound_bytes
+
+    def evaluate(self, context: TriggerContext) -> ObjectiveStatus:
+        latest = context.monitor.latest
+        value = latest.get(self.metric) if latest is not None else 0.0
+        return self._status(self.metric, value, self.bound_bytes, upper=True)
+
+    def predict(
+        self, metrics: PlanMetrics, context: TriggerContext
+    ) -> ObjectiveStatus:
+        del context
+        value = (
+            metrics.index_bytes
+            if self.metric == INDEX_MEMORY_BYTES
+            else metrics.memory_bytes
+        )
+        return self._status(
+            self.metric,
+            value,
+            self.bound_bytes,
+            upper=True,
+            detail=f"hypothetical {self.metric} {value:.0f} bytes",
+        )
+
+
+class ThroughputObjective(Objective):
+    """Keep throughput at or above a queries-per-second floor."""
+
+    def __init__(
+        self,
+        min_qps: float,
+        name: str = "",
+        weight: float = 1.0,
+        window_bins: int = 3,
+    ) -> None:
+        if min_qps <= 0:
+            raise ValueError("min_qps must be positive")
+        super().__init__(name or THROUGHPUT_QPS, weight)
+        self.metric = THROUGHPUT_QPS
+        self.min_qps = min_qps
+        self.window_bins = window_bins
+
+    def _observed(self, context: TriggerContext) -> float:
+        return context.monitor.mean(self.metric, self.window_bins)
+
+    def _no_evidence(self, value: float) -> ObjectiveStatus:
+        # a cold monitor reads 0 qps; that is "no evidence", not a breach
+        return ObjectiveStatus(
+            name=self.name,
+            metric=self.metric,
+            value=value,
+            target=self.min_qps,
+            satisfied=True,
+            margin=0.0,
+            detail="no throughput observed yet",
+        )
+
+    def evaluate(self, context: TriggerContext) -> ObjectiveStatus:
+        observed = self._observed(context)
+        if observed <= 0:
+            return self._no_evidence(observed)
+        return self._status(self.metric, observed, self.min_qps, upper=False)
+
+    def predict(
+        self, metrics: PlanMetrics, context: TriggerContext
+    ) -> ObjectiveStatus:
+        observed = self._observed(context)
+        ratio = metrics.cost_ratio
+        predicted = observed / ratio if ratio > 0 else observed
+        if observed <= 0:
+            return self._no_evidence(predicted)
+        return self._status(
+            self.metric,
+            predicted,
+            self.min_qps,
+            upper=False,
+            detail=f"predicted {predicted:.4g} qps "
+            f"(observed scaled by 1/cost ratio {ratio:.3f})",
+        )
+
+
+class TriggerObjective(Objective):
+    """A reactive trigger embedded as a degenerate objective.
+
+    Violated exactly when the wrapped trigger fires; any plan discharges
+    it (a trigger carries no predictive model), so a policy made only of
+    trigger objectives reproduces the reactive semantics: fire → tune.
+    """
+
+    def __init__(self, trigger: TuningTrigger, weight: float = 1.0) -> None:
+        super().__init__(f"trigger_{trigger.name}", weight)
+        self.metric = trigger.name
+        self.trigger = trigger
+
+    def evaluate(self, context: TriggerContext) -> ObjectiveStatus:
+        decision = self.trigger.evaluate(context)
+        return ObjectiveStatus(
+            name=self.name,
+            metric=self.metric,
+            value=1.0 if decision.should_tune else 0.0,
+            target=0.0,
+            satisfied=not decision.should_tune,
+            margin=-1.0 if decision.should_tune else 1.0,
+            detail=decision.reason,
+        )
+
+    def predict(
+        self, metrics: PlanMetrics, context: TriggerContext
+    ) -> ObjectiveStatus:
+        del metrics, context
+        return ObjectiveStatus(
+            name=self.name,
+            metric=self.metric,
+            value=0.0,
+            target=0.0,
+            satisfied=True,
+            margin=0.0,
+            detail="degenerate objective: any plan discharges it",
+        )
+
+
+@dataclass(frozen=True)
+class PolicyAssessment:
+    """All objectives' verdicts at one instant, plus the composite score."""
+
+    statuses: tuple[ObjectiveStatus, ...]
+    #: weighted sum of margins (the composite the engine maximizes)
+    score: float
+
+    @property
+    def satisfied(self) -> bool:
+        return all(s.satisfied for s in self.statuses)
+
+    @property
+    def violated(self) -> tuple[ObjectiveStatus, ...]:
+        """Violated statuses, worst (most negative margin) first."""
+        return tuple(
+            sorted(
+                (s for s in self.statuses if not s.satisfied),
+                key=lambda s: s.margin,
+            )
+        )
+
+    def details(self) -> dict[str, float]:
+        """Flat float payload for TriggerDecision.details / event data."""
+        out: dict[str, float] = {}
+        for status in self.statuses:
+            out[f"{status.name}_value"] = status.value
+            out[f"{status.name}_margin"] = status.margin
+        out["policy_score"] = self.score
+        return out
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named weighted composite of objectives."""
+
+    name: str
+    objectives: tuple[Objective, ...]
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError("a policy needs at least one objective")
+
+    def _compose(
+        self, statuses: tuple[ObjectiveStatus, ...]
+    ) -> PolicyAssessment:
+        score = sum(
+            o.weight * s.margin for o, s in zip(self.objectives, statuses)
+        )
+        return PolicyAssessment(statuses=statuses, score=score)
+
+    def assess(self, context: TriggerContext) -> PolicyAssessment:
+        """Judge the observed state against every objective."""
+        return self._compose(
+            tuple(o.evaluate(context) for o in self.objectives)
+        )
+
+    def predict(
+        self, metrics: PlanMetrics, context: TriggerContext
+    ) -> PolicyAssessment:
+        """Judge a candidate plan's predicted state."""
+        return self._compose(
+            tuple(o.predict(metrics, context) for o in self.objectives)
+        )

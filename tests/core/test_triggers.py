@@ -123,3 +123,58 @@ def test_sla_trigger_fires_after_patience():
 def test_drift_trigger_validation():
     with pytest.raises(ValueError):
         ForecastDriftTrigger(relative_threshold=0)
+
+
+def test_trigger_precedence_sla_wins_when_all_fire():
+    """Trigger precedence is list order: the organizer returns the first
+    firing trigger, so an SLA breach outranks drift and periodic when all
+    three fire on the same tick."""
+    from repro.core.organizer import Organizer, OrganizerConfig
+    from repro.tuning.features import CompressionFeature
+    from repro.tuning.tuner import Tuner
+
+    db = make_small_database(rows=5_000)
+    predictor = WorkloadPredictor(db, WorkloadAnalyzer(NaiveLastValue))
+    # naive-last forecasts the last bin; a hot final bin makes drift fire
+    for count in (5, 5, 5, 5, 5, 40):
+        _run(db, count, 3)
+        predictor.observe()
+    constraints = ConstraintSet(
+        slas=[SlaConstraint(MEAN_QUERY_MS, 1e-9, patience=1)]
+    )
+    triggers = [
+        SlaViolationTrigger(),
+        ForecastDriftTrigger(relative_threshold=0.5, recent_window_bins=6),
+        PeriodicTrigger(every_ms=100.0),
+    ]
+    organizer = Organizer(
+        db,
+        predictor,
+        [Tuner(CompressionFeature(), db)],
+        constraints=constraints,
+        triggers=triggers,
+        config=OrganizerConfig(horizon_bins=2, min_history_bins=2),
+    )
+    # the monitor samples per interval: breach the SLA inside this one
+    _run(db, 5, 3)
+    organizer.monitor.sample()
+
+    # every trigger fires individually on the organizer's context
+    context = TriggerContext(
+        predictor=predictor,
+        monitor=organizer.monitor,
+        optimizer=WhatIfOptimizer(db),
+        constraints=constraints,
+        now_ms=db.clock.now_ms,
+        horizon_bins=2,
+        last_tuning_ms=None,
+    )
+    for trigger in triggers:
+        assert trigger.evaluate(context).should_tune, trigger.name
+
+    decision = organizer.evaluate_triggers()
+    assert decision.should_tune
+    assert decision.trigger == "sla_violation"
+    assert decision.reason == (
+        f"SLA on {MEAN_QUERY_MS} breached (> 1e-09 for 1 samples)"
+    )

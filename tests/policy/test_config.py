@@ -1,0 +1,167 @@
+"""Tests for the declarative policy configuration grammar."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.kpi.metrics import (
+    INDEX_MEMORY_BYTES,
+    MEAN_QUERY_MS,
+    MEMORY_BYTES,
+    P99_QUERY_MS,
+)
+from repro.policy.config import ObjectiveSpec, PolicyConfig
+from repro.policy.objectives import (
+    LatencyObjective,
+    MemoryBudgetObjective,
+    ThroughputObjective,
+)
+from repro.util.units import MIB
+
+
+# ----------------------------------------------------------------------
+# ObjectiveSpec
+
+
+def test_spec_fills_per_kind_default_metric():
+    assert ObjectiveSpec(kind="latency", bound=2.0).metric == P99_QUERY_MS
+    assert (
+        ObjectiveSpec(kind="memory", bound=1.0).metric == INDEX_MEMORY_BYTES
+    )
+    assert ObjectiveSpec(kind="throughput", bound=1.0).metric == ""
+
+
+def test_spec_resolves_metric_aliases():
+    assert (
+        ObjectiveSpec(kind="latency", bound=2.0, metric="mean").metric
+        == MEAN_QUERY_MS
+    )
+    assert (
+        ObjectiveSpec(kind="latency", bound=2.0, metric="p99").metric
+        == P99_QUERY_MS
+    )
+    assert (
+        ObjectiveSpec(kind="memory", bound=1.0, metric="total").metric
+        == MEMORY_BYTES
+    )
+    # canonical names pass through unchanged
+    assert (
+        ObjectiveSpec(
+            kind="latency", bound=2.0, metric="mean_query_ms"
+        ).metric
+        == MEAN_QUERY_MS
+    )
+
+
+def test_spec_rejects_bad_input():
+    with pytest.raises(PolicyError):
+        ObjectiveSpec(kind="magic", bound=1.0)
+    with pytest.raises(PolicyError):
+        ObjectiveSpec(kind="latency", bound=0.0)
+    with pytest.raises(PolicyError):
+        ObjectiveSpec(kind="latency", bound=1.0, metric="qps")
+    with pytest.raises(PolicyError):
+        ObjectiveSpec(kind="memory", bound=1.0, metric="p99")
+
+
+def test_spec_from_dict_maps_bound_keys():
+    latency = ObjectiveSpec.from_dict({"kind": "latency", "max_ms": 1.5})
+    assert latency.bound == 1.5
+    memory = ObjectiveSpec.from_dict({"kind": "memory", "max_mib": 2})
+    assert memory.bound == 2 * MIB
+    explicit = ObjectiveSpec.from_dict(
+        {"kind": "memory", "max_bytes": 4_096}
+    )
+    assert explicit.bound == 4_096
+    throughput = ObjectiveSpec.from_dict(
+        {"kind": "throughput", "min_qps": 50, "weight": 2.0}
+    )
+    assert throughput.bound == 50
+    assert throughput.weight == 2.0
+
+
+def test_spec_from_dict_rejects_unknown_keys():
+    with pytest.raises(PolicyError, match="unknown keys"):
+        ObjectiveSpec.from_dict(
+            {"kind": "latency", "max_ms": 1.5, "max_qps": 10}
+        )
+
+
+# ----------------------------------------------------------------------
+# PolicyConfig
+
+
+def test_config_from_dict_and_build():
+    config = PolicyConfig.from_dict(
+        {
+            "name": "slo",
+            "objectives": [
+                {"kind": "latency", "max_ms": 1.5, "weight": 2.0},
+                {"kind": "memory", "max_mib": 64},
+                {"kind": "throughput", "min_qps": 100},
+            ],
+            "window_bins": 4,
+            "violation_patience": 3,
+        }
+    )
+    assert config.name == "slo"
+    assert config.violation_patience == 3
+    policy = config.build()
+    latency, memory, throughput = policy.objectives
+    assert isinstance(latency, LatencyObjective)
+    assert latency.bound_ms == 1.5
+    assert latency.weight == 2.0
+    assert latency.window_bins == 4
+    assert isinstance(memory, MemoryBudgetObjective)
+    assert memory.bound_bytes == 64 * MIB
+    assert isinstance(throughput, ThroughputObjective)
+    assert throughput.min_qps == 100
+
+
+def test_config_validation():
+    spec = ObjectiveSpec(kind="latency", bound=1.0)
+    with pytest.raises(PolicyError):
+        PolicyConfig(objectives=())
+    with pytest.raises(PolicyError):
+        PolicyConfig(objectives=(spec,), window_bins=0)
+    with pytest.raises(PolicyError):
+        PolicyConfig(objectives=(spec,), violation_patience=0)
+    with pytest.raises(PolicyError):
+        PolicyConfig(objectives=(spec,), max_alternatives=0)
+    with pytest.raises(PolicyError, match="objectives"):
+        PolicyConfig.from_dict({"objectives": []})
+    with pytest.raises(PolicyError, match="unknown policy config keys"):
+        PolicyConfig.from_dict(
+            {"objectives": [{"kind": "latency", "max_ms": 1}], "mode": "x"}
+        )
+
+
+def test_config_yaml_round_trip():
+    config = PolicyConfig.from_yaml(
+        "name: latency-slo\n"
+        "objectives:\n"
+        "  - kind: latency\n"
+        "    metric: p99\n"
+        "    max_ms: 1.5\n"
+        "  - kind: memory\n"
+        "    max_mib: 64\n"
+        "violation_patience: 2\n"
+    )
+    assert config.name == "latency-slo"
+    assert config.objectives[0].metric == P99_QUERY_MS
+    assert config.objectives[1].bound == 64 * MIB
+
+
+def test_config_yaml_must_be_a_mapping():
+    with pytest.raises(PolicyError, match="mapping"):
+        PolicyConfig.from_yaml("- just\n- a\n- list\n")
+
+
+def test_config_is_picklable():
+    # fleet process workers ship the config inside DriverConfig
+    import pickle
+
+    config = PolicyConfig(
+        objectives=(ObjectiveSpec(kind="latency", bound=1.5),)
+    )
+    clone = pickle.loads(pickle.dumps(config))
+    assert clone == config

@@ -101,6 +101,109 @@ def test_trace_command_small(capsys, tmp_path):
     assert jsonl.exists()
 
 
+def test_faults_command_small(capsys):
+    assert (
+        main(
+            [
+                "faults",
+                "--rows", "3000",
+                "--bins", "6",
+                "--tune-every-bins", "3",
+                "--features", "2",
+                "--seed", "3",
+                "--failure-rate", "0.5",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fault-free run" in out
+    assert "faulty run: failure rate 50%" in out
+    assert "fault record:" in out
+    assert "faults_injected" in out
+    assert "final cost" in out
+
+
+def test_guard_command_small(capsys):
+    assert (
+        main(
+            [
+                "guard",
+                "--rows", "3000",
+                "--bins", "8",
+                "--tune-every-bins", "4",
+                "--swap-at", "4",
+                "--features", "2",
+                "--seed", "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "under the commit guard" in out
+    assert "dominance swap at bin 4" in out
+    assert "guard record:" in out
+    assert "guard_commits" in out
+
+
+def test_policy_command_inline_objectives(capsys):
+    # generous bounds: the objectives are met, so the exit code is 0
+    assert (
+        main(
+            [
+                "policy",
+                "--rows", "3000",
+                "--bins", "8",
+                "--features", "2",
+                "--seed", "3",
+                "--p99-ms", "500",
+                "--memory-mib", "64",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "under declared objectives" in out
+    assert "policy record:" in out
+    assert "policy_evaluations" in out
+    assert "final objective status:" in out
+    assert "composite score:" in out
+
+
+def test_policy_command_yaml_objectives(capsys, tmp_path):
+    spec = tmp_path / "objectives.yaml"
+    spec.write_text(
+        "name: slo\n"
+        "objectives:\n"
+        "  - kind: latency\n"
+        "    metric: mean\n"
+        "    max_ms: 500\n"
+        "  - kind: memory\n"
+        "    max_mib: 64\n"
+    )
+    assert (
+        main(
+            [
+                "policy",
+                "--rows", "3000",
+                "--bins", "8",
+                "--features", "2",
+                "--seed", "3",
+                "--objectives", str(spec),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "under declared objectives" in out
+    assert "mean_query_ms" in out
+
+
+def test_policy_command_requires_an_objective():
+    with pytest.raises(SystemExit):
+        main(["policy", "--rows", "3000", "--bins", "4"])
+
+
 def test_unknown_suite_rejected():
     with pytest.raises(SystemExit):
         main(["order", "--suite", "nope"])
