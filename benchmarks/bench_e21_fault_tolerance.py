@@ -1,0 +1,261 @@
+"""E21 — fleet fault tolerance: chaos kills, durable resume, overhead.
+
+One Zipf-skewed fleet is run four ways over the same per-tenant
+workloads:
+
+- **serial** — the unfaulted baseline, fingerprinted down to the bit
+  (per-tenant bin records, event streams with wall-time keys stripped,
+  final physical configurations, fleet counter rollup);
+- **chaos** — process mode with a seeded worker-crash schedule: the
+  chaos harness SIGKILLs a worker at deterministic bins, supervision
+  rolls each interrupted bin back to its restore point and re-executes;
+- **resume** — the run is stopped halfway, the fleet object is
+  discarded, and a fresh fleet resumes from the durable checkpoint;
+- **checkpointed supervised** — process mode again with periodic
+  durable checkpoints, to price the checkpoint path where it is
+  designed to run: the supervised fleet already maintains an in-memory
+  restore point every bin for crash recovery, so a durable checkpoint
+  reuses that capture and only pays for the on-disk write.
+
+Claims asserted:
+
+- **crash identity** — the chaos run's fingerprint equals serial: a
+  SIGKILL'd worker is invisible to every record, event, configuration,
+  and counter; only the fleet-infrastructure counters show the
+  recoveries (and the run recovered at least once, held against the
+  offline chaos schedule);
+- **resume identity** — stop-at-half + resume-from-disk equals the
+  uninterrupted run, bit for bit;
+- **checkpoint overhead** — host time inside the checkpoint path
+  (capture-or-reuse plus the durable write, accumulated in the
+  ``checkpoint_write_ms`` fleet counter) is < 5% of the supervised
+  run's wall-clock (asserted when the run lasts long enough for the
+  ratio to be signal rather than noise).
+
+Runs under pytest (``PYTHONPATH=src python -m pytest
+benchmarks/bench_e21_fault_tolerance.py``) or standalone
+(``PYTHONPATH=src python benchmarks/bench_e21_fault_tolerance.py
+--quick --seed 2``, the CI chaos-matrix setting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import save_table
+
+from repro.configuration.config import ConfigurationInstance
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.fleet import FleetDriver, build_fleet
+from repro.kpi.metrics import CHECKPOINT_WRITE_MS, WORKER_RESTARTS
+
+N_TENANTS = 4
+SKEW = 0.8
+WORKERS = 2
+CRASH_RATE = 0.5
+#: durable-checkpoint cadence of the priced arm (bins per write)
+CKPT_EVERY = 4
+#: checkpoint path must cost under this fraction of host wall-clock
+MAX_OVERHEAD = 0.05
+#: below this priced wall-clock the overhead ratio is noise, not signal
+MIN_WALL_FOR_OVERHEAD_S = 1.0
+
+
+def _normalized_events(ctx) -> list[tuple]:
+    """Event stream with wall-time data keys stripped (host-dependent)."""
+    stream = []
+    for event in ctx.events.events():
+        data = {
+            k: v
+            for k, v in sorted(event.data.items())
+            if not k.endswith("seconds")
+        }
+        stream.append(
+            (event.at_ms, event.kind, event.message, tuple(data.items()))
+        )
+    return stream
+
+
+def _fingerprint(fleet, report) -> dict:
+    tenants = {}
+    for ctx in fleet.tenants:
+        tenants[ctx.tenant] = (
+            [
+                (r.index, r.queries_executed, r.workload_ms,
+                 r.reconfiguration_ms, r.mean_query_ms, r.now_ms,
+                 r.reconfigured)
+                for r in ctx.records
+            ],
+            _normalized_events(ctx),
+            ConfigurationInstance.capture(ctx.database),
+        )
+    return {
+        "tenants": tenants,
+        "counters": report.counters,
+        "arbitration": report.arbitration,
+    }
+
+
+def _build(seed, bins, rows, **kwargs):
+    return build_fleet(
+        N_TENANTS, skew=SKEW, seed=seed, bins=bins, rows=rows, **kwargs
+    )
+
+
+def run_fault_tolerance(
+    seed: int = 1, bins: int = 12, rows: int = 4_000
+) -> dict:
+    chaos = FaultConfig(seed=seed, worker_crash_rate=CRASH_RATE)
+    oracle = FaultInjector(chaos)
+    scheduled_kills = [
+        b for b in range(bins) if oracle.worker_crash(b, WORKERS) is not None
+    ]
+
+    # unfaulted serial baseline
+    started = time.perf_counter()
+    baseline = _build(seed, bins, rows)
+    baseline_report = baseline.run()
+    baseline_wall = time.perf_counter() - started
+    baseline_fp = _fingerprint(baseline, baseline_report)
+
+    # chaos: seeded SIGKILLs in process mode, supervised recovery
+    started = time.perf_counter()
+    chaotic = _build(
+        seed, bins, rows, parallel="process", workers=WORKERS, chaos=chaos
+    )
+    chaos_report = chaotic.run()
+    chaos_wall = time.perf_counter() - started
+    chaos_fp = _fingerprint(chaotic, chaos_report)
+    restarts = chaos_report.fleet_counters[WORKER_RESTARTS]
+
+    # durable resume: stop at half, discard the fleet, resume from disk
+    half = bins // 2
+    with tempfile.TemporaryDirectory(prefix="e21-ckpt-") as ckpt_dir:
+        first = _build(seed, bins, rows)
+        first.run(half)
+        first.checkpoint(ckpt_dir)
+        del first
+        resumed = FleetDriver.resume(Path(ckpt_dir))
+        resumed_at = resumed.next_bin
+        resumed_fp = _fingerprint(resumed, resumed.run())
+
+    # checkpoint overhead: periodic durable checkpoints on the
+    # supervised (process-mode) fleet, where the capture is a sunk
+    # supervision cost and a checkpoint only pays for the write
+    with tempfile.TemporaryDirectory(prefix="e21-ckpt-") as ckpt_dir:
+        started = time.perf_counter()
+        priced = _build(
+            seed, bins, rows, parallel="process", workers=WORKERS,
+            checkpoint_dir=ckpt_dir, checkpoint_every=CKPT_EVERY,
+        )
+        priced_report = priced.run()
+        priced_wall = time.perf_counter() - started
+        priced_fp = _fingerprint(priced, priced_report)
+        writes = priced_report.fleet_counters["checkpoint_writes"]
+        ckpt_ms = priced_report.fleet_counters[CHECKPOINT_WRITE_MS]
+
+    return {
+        "seed": seed,
+        "bins": bins,
+        "scheduled_kills": scheduled_kills,
+        "baseline_wall": baseline_wall,
+        "chaos_wall": chaos_wall,
+        "priced_wall": priced_wall,
+        "restarts": restarts,
+        "resumed_at": resumed_at,
+        "checkpoint_writes": writes,
+        "checkpoint_ms": ckpt_ms,
+        "overhead": ckpt_ms / 1000.0 / priced_wall,
+        "identical_chaos": chaos_fp == baseline_fp,
+        "identical_resume": resumed_fp == baseline_fp,
+        "identical_priced": priced_fp == baseline_fp,
+    }
+
+
+def check(result: dict) -> None:
+    assert result["scheduled_kills"], (
+        f"chaos schedule for seed {result['seed']} kills no worker in "
+        f"{result['bins']} bins; raise CRASH_RATE or change the seed"
+    )
+    assert result["identical_chaos"], (
+        "chaos run diverged from the unfaulted serial baseline"
+    )
+    assert result["restarts"] == len(result["scheduled_kills"]), (
+        f"expected {len(result['scheduled_kills'])} worker restarts, "
+        f"saw {result['restarts']:.0f}"
+    )
+    assert result["identical_resume"], (
+        "crash-and-resume run diverged from the uninterrupted baseline"
+    )
+    assert result["resumed_at"] == result["bins"] // 2
+    assert result["identical_priced"], (
+        "periodic checkpointing perturbed the run itself"
+    )
+    assert result["checkpoint_writes"] == result["bins"] // CKPT_EVERY
+    if result["priced_wall"] >= MIN_WALL_FOR_OVERHEAD_S:
+        assert result["overhead"] < MAX_OVERHEAD, (
+            f"checkpoint overhead {result['overhead']:.1%} exceeds "
+            f"{MAX_OVERHEAD:.0%} of host wall-clock"
+        )
+
+
+def report(result: dict) -> None:
+    save_table(
+        "e21_fault_tolerance",
+        ["arm", "wall_s", "bit-identical", "notes"],
+        [
+            ["serial baseline", f"{result['baseline_wall']:.2f}",
+             "baseline", ""],
+            ["chaos (process)", f"{result['chaos_wall']:.2f}",
+             str(result["identical_chaos"]),
+             f"{result['restarts']:.0f} worker restarts at bins "
+             f"{result['scheduled_kills']}"],
+            ["resume from disk", "-", str(result["identical_resume"]),
+             f"stopped and resumed at bin {result['resumed_at']}"],
+            ["supervised + checkpoints", f"{result['priced_wall']:.2f}",
+             str(result["identical_priced"]),
+             f"{result['checkpoint_writes']:.0f} writes, "
+             f"{result['checkpoint_ms']:.0f}ms in checkpoint path "
+             f"({result['overhead']:.1%} of wall)"],
+        ],
+        "E21: fleet fault tolerance — chaos kills, durable resume, and "
+        f"checkpoint overhead ({N_TENANTS} tenants, skew {SKEW}, seed "
+        f"{result['seed']}, {result['bins']} bins)",
+    )
+
+
+def test_e21_fault_tolerance():
+    result = run_fault_tolerance(seed=1, bins=8, rows=3_000)
+    report(result)
+    check(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller trace (the CI chaos-matrix setting)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload and chaos seed")
+    args = parser.parse_args(argv)
+    result = run_fault_tolerance(
+        seed=args.seed,
+        bins=8 if args.quick else 12,
+        rows=3_000 if args.quick else 4_000,
+    )
+    report(result)
+    check(result)
+    print(
+        f"OK (seed {result['seed']}: {result['restarts']:.0f} worker "
+        f"kills recovered bit-identically, resume from bin "
+        f"{result['resumed_at']} bit-identical, checkpoint overhead "
+        f"{result['overhead']:.1%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,30 +180,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import FleetConfig, build_fleet
+    from repro.fleet import FleetConfig, FleetDriver, build_fleet
     from repro.util.tables import render_table
 
+    if args.resume and not args.checkpoint_dir:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every needs --checkpoint-dir", file=sys.stderr)
+        return 2
     config = FleetConfig(
         share_priors=not args.no_priors,
         arbitrate=not args.no_arbitrate,
         max_concurrent_reconfigurations=args.max_concurrent,
     )
-    fleet = build_fleet(
-        args.tenants,
-        skew=args.skew,
-        seed=args.seed,
-        bins=args.bins,
-        rows=args.rows,
-        suite=args.suite,
-        config=config,
-        tune_every_bins=args.tune_every_bins,
-        index_budget_mib=args.index_budget_mib,
-        parallel=args.parallel,
-        workers=args.workers,
-    )
-    mode = "" if args.parallel == "serial" else f", {args.parallel} mode"
-    print(f"fleet: {args.tenants} tenants over the {args.suite} workload, "
-          f"skew {args.skew}, {args.bins} bins, seed {args.seed}{mode}")
+    if args.resume:
+        fleet = FleetDriver.resume(
+            args.checkpoint_dir,
+            parallel=args.parallel,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(f"fleet: resumed from {args.checkpoint_dir} at bin "
+              f"{fleet.next_bin} ({len(fleet.tenants)} tenants, "
+              f"{fleet.n_bins} bins total)")
+    else:
+        fleet = build_fleet(
+            args.tenants,
+            skew=args.skew,
+            seed=args.seed,
+            bins=args.bins,
+            rows=args.rows,
+            suite=args.suite,
+            config=config,
+            tune_every_bins=args.tune_every_bins,
+            index_budget_mib=args.index_budget_mib,
+            parallel=args.parallel,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        mode = "" if args.parallel == "serial" else f", {args.parallel} mode"
+        print(f"fleet: {args.tenants} tenants over the {args.suite} "
+              f"workload, skew {args.skew}, {args.bins} bins, "
+              f"seed {args.seed}{mode}")
     report = fleet.run()
 
     print()
@@ -228,6 +249,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"plan cache (all tenants): {report.plan.hits} hits, "
           f"{report.plan.misses} misses "
           f"({report.plan.hit_rate:.0%} hit rate)")
+
+    if args.checkpoint_dir:
+        fc = report.fleet_counters
+        print(f"checkpoints: {fc.get('checkpoint_writes', 0):.0f} written "
+              f"({fc.get('checkpoint_bytes', 0):.0f} bytes) to "
+              f"{args.checkpoint_dir}, "
+              f"{fc.get('checkpoint_restores', 0):.0f} restored, "
+              f"{fc.get('worker_restarts', 0):.0f} worker restarts, "
+              f"{fc.get('fleet_tenant_quarantines', 0):.0f} quarantines")
 
     if report.replay_outcomes:
         print("\nprior replays:")
@@ -605,6 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["serial", "thread", "process"],
                        help="execution mode for tenant bins (results are "
                             "bit-identical across modes)")
+    fleet.add_argument("--checkpoint-dir", default=None,
+                       help="directory for durable fleet checkpoints")
+    fleet.add_argument("--checkpoint-every", type=int, default=0,
+                       help="write a checkpoint every N bins (0 = off; "
+                            "needs --checkpoint-dir)")
+    fleet.add_argument("--resume", action="store_true",
+                       help="resume from the newest checkpoint in "
+                            "--checkpoint-dir instead of starting fresh")
     fleet.add_argument("--workers", type=int, default=None,
                        help="process-mode worker count (default: cpu count, "
                             "capped at the tenant count)")

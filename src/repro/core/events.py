@@ -31,6 +31,13 @@ class EventKind(enum.Enum):
     QUARANTINE = "quarantine"
     GUARD = "guard"
     POLICY = "policy"
+    #: a durable fleet checkpoint was written (fleet-level; see
+    #: repro.fleet.checkpoint)
+    CHECKPOINT = "checkpoint"
+    #: the fleet recovered management-layer state — a worker restart, a
+    #: checkpoint restore, or a tenant force-quarantined after its
+    #: context repeatedly failed to restore
+    RECOVERY = "recovery"
 
 
 @dataclass(frozen=True)

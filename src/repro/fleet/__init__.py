@@ -18,6 +18,15 @@ from repro.fleet.arbiter import (
     TenantDigest,
     TuningPrior,
 )
+from repro.fleet.checkpoint import (
+    CheckpointError,
+    FleetCheckpoint,
+    TenantState,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.fleet.context import TenantContext
 from repro.fleet.driver import (
     FleetDriver,
@@ -36,6 +45,8 @@ from repro.fleet.workload import (
 
 __all__ = [
     "ArbiterView",
+    "CheckpointError",
+    "FleetCheckpoint",
     "FleetConfig",
     "FleetDriver",
     "FleetOrganizer",
@@ -44,12 +55,17 @@ __all__ = [
     "TenantContext",
     "TenantDigest",
     "TenantSpec",
+    "TenantState",
     "TenantSummary",
     "TuningPrior",
     "build_fleet",
     "build_tenant_suite",
     "build_tenant_trace",
     "default_tenant_driver",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
     "profile_rates",
     "tenant_specs",
+    "write_checkpoint",
 ]

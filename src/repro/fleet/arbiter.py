@@ -160,6 +160,10 @@ class ArbiterView:
     admitted_this_bin: set[str]
     defers: dict[str, int]
     last_admitted_ms: dict[str, float]
+    #: tenants force-quarantined by the fleet (restore failures); they
+    #: are denied tuning outright — even urgent work — and skipped as
+    #: replay targets while the rest of the fleet degrades gracefully
+    quarantined: frozenset[str] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -255,6 +259,13 @@ def rule_admission(
     config = view.config
     tenant = own.tenant
     now = own.now_ms
+    # a force-quarantined tenant runs its workload but never tunes: its
+    # management state is untrusted (it could not be restored), so even
+    # urgent work is denied until an operator intervenes
+    if tenant in view.quarantined:
+        return AdmissionRuling(
+            tenant, False, "tenant quarantined (restore failure)"
+        )
     # urgent work is never deferred: an SLA breach outranks budgets
     if trigger == SlaViolationTrigger.name:
         return AdmissionRuling(
@@ -477,6 +488,8 @@ class FleetOrganizer:
         self._outcomes: list[ReplayOutcome] = []
         self._full_passes: dict[str, int] = {}
         self._replays: dict[str, int] = {}
+        #: tenants force-quarantined by the fleet (restore failures)
+        self._quarantined: set[str] = set()
         #: replay transport override (the parallel driver installs one
         #: that routes attempts to worker processes); None = in-process
         self._transport = None
@@ -500,6 +513,62 @@ class FleetOrganizer:
     def replays(self, tenant: str) -> int:
         """Priors successfully replayed *onto* ``tenant``."""
         return self._replays.get(tenant, 0)
+
+    @property
+    def quarantined(self) -> frozenset[str]:
+        """Tenants force-quarantined by the fleet (denied all tuning)."""
+        return frozenset(self._quarantined)
+
+    def quarantine_tenant(self, tenant: str) -> None:
+        """Deny ``tenant`` all tuning and replay participation.
+
+        The fleet driver calls this when a tenant's context repeatedly
+        fails to restore from a checkpoint: the tenant keeps executing
+        its workload on a fresh (untuned) stack, but its management
+        state is untrusted, so the arbiter fences it off while the rest
+        of the fleet degrades gracefully.
+        """
+        if tenant not in self._tenants:
+            raise KeyError(tenant)
+        self._quarantined.add(tenant)
+
+    # ------------------------------------------------------------------
+    # durable state (fleet checkpoints; see repro.fleet.checkpoint)
+
+    def state_snapshot(self) -> dict[str, object]:
+        """Picklable copy of every arbiter decision variable.
+
+        Everything an admission or replay decision reads that is not
+        derivable from the tenant contexts: priors, the attempted set,
+        outcomes, cooldown stamps, defer counts, pass/replay tallies,
+        and the quarantine set. Restoring this snapshot plus the tenant
+        contexts reproduces the arbiter's future decisions exactly.
+        """
+        return {
+            "priors": list(self._priors),
+            "next_prior_id": self._next_prior_id,
+            "last_admitted_ms": dict(self._last_admitted_ms),
+            "admitted_this_bin": set(self._admitted_this_bin),
+            "defers": dict(self._defers),
+            "attempted": set(self._attempted),
+            "outcomes": list(self._outcomes),
+            "full_passes": dict(self._full_passes),
+            "replays": dict(self._replays),
+            "quarantined": set(self._quarantined),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Reinstate a :meth:`state_snapshot` (checkpoint restore)."""
+        self._priors = list(state["priors"])
+        self._next_prior_id = state["next_prior_id"]
+        self._last_admitted_ms = dict(state["last_admitted_ms"])
+        self._admitted_this_bin = set(state["admitted_this_bin"])
+        self._defers = dict(state["defers"])
+        self._attempted = set(state["attempted"])
+        self._outcomes = list(state["outcomes"])
+        self._full_passes = dict(state["full_passes"])
+        self._replays = dict(state["replays"])
+        self._quarantined = set(state["quarantined"])
 
     # ------------------------------------------------------------------
     # registration & per-bin lifecycle
@@ -572,6 +641,7 @@ class FleetOrganizer:
             admitted_this_bin=set(self._admitted_this_bin),
             defers=dict(self._defers),
             last_admitted_ms=dict(self._last_admitted_ms),
+            quarantined=frozenset(self._quarantined),
         )
 
     def apply_ruling(self, ruling: AdmissionRuling) -> None:
@@ -621,6 +691,8 @@ class FleetOrganizer:
         tenant = record.tenant
         self._full_passes[tenant] = self._full_passes.get(tenant, 0) + 1
         self._defers.pop(tenant, None)
+        if tenant in self._quarantined:
+            return  # an untrusted tenant's passes never become priors
         if not self._config.share_priors:
             return
         if not record.actions:
@@ -671,6 +743,8 @@ class FleetOrganizer:
                 key = (prior.prior_id, tenant)
                 if tenant == prior.source or key in self._attempted:
                     continue
+                if tenant in self._quarantined:
+                    continue  # fenced off; never a replay target
                 if (
                     transport.active_reconfigurations()
                     >= self._config.max_concurrent_reconfigurations
@@ -707,4 +781,5 @@ class FleetOrganizer:
                 1 for o in self._outcomes if not o.applied
             ),
             "active_reconfigurations": self.active_reconfigurations(),
+            "quarantined_tenants": len(self._quarantined),
         }

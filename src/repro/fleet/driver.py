@@ -38,10 +38,14 @@ with a :class:`~repro.fleet.arbiter.FleetOrganizer`.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.core.driver import Driver, DriverConfig
+from repro.core.events import EventKind
 from repro.core.organizer import OrganizerConfig
 from repro.core.simulation import BinRecord, ClosedLoopSimulation
 from repro.core.triggers import (
@@ -50,11 +54,24 @@ from repro.core.triggers import (
     TuningTrigger,
 )
 from repro.cost.what_if import WhatIfCacheStats
+from repro.faults.injector import FaultConfig, FaultInjector
 from repro.fleet.arbiter import (
     FleetConfig,
     FleetOrganizer,
     ReplayOutcome,
     TenantDigest,
+)
+from repro.fleet.checkpoint import (
+    CheckpointError,
+    FleetCheckpoint,
+    TenantState,
+    blob_digest,
+    checkpoint_path,
+    encode_checkpoint,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+    write_encoded,
 )
 from repro.fleet.context import TenantContext
 from repro.fleet.workload import (
@@ -63,8 +80,17 @@ from repro.fleet.workload import (
     build_tenant_trace,
     tenant_specs,
 )
+from repro.kpi.metrics import (
+    CHECKPOINT_BYTES,
+    CHECKPOINT_CORRUPTIONS_DETECTED,
+    CHECKPOINT_RESTORES,
+    CHECKPOINT_WRITE_MS,
+    CHECKPOINT_WRITES,
+    FLEET_TENANT_QUARANTINES,
+    WORKER_RESTARTS,
+)
 from repro.plan.cache import PlanCacheStats
-from repro.telemetry.metrics import DeltaTracker
+from repro.telemetry.metrics import DeltaTracker, MetricRegistry
 
 #: Execution modes accepted by :class:`FleetDriver`.
 PARALLEL_MODES = ("serial", "thread", "process")
@@ -100,6 +126,11 @@ class FleetReport:
     plan: PlanCacheStats
     #: counters summed across every tenant's registry
     counters: dict[str, float] = field(default_factory=dict)
+    #: fleet-infrastructure counters (checkpoint writes/restores, worker
+    #: restarts, quarantines) — kept in the driver's own registry, never
+    #: in tenant registries, so checkpointed and plain runs report
+    #: bit-identical tenant ``counters``
+    fleet_counters: dict[str, float] = field(default_factory=dict)
     #: arbitration totals (priors, replays, full passes)
     arbitration: dict[str, object] = field(default_factory=dict)
     replay_outcomes: tuple[ReplayOutcome, ...] = ()
@@ -131,6 +162,11 @@ class FleetDriver:
         config: FleetConfig | None = None,
         parallel: str | None = None,
         workers: int | None = None,
+        checkpoint_dir: Path | str | None = None,
+        checkpoint_every: int = 0,
+        chaos: FaultConfig | FaultInjector | None = None,
+        rpc_timeout_s: float = 120.0,
+        max_crash_recoveries: int = 3,
     ) -> None:
         if not contexts:
             raise ValueError("a fleet needs at least one tenant context")
@@ -145,6 +181,10 @@ class FleetDriver:
             raise ValueError(
                 f"unknown parallel mode {mode!r} "
                 f"(expected one of {PARALLEL_MODES})"
+            )
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
             )
         self._mode = mode
         self._workers = workers
@@ -169,6 +209,47 @@ class FleetDriver:
         # process-mode machinery (inert in serial/thread modes)
         self._pool = None
         self._digests: dict[str, TenantDigest] = {}
+        # fault-tolerance machinery: counters and events live in the
+        # fleet's OWN registry/log, never in tenant ones — a checkpointed
+        # run's tenant streams stay bit-identical to a plain run's
+        self._checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._checkpoint_every = checkpoint_every
+        self._rpc_timeout_s = rpc_timeout_s
+        self._max_crash_recoveries = max_crash_recoveries
+        self._fleet_registry = MetricRegistry()
+        self._fleet_events: list[dict] = []
+        self._ckpt_writes = self._fleet_registry.counter(CHECKPOINT_WRITES)
+        self._ckpt_bytes = self._fleet_registry.counter(CHECKPOINT_BYTES)
+        self._ckpt_write_ms = self._fleet_registry.counter(
+            CHECKPOINT_WRITE_MS
+        )
+        self._ckpt_restores = self._fleet_registry.counter(
+            CHECKPOINT_RESTORES
+        )
+        self._ckpt_corruptions = self._fleet_registry.counter(
+            CHECKPOINT_CORRUPTIONS_DETECTED
+        )
+        self._worker_restarts = self._fleet_registry.counter(WORKER_RESTARTS)
+        self._quarantines = self._fleet_registry.counter(
+            FLEET_TENANT_QUARANTINES
+        )
+        if isinstance(chaos, FaultConfig):
+            chaos = FaultInjector(chaos, registry=self._fleet_registry)
+        self._chaos: FaultInjector | None = chaos
+        #: fleet bins whose chaos kill-or-not decision was already acted
+        #: on — re-execution after a crash must not re-deliver the kill
+        #: (the per-bin derived stream would name the same victim forever)
+        self._chaos_decided: set[int] = set()
+        #: the last bin-boundary state, for crash rollback (process mode)
+        self._restore_point: FleetCheckpoint | None = None
+        # write-behind periodic checkpoints: one in-flight writer thread
+        self._ckpt_thread: threading.Thread | None = None
+        self._ckpt_error: BaseException | None = None
+        #: build_fleet kwargs when constructed through it (rides inside
+        #: durable checkpoints so resume() can rebuild the layout)
+        self._build_args: dict[str, object] | None = None
 
     @property
     def parallel_mode(self) -> str:
@@ -190,6 +271,20 @@ class FleetDriver:
     @property
     def n_bins(self) -> int:
         return self._n_bins
+
+    @property
+    def fleet_events(self) -> tuple[dict, ...]:
+        """Fleet-infrastructure events (checkpoints, recoveries, kills)."""
+        return tuple(self._fleet_events)
+
+    @property
+    def fleet_counters(self) -> dict[str, float]:
+        """Current values of the fleet-infrastructure counters."""
+        return self._fleet_registry.snapshot_counters()
+
+    @property
+    def checkpoint_dir(self) -> Path | None:
+        return self._checkpoint_dir
 
     def tenant(self, tenant_id: str) -> TenantContext:
         for ctx in self._contexts:
@@ -223,14 +318,23 @@ class FleetDriver:
             raise ValueError(
                 f"bin {index} is out of range (fleet has {self._n_bins})"
             )
-        self._arbiter.begin_bin()
         if self._mode == "process":
+            # begin_bin happens inside: crash recovery rolls the arbiter
+            # back to the bin boundary and must re-begin each re-run bin
             records = self._run_bin_process(index)
         elif self._mode == "thread":
+            self._arbiter.begin_bin()
             records = self._run_bin_thread(index)
         else:
+            self._arbiter.begin_bin()
             records = self._run_bin_serial(index)
         self._next_bin = index + 1
+        if (
+            self._checkpoint_dir is not None
+            and self._checkpoint_every > 0
+            and (index + 1) % self._checkpoint_every == 0
+        ):
+            self._checkpoint_periodic()
         return records
 
     def _run_bin_serial(self, index: int) -> dict[str, BinRecord]:
@@ -262,16 +366,54 @@ class FleetDriver:
         return records
 
     def _run_bin_process(self, index: int) -> dict[str, BinRecord]:
-        """The thread-mode barrier, with ticks RPC'd to fork workers.
+        """Run bin ``index`` on the worker pool, surviving worker death.
+
+        Crash recovery is transactional at bin granularity: every bin
+        attempt starts from a restore point captured at the previous bin
+        boundary, so when a worker dies (or hangs) mid-bin the whole
+        fleet rolls back to that boundary, a fresh pool is forked from
+        the restored parent contexts, and the interrupted bin (plus any
+        bins completed after the restore point, when the snapshot RPC
+        itself was what crashed) re-executes deterministically — the
+        golden tests hold that a SIGKILL'd worker leaves bin records,
+        events, and final configurations bit-identical to an undisturbed
+        run.
+        """
+        from repro.fleet.parallel import WorkerCrashed
+
+        recoveries = 0
+        while True:
+            try:
+                pool = self._ensure_pool()
+                # catch-up after a rollback to an older restore point
+                while self._next_bin < index:
+                    self._arbiter.begin_bin()
+                    self._process_bin_attempt(self._next_bin, pool)
+                    self._next_bin += 1
+                self._arbiter.begin_bin()
+                return self._process_bin_attempt(index, pool)
+            except WorkerCrashed as crash:
+                recoveries += 1
+                if recoveries > self._max_crash_recoveries:
+                    raise
+                self._recover_from_crash(crash)
+
+    def _process_bin_attempt(
+        self, index: int, pool
+    ) -> dict[str, BinRecord]:
+        """One attempt at one bin: the thread-mode barrier with ticks
+        RPC'd to fork workers.
 
         The canonical arbiter stays in this process: each tick ships a
         frozen view out, and the worker's recorded rulings/harvests are
         applied back — in tick order — before the next tenant ticks, so
-        the arbiter state evolves exactly as in the serial loop.
+        the arbiter state evolves exactly as in the serial loop. The
+        attempt ends by refreshing the crash restore point from a live
+        worker snapshot.
         """
         from repro.fleet.parallel import HARVEST, PoolReplayTransport
 
-        pool = self._ensure_pool()
+        self._maybe_chaos_kill(index, pool)
         pool.execute_all(index)
         records: dict[str, BinRecord] = {}
         for ctx in self._bin_order(index):
@@ -295,7 +437,31 @@ class FleetDriver:
             self._arbiter.replay_round()
         finally:
             self._arbiter.set_transport(None)
+        self._refresh_restore_point(pool, index + 1)
         return records
+
+    def _maybe_chaos_kill(self, index: int, pool) -> None:
+        """Deliver the chaos schedule's worker kill for this bin, once.
+
+        The schedule is a pure function of ``(seed, bin)``, so asking
+        again during re-execution names the same victim; the decided-set
+        makes the kill fire exactly once per bin or recovery would loop
+        forever on the same crash.
+        """
+        if self._chaos is None or index in self._chaos_decided:
+            return
+        self._chaos_decided.add(index)
+        victim = self._chaos.worker_crash(index, pool.n_workers)
+        if victim is not None:
+            self._fleet_events.append(
+                {
+                    "kind": "chaos_worker_kill",
+                    "bin": index,
+                    "worker": victim,
+                    "tenants": pool.tenants_of(victim),
+                }
+            )
+            pool.kill_worker(victim)
 
     def run(self, stop: int | None = None) -> FleetReport:
         """Run the fleet to bin ``stop`` and return the rollup report.
@@ -320,10 +486,17 @@ class FleetDriver:
     # process-mode pool lifecycle
 
     def _ensure_pool(self):
-        """Start (or return) the worker pool; parent state must be current."""
+        """Start (or return) the worker pool; parent state must be current.
+
+        A fresh fork also captures the crash restore point *before*
+        forking — at that moment the parent contexts are exact copies of
+        what the workers start from, so a crash in the very first bin of
+        the pool's life can roll back too.
+        """
         if self._pool is None:
             from repro.fleet.parallel import FleetWorkerPool
 
+            self._restore_point = self._capture_checkpoint()
             # digests seeded from the live contexts: at fork time the
             # workers are exact copies, so cache and workers agree
             self._digests = {
@@ -331,7 +504,12 @@ class FleetDriver:
                 for ctx in self._contexts
             }
             self._pool = FleetWorkerPool(
-                self._contexts, self._arbiter.config, workers=self._workers
+                self._contexts,
+                self._arbiter.config,
+                workers=self._workers,
+                rpc_timeout_s=self._rpc_timeout_s,
+                registry=self._fleet_registry,
+                on_event=self._fleet_events.append,
             )
         return self._pool
 
@@ -343,25 +521,419 @@ class FleetDriver:
         — clocks, events, guard ledgers, caches — and the pool is gone;
         the next process-mode bin forks a fresh one from the merged
         state. Called automatically by :meth:`report` and
-        :meth:`labelled_metrics`.
+        :meth:`labelled_metrics`. A worker that dies during the final
+        sync is recovered like a mid-bin crash: roll back to the restore
+        point (the last bin boundary — no bins are lost, sync happens at
+        boundaries) and merge from the restored contexts instead.
         """
-        if self._pool is None:
-            return
-        pool, self._pool = self._pool, None
-        try:
-            for tenant, moved, blob in pool.sync():
+        from repro.fleet.parallel import WorkerCrashed
+
+        recoveries = 0
+        while self._pool is not None:
+            pool, self._pool = self._pool, None
+            try:
+                collected = pool.sync()
+            except WorkerCrashed as crash:
+                recoveries += 1
+                if recoveries > self._max_crash_recoveries:
+                    raise
+                self._pool = pool  # _recover_from_crash abandons it
+                self._recover_from_crash(crash)
+                # restore rolled everything back to the bin boundary the
+                # sync ran at; the contexts already carry that state, so
+                # there is nothing left to merge
+                if self._next_bin == self._restore_point.next_bin:
+                    self._digests = {}
+                    return
+                continue  # pragma: no cover - stale restore point
+            try:
+                for tenant, moved, blob in collected:
+                    self._accumulate(tenant, moved)
+                    ctx = self.tenant(tenant)
+                    ctx.absorb_transfer(blob)
+                    self._arbiter.rebind(ctx)
+                    # same registry object as before pickling on the
+                    # worker side, so the tracker keeps its baseline
+                    self._trackers[tenant] = (
+                        ctx.telemetry.registry.delta_tracker()
+                    )
+            finally:
+                pool.stop()
+            self._digests = {}
+
+    # ------------------------------------------------------------------
+    # fault tolerance: capture, durable checkpoints, restore, recovery
+
+    def _capture_checkpoint(self) -> FleetCheckpoint:
+        """Bundle the fleet's current bin-boundary state.
+
+        With a live worker pool the tenant blobs come from a
+        non-destructive worker snapshot (the workers keep running);
+        otherwise each parent context pickles itself —
+        ``transfer_snapshot`` detaches the arbiter hooks for pickling,
+        so every context is rebound immediately after. Either way the
+        run continues bit-identically to one that never checkpointed.
+        """
+        blob_map: dict[str, bytes] = {}
+        if self._pool is not None:
+            for tenant, moved, blob in self._pool.snapshot():
                 self._accumulate(tenant, moved)
-                ctx = self.tenant(tenant)
-                ctx.absorb_transfer(blob)
+                blob_map[tenant] = blob
+        else:
+            self._drain_trackers()
+            for ctx in self._contexts:
+                blob_map[ctx.tenant] = ctx.transfer_snapshot()
                 self._arbiter.rebind(ctx)
-                # same registry object as before pickling on the worker
-                # side, so the tracker keeps its drain baseline
-                self._trackers[tenant] = (
-                    ctx.telemetry.registry.delta_tracker()
+        tenants = [
+            TenantState(
+                tenant=ctx.tenant,
+                blob=blob_map[ctx.tenant],
+                blob_sha256=blob_digest(blob_map[ctx.tenant]),
+                records=list(ctx.records),
+                counters=dict(self._latest[ctx.tenant]),
+            )
+            for ctx in self._contexts
+        ]
+        return FleetCheckpoint(
+            next_bin=self._next_bin,
+            config=self._arbiter.config,
+            arbiter=self._arbiter.state_snapshot(),
+            tenants=tenants,
+            build_args=(
+                dict(self._build_args)
+                if self._build_args is not None
+                else None
+            ),
+        )
+
+    def _refresh_restore_point(self, pool, next_bin: int) -> None:
+        """Re-capture the crash restore point from a live pool snapshot.
+
+        Runs at the end of every successful process-mode bin attempt,
+        *before* ``run_bin`` advances ``next_bin`` — hence the explicit
+        parameter. Bounded data loss: a crash ever only rolls back the
+        bin in flight.
+        """
+        del pool  # _capture_checkpoint snapshots via self._pool
+        self._restore_point = replace(
+            self._capture_checkpoint(), next_bin=next_bin
+        )
+
+    def checkpoint(self, directory: Path | str | None = None) -> Path:
+        """Write a durable checkpoint of the current bin boundary.
+
+        Uses ``directory`` (or the driver's ``checkpoint_dir``). When a
+        chaos injector with ``checkpoint_corruption_rate`` is attached,
+        the *written copy* of one scheduled tenant blob is damaged — the
+        in-memory restore point and the live run stay pristine; only a
+        later restore from disk sees (and detects) the corruption.
+        """
+        target = Path(directory) if directory is not None else self._checkpoint_dir
+        if target is None:
+            raise CheckpointError(
+                "no checkpoint directory (pass one, or construct the "
+                "fleet with checkpoint_dir=...)"
+            )
+        self._ckpt_join()
+        started = time.perf_counter()
+        written = self._prepare_checkpoint()
+        path = write_checkpoint(written, target)
+        self._ckpt_writes.inc()
+        self._ckpt_bytes.inc(path.stat().st_size)
+        self._ckpt_write_ms.inc((time.perf_counter() - started) * 1000.0)
+        self._fleet_events.append(
+            {
+                "kind": "checkpoint",
+                "epoch": written.next_bin,
+                "path": str(path),
+            }
+        )
+        return path
+
+    def _prepare_checkpoint(self) -> FleetCheckpoint:
+        """Capture (or reuse) the bundle and apply scheduled chaos damage."""
+        if (
+            self._pool is not None
+            and self._restore_point is not None
+            and self._restore_point.next_bin == self._next_bin
+        ):
+            # the restore point was just refreshed at this exact
+            # boundary: reuse it instead of a second worker snapshot —
+            # in a supervised fleet the capture is a sunk supervision
+            # cost, so a durable checkpoint only pays for the write
+            ckpt = self._restore_point
+        else:
+            ckpt = self._capture_checkpoint()
+        if self._chaos is not None:
+            victim = self._chaos.checkpoint_corruption(
+                ckpt.next_bin, len(ckpt.tenants)
+            )
+            if victim is not None:
+                damaged = replace(
+                    ckpt.tenants[victim],
+                    blob=self._chaos.corrupt_blob(
+                        ckpt.tenants[victim].blob, ckpt.next_bin
+                    ),
                 )
-        finally:
-            pool.stop()
+                tenants = list(ckpt.tenants)
+                tenants[victim] = damaged
+                self._fleet_events.append(
+                    {
+                        "kind": "chaos_checkpoint_corruption",
+                        "epoch": ckpt.next_bin,
+                        "tenant": damaged.tenant,
+                    }
+                )
+                return replace(ckpt, tenants=tenants)
+        return ckpt
+
+    def _checkpoint_periodic(self) -> None:
+        """Write-behind durable checkpoint at a bin boundary.
+
+        The bundle is captured (or reused from the crash restore point)
+        and encoded to immutable byte segments synchronously; the disk
+        work — ``write``, ``fsync``, atomic rename — runs on a single
+        in-flight writer thread whose syscalls release the GIL, so the
+        run only pays for serialization, not for the disk. The previous
+        write is joined first (epochs land in order), and a failed
+        background write surfaces as :class:`CheckpointError` at the
+        next join point (the next checkpoint, a restore, or the final
+        report) rather than being dropped.
+        """
+        target = self._checkpoint_dir
+        self._ckpt_join()
+        started = time.perf_counter()
+        written = self._prepare_checkpoint()
+        segments = encode_checkpoint(written)
+        path = checkpoint_path(target, written.next_bin)
+
+        def _write() -> None:
+            try:
+                write_encoded(segments, target, written.next_bin)
+                self._ckpt_bytes.inc(path.stat().st_size)
+            except BaseException as exc:  # surfaced at the next join
+                self._ckpt_error = exc
+
+        self._ckpt_thread = threading.Thread(
+            target=_write, name="fleet-ckpt-writer", daemon=True
+        )
+        self._ckpt_thread.start()
+        self._ckpt_writes.inc()
+        self._ckpt_write_ms.inc((time.perf_counter() - started) * 1000.0)
+        self._fleet_events.append(
+            {
+                "kind": "checkpoint",
+                "epoch": written.next_bin,
+                "path": str(path),
+            }
+        )
+
+    def _ckpt_join(self) -> None:
+        """Wait out the in-flight background checkpoint write, if any."""
+        thread = self._ckpt_thread
+        if thread is None:
+            return
+        thread.join()
+        self._ckpt_thread = None
+        error, self._ckpt_error = self._ckpt_error, None
+        if error is not None:
+            raise CheckpointError(
+                f"background checkpoint write failed: {error}"
+            ) from error
+
+    def restore(
+        self,
+        source: FleetCheckpoint | Path | str,
+        *,
+        max_restore_attempts: int = 2,
+    ) -> None:
+        """Adopt the state of a checkpoint (object, file, or directory).
+
+        A directory picks its newest loadable checkpoint (file-level
+        corruption falls back to older epochs). Per-tenant blobs are
+        verified here: a tenant whose blob fails its checksum — or fails
+        to unpickle ``max_restore_attempts`` times — is force-
+        quarantined (RECOVERY event, arbiter exclusion) while the rest
+        of the fleet restores normally.
+        """
+        self._ckpt_join()  # never read epochs under an in-flight write
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            if path.is_dir():
+                ckpt, _ = latest_checkpoint(path)
+            else:
+                ckpt = load_checkpoint(path)
+        else:
+            ckpt = source
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.abandon()
+        self._restore_in_place(
+            ckpt,
+            max_restore_attempts=max_restore_attempts,
+            quarantine_failures=True,
+        )
+        self._restore_point = ckpt
+        self._ckpt_restores.inc()
+        self._fleet_events.append(
+            {"kind": "restore", "epoch": ckpt.next_bin}
+        )
+
+    def _recover_from_crash(self, crash) -> None:
+        """Roll back to the restore point after a worker death.
+
+        Abandon the surviving workers (their state is post-crash and
+        about to be discarded), restore every tenant and the arbiter to
+        the last bin boundary, and let the caller refork and re-execute.
+        A tenant that cannot restore even here (possible when the
+        restore point came from a chaos-damaged disk checkpoint) is
+        quarantined like any other restore failure — the fleet degrades
+        rather than dies.
+        """
+        self._worker_restarts.inc()
+        self._fleet_events.append(
+            {
+                "kind": "worker_crash_recovery",
+                "worker": crash.worker,
+                "tenants": crash.tenants,
+                "reason": crash.reason,
+                "resume_bin": (
+                    self._restore_point.next_bin
+                    if self._restore_point is not None
+                    else None
+                ),
+            }
+        )
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.abandon()
+        if self._restore_point is None:  # pragma: no cover - invariant
+            raise RuntimeError(
+                "worker crashed before any restore point was captured"
+            ) from crash
+        self._restore_in_place(
+            self._restore_point,
+            max_restore_attempts=1,
+            quarantine_failures=True,
+        )
+
+    def _restore_in_place(
+        self,
+        ckpt: FleetCheckpoint,
+        *,
+        max_restore_attempts: int,
+        quarantine_failures: bool,
+    ) -> None:
+        """Reset the fleet to ``ckpt``'s bin boundary, tenant by tenant."""
+        self._arbiter.restore_state(ckpt.arbiter)
+        for ctx in self._contexts:
+            try:
+                state = ckpt.state_for(ctx.tenant)
+            except KeyError:
+                raise CheckpointError(
+                    f"checkpoint has no state for tenant {ctx.tenant!r} "
+                    "(was it taken from a different fleet layout?)"
+                ) from None
+            failure = None
+            for _ in range(max(1, max_restore_attempts)):
+                if not state.verify():
+                    self._ckpt_corruptions.inc()
+                    failure = "snapshot blob failed its checksum"
+                    break  # damaged bytes: retrying cannot help
+                try:
+                    ctx.absorb_transfer(state.blob)
+                    failure = None
+                    break
+                except Exception as exc:
+                    failure = f"snapshot failed to apply: {exc}"
+            if failure is not None:
+                if not quarantine_failures:
+                    raise CheckpointError(
+                        f"tenant {ctx.tenant} failed to restore: {failure}"
+                    )
+                self._quarantine_tenant(ctx, failure)
+            self._arbiter.rebind(ctx)
+            ctx.records[:] = list(state.records)
+            # verbatim, not rebuilt: the cache's insertion order is part
+            # of the rollup's float-sum identity
+            self._latest[ctx.tenant] = dict(state.counters)
+            self._trackers[ctx.tenant] = (
+                ctx.telemetry.registry.delta_tracker()
+            )
+        self._next_bin = ckpt.next_bin
         self._digests = {}
+
+    def _quarantine_tenant(self, ctx: TenantContext, reason: str) -> None:
+        """Degrade gracefully: exclude one unrestorable tenant.
+
+        The tenant keeps whatever state it has (stale, or fresh-built on
+        resume) and keeps running, but the arbiter stops admitting its
+        passes, harvesting its priors, and replaying onto it — a
+        corrupted snapshot must not poison fleet decisions.
+        """
+        self._arbiter.quarantine_tenant(ctx.tenant)
+        self._quarantines.inc()
+        ctx.events.log(
+            ctx.database.clock.now_ms,
+            EventKind.RECOVERY,
+            f"tenant force-quarantined: {reason}",
+        )
+        self._fleet_events.append(
+            {
+                "kind": "tenant_quarantine",
+                "tenant": ctx.tenant,
+                "reason": reason,
+            }
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        source: FleetCheckpoint | Path | str,
+        *,
+        parallel: str | None = None,
+        workers: int | None = None,
+        checkpoint_dir: Path | str | None = None,
+        checkpoint_every: int = 0,
+        chaos: FaultConfig | FaultInjector | None = None,
+        **build_overrides,
+    ) -> "FleetDriver":
+        """Rebuild a fleet from a durable checkpoint and adopt its state.
+
+        ``source`` is a checkpoint object, a checkpoint file, or a
+        checkpoint directory (newest loadable epoch wins). The workload
+        layout is rebuilt from the ``build_args`` recorded by
+        :func:`build_fleet`; the continuation is bit-identical to the
+        original run never having stopped (held by
+        ``tests/fleet/test_checkpoint.py`` across seeds and modes).
+        """
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            if path.is_dir():
+                ckpt, _ = latest_checkpoint(path)
+            else:
+                ckpt = load_checkpoint(path)
+        else:
+            ckpt = source
+        if ckpt.build_args is None:
+            raise CheckpointError(
+                "checkpoint carries no build_fleet arguments (the fleet "
+                "was hand-assembled); rebuild it the same way and call "
+                "restore() instead"
+            )
+        build_args = dict(ckpt.build_args)
+        build_args.update(build_overrides)
+        build_args.setdefault("config", ckpt.config)
+        fleet = build_fleet(
+            parallel=parallel,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            chaos=chaos,
+            **build_args,
+        )
+        fleet.restore(ckpt)
+        return fleet
 
     # ------------------------------------------------------------------
     # incremental rollup plumbing
@@ -403,6 +975,7 @@ class FleetDriver:
             raise ValueError(
                 f"final_window_bins must be >= 1, got {final_window_bins}"
             )
+        self._ckpt_join()  # the run is only "done" once durably written
         self.sync_workers()
         self._drain_trackers()
         window = min(final_window_bins, self._next_bin)
@@ -440,6 +1013,7 @@ class FleetDriver:
             # equivalence with a full registry walk is held by
             # tests/fleet/test_stats.py
             counters=self._rollup_counters(),
+            fleet_counters=self._fleet_registry.snapshot_counters(),
             arbitration=self._arbiter.summary(),
             replay_outcomes=self._arbiter.outcomes,
             final_window_bins=window,
@@ -528,6 +1102,11 @@ def build_fleet(
     parallel: str | None = None,
     workers: int | None = None,
     policy=None,
+    checkpoint_dir: Path | str | None = None,
+    checkpoint_every: int = 0,
+    chaos: FaultConfig | FaultInjector | None = None,
+    rpc_timeout_s: float = 120.0,
+    max_crash_recoveries: int = 3,
 ) -> FleetDriver:
     """Build a ready-to-run fleet of ``n_tenants`` skewed tenants.
 
@@ -540,6 +1119,9 @@ def build_fleet(
     Pass explicit ``specs`` to override the layout entirely (e.g. two
     digital-twin tenants sharing every seed — the replay identity tests).
     """
+    custom_layout = (
+        specs is not None or organizer is not None or policy is not None
+    )
     if specs is None:
         specs = tenant_specs(
             n_tenants,
@@ -568,6 +1150,30 @@ def build_fleet(
         ctx.volume_scale = spec.volume_scale
         ctx.seed = spec.seed
         contexts.append(ctx)
-    return FleetDriver(
-        contexts, config=config, parallel=parallel, workers=workers
+    fleet = FleetDriver(
+        contexts,
+        config=config,
+        parallel=parallel,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        chaos=chaos,
+        rpc_timeout_s=rpc_timeout_s,
+        max_crash_recoveries=max_crash_recoveries,
     )
+    if not custom_layout:
+        # the layout is fully derivable from these kwargs, so durable
+        # checkpoints can carry them and FleetDriver.resume can rebuild
+        # the same fleet without the caller restating anything
+        fleet._build_args = {
+            "n_tenants": n_tenants,
+            "skew": skew,
+            "seed": seed,
+            "bins": bins,
+            "rows": rows,
+            "suite": suite,
+            "lookalike_fraction": lookalike_fraction,
+            "tune_every_bins": tune_every_bins,
+            "index_budget_mib": index_budget_mib,
+        }
+    return fleet

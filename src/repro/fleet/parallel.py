@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import time
 import traceback
 from dataclasses import dataclass, field
 
@@ -61,6 +63,29 @@ from repro.fleet.context import TenantContext
 RULING = "ruling"
 #: Tag for a recorded harvested commit in a tick's action stream.
 HARVEST = "harvest"
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL_S = 0.2
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died (or hung past the RPC deadline) mid-RPC.
+
+    Carries enough for the fleet driver's supervision layer to recover:
+    which worker, which tenants it owned, and why the pool gave up on
+    it. Recovery rolls the fleet back to its last restore point and
+    deterministically re-executes the interrupted bin — see
+    :meth:`repro.fleet.driver.FleetDriver._recover_from_crash`.
+    """
+
+    def __init__(self, worker: int, tenants: tuple[str, ...], reason: str):
+        super().__init__(
+            f"fleet worker {worker} (tenants {', '.join(tenants) or '-'}) "
+            f"crashed: {reason}"
+        )
+        self.worker = worker
+        self.tenants = tenants
+        self.reason = reason
 
 
 @dataclass
@@ -196,7 +221,7 @@ def _worker_main(conn, contexts: list[TenantContext], config: FleetConfig):
                         ),
                     )
                 )
-            elif cmd == "sync":
+            elif cmd in ("sync", "snapshot"):
                 blobs = [
                     (
                         ctx.tenant,
@@ -205,6 +230,17 @@ def _worker_main(conn, contexts: list[TenantContext], config: FleetConfig):
                     )
                     for ctx in contexts
                 ]
+                if cmd == "snapshot":
+                    # transfer_snapshot detached the organizer hooks for
+                    # pickling; a snapshotting worker keeps running, so
+                    # re-arm the recorders or every later tick in this
+                    # process would run un-arbitrated
+                    for ctx in contexts:
+                        recorder = recorders[ctx.tenant]
+                        ctx.organizer.set_admission(
+                            recorder.admission if config.arbitrate else None
+                        )
+                        ctx.organizer.set_commit_listener(recorder.commit)
                 conn.send(("ok", blobs))
             elif cmd == "stop":
                 conn.send(("ok",))
@@ -220,13 +256,26 @@ def _worker_main(conn, contexts: list[TenantContext], config: FleetConfig):
 
 
 class FleetWorkerPool:
-    """Forked workers, each owning a round-robin slice of the tenants."""
+    """Forked workers, each owning a round-robin slice of the tenants.
+
+    The pool is **supervised**: every parent-side wait on a worker is a
+    poll-with-timeout loop interleaved with ``is_alive()`` checks, so a
+    SIGKILL'd (or wedged) worker surfaces as a :class:`WorkerCrashed`
+    within a poll interval instead of hanging the fleet forever on a
+    blocking ``recv``. The pool itself does not recover — the fleet
+    driver owns the restore point and the deterministic bin
+    re-execution — it only detects, reports, and tears down.
+    """
 
     def __init__(
         self,
         contexts: list[TenantContext],
         config: FleetConfig,
         workers: int | None = None,
+        rpc_timeout_s: float = 120.0,
+        stop_timeout_s: float = 5.0,
+        registry=None,
+        on_event=None,
     ) -> None:
         try:
             mp = multiprocessing.get_context("fork")
@@ -236,6 +285,18 @@ class FleetWorkerPool:
                 "workloads hold closures that cannot pickle); use "
                 "parallel='thread' on this platform"
             ) from exc
+        if rpc_timeout_s <= 0:
+            raise ValueError("rpc_timeout_s must be positive")
+        self._rpc_timeout_s = rpc_timeout_s
+        self._stop_timeout_s = stop_timeout_s
+        self._on_event = on_event
+        if registry is None:
+            from repro.telemetry.metrics import MetricRegistry
+
+            registry = MetricRegistry()
+        from repro.kpi.metrics import WORKER_HARD_KILLS
+
+        self._hard_kills = registry.counter(WORKER_HARD_KILLS)
         n_workers = max(
             1, min(workers or os.cpu_count() or 1, len(contexts))
         )
@@ -246,6 +307,9 @@ class FleetWorkerPool:
         for i, ctx in enumerate(contexts):
             assignments[i % n_workers].append(ctx)
             self._owner[ctx.tenant] = i % n_workers
+        self._tenants_of: list[tuple[str, ...]] = [
+            tuple(ctx.tenant for ctx in owned) for owned in assignments
+        ]
         self._conns = []
         self._procs = []
         for owned in assignments:
@@ -264,9 +328,65 @@ class FleetWorkerPool:
     def n_workers(self) -> int:
         return len(self._procs)
 
+    def tenants_of(self, worker: int) -> tuple[str, ...]:
+        """Tenant ids owned by ``worker``."""
+        return self._tenants_of[worker]
+
+    def _emit(self, kind: str, **data) -> None:
+        if self._on_event is not None:
+            self._on_event({"kind": kind, **data})
+
+    def _crashed(self, worker: int, reason: str) -> WorkerCrashed:
+        return WorkerCrashed(worker, self._tenants_of[worker], reason)
+
+    def _send(self, worker: int, msg) -> None:
+        try:
+            self._conns[worker].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._crashed(worker, f"send failed: {exc}") from exc
+
     def _recv(self, worker: int):
-        reply = self._conns[worker].recv()
+        """Wait for one reply, supervising the worker while waiting.
+
+        Polls with a short interval instead of blocking: a dead worker
+        raises :class:`WorkerCrashed` immediately (EOF or liveness
+        check), and a worker silent past ``rpc_timeout_s`` is killed
+        and reported the same way — a hung barrier becomes a recoverable
+        fault instead of a deadlock.
+        """
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        deadline = time.monotonic() + self._rpc_timeout_s
+        while True:
+            try:
+                ready = conn.poll(_POLL_INTERVAL_S)
+            except (OSError, EOFError) as exc:
+                raise self._crashed(worker, f"pipe failed: {exc}") from exc
+            if ready:
+                break
+            if not proc.is_alive():
+                # the worker may have replied and then died: poll once
+                # more before declaring the reply lost
+                if conn.poll(0):
+                    break
+                raise self._crashed(
+                    worker, f"process died (exit code {proc.exitcode})"
+                )
+            if time.monotonic() >= deadline:
+                proc.kill()
+                proc.join(timeout=self._stop_timeout_s)
+                raise self._crashed(
+                    worker,
+                    f"no reply within {self._rpc_timeout_s:.0f}s "
+                    "(worker killed)",
+                )
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._crashed(worker, f"died mid-reply: {exc}") from exc
         if reply[0] == "error":
+            # the worker is alive but its command raised: a genuine bug,
+            # not a process failure — surface it, don't retry the bin
             self.stop()
             raise RuntimeError(f"fleet worker failed:\n{reply[1]}")
         return reply[1] if len(reply) > 1 else None
@@ -276,47 +396,128 @@ class FleetWorkerPool:
 
     def execute_all(self, bin_index: int) -> None:
         """Run every tenant's execute phase for ``bin_index``, in parallel."""
-        for conn in self._conns:
-            conn.send(("execute", bin_index))
+        for worker in range(len(self._conns)):
+            self._send(worker, ("execute", bin_index))
         for worker in range(len(self._conns)):
             self._recv(worker)
 
     def tick(self, tenant: str, view: ArbiterView) -> TickResult:
         """Tick one tenant against a frozen arbiter view (barrier order)."""
         worker = self._owner[tenant]
-        self._conns[worker].send(("tick", tenant, view))
+        self._send(worker, ("tick", tenant, view))
         return self._recv(worker)
 
     def replay(self, tenant: str, prior: TuningPrior) -> ReplayResult:
         """Validate (and maybe apply) a prior on its owning worker."""
         worker = self._owner[tenant]
-        self._conns[worker].send(("replay", tenant, prior))
+        self._send(worker, ("replay", tenant, prior))
         return self._recv(worker)
 
     def sync(self) -> list[tuple[str, dict[str, float], bytes]]:
         """Drain and snapshot every tenant: (tenant, moved, pickle)."""
-        for conn in self._conns:
-            conn.send(("sync",))
+        return self._collect_snapshots("sync")
+
+    def snapshot(self) -> list[tuple[str, dict[str, float], bytes]]:
+        """Like :meth:`sync`, but the workers keep running.
+
+        The workers re-arm their recorder hooks after pickling, so the
+        pool stays usable for the next bin — this is how the driver
+        refreshes its crash restore point (and writes periodic durable
+        checkpoints) without tearing the pool down every interval.
+        """
+        return self._collect_snapshots("snapshot")
+
+    def _collect_snapshots(
+        self, cmd: str
+    ) -> list[tuple[str, dict[str, float], bytes]]:
+        for worker in range(len(self._conns)):
+            self._send(worker, (cmd,))
         collected: list[tuple[str, dict[str, float], bytes]] = []
         for worker in range(len(self._conns)):
             collected.extend(self._recv(worker))
         return collected
 
-    def stop(self) -> None:
-        """Shut the workers down (idempotent)."""
+    # ------------------------------------------------------------------
+    # supervision and teardown
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        """Worker process ids (for chaos injection and tests)."""
+        return tuple(proc.pid for proc in self._procs)
+
+    def kill_worker(self, worker: int) -> None:
+        """SIGKILL one worker — the chaos harness's crash primitive.
+
+        Nothing is cleaned up here on purpose: the next RPC touching the
+        dead worker raises :class:`WorkerCrashed`, exercising exactly
+        the detection path a real worker death would take.
+        """
+        os.kill(self._procs[worker].pid, signal.SIGKILL)
+
+    def abandon(self) -> None:
+        """Tear the pool down without the stop handshake.
+
+        Crash recovery calls this: after a worker death the surviving
+        workers hold post-crash partial state the fleet is about to
+        discard, so there is nothing worth a graceful drain — terminate
+        everyone, reap, and let the driver refork from its restore
+        point.
+        """
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
         for conn, proc in zip(self._conns, self._procs):
+            conn.close()
+            proc.join(timeout=self._stop_timeout_s)
+            if proc.is_alive():  # pragma: no cover - kill fallback
+                proc.kill()
+                proc.join(timeout=self._stop_timeout_s)
+        self._conns = []
+        self._procs = []
+
+    def stop(self) -> None:
+        """Shut the workers down gracefully (idempotent).
+
+        Workers that ignore the stop handshake or outlive the join
+        timeout are hard-killed — and that is *reported*, not silent: a
+        ``worker_hard_kill`` structured event fires per kill and the
+        ``worker_hard_kills`` counter moves, so a wedged worker at
+        shutdown is observable instead of vanishing into a terminate().
+        """
+        for worker, (conn, proc) in enumerate(
+            zip(self._conns, self._procs)
+        ):
             try:
                 if proc.is_alive():
                     conn.send(("stop",))
-                    conn.recv()
+                    # bounded ack wait: a wedged worker must not turn
+                    # shutdown into a hang
+                    deadline = time.monotonic() + self._stop_timeout_s
+                    while not conn.poll(_POLL_INTERVAL_S):
+                        if not proc.is_alive():
+                            break
+                        if time.monotonic() >= deadline:
+                            break
             except (BrokenPipeError, EOFError, OSError):
                 pass
             finally:
                 conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hard kill fallback
+        for worker, proc in enumerate(self._procs):
+            proc.join(timeout=self._stop_timeout_s)
+            if proc.is_alive():
                 proc.terminate()
+                self._hard_kills.inc()
+                self._emit(
+                    "worker_hard_kill",
+                    worker=worker,
+                    pid=proc.pid,
+                    tenants=self._tenants_of[worker],
+                    phase="shutdown",
+                )
+                proc.join(timeout=self._stop_timeout_s)
+                if proc.is_alive():  # pragma: no cover - kill fallback
+                    proc.kill()
+                    proc.join(timeout=self._stop_timeout_s)
         self._conns = []
         self._procs = []
 

@@ -85,6 +85,41 @@ FAULT_KPIS = (
     QUARANTINE_CLOSED,
 )
 
+# fleet fault-tolerance counters (process-level robustness; see
+# repro.fleet.checkpoint, repro.fleet.parallel and docs/robustness.md).
+# Unlike the tenant-scoped names above, these live in the FleetDriver's
+# own fleet-level registry: checkpoint writes and worker restarts are
+# properties of the control plane, not of any tenant, and keeping them
+# out of the tenant registries preserves the bit-identity of tenant
+# counter rollups between checkpointed and checkpoint-free runs.
+CHECKPOINT_WRITES = "checkpoint_writes"
+CHECKPOINT_BYTES = "checkpoint_bytes"
+#: host milliseconds spent inside the checkpoint path (capture-or-reuse
+#: plus the durable write) — the numerator of the overhead claim in E21
+CHECKPOINT_WRITE_MS = "checkpoint_write_ms"
+CHECKPOINT_RESTORES = "checkpoint_restores"
+CHECKPOINT_CORRUPTIONS_DETECTED = "checkpoint_corruptions_detected"
+WORKER_RESTARTS = "worker_restarts"
+WORKER_HARD_KILLS = "worker_hard_kills"
+FLEET_TENANT_QUARANTINES = "fleet_tenant_quarantines"
+# chaos-injected fault classes (owned by the FaultInjector, counted in
+# whatever registry the chaos injector was built with)
+FAULT_WORKER_CRASHES = "fault_worker_crashes"
+FAULT_CHECKPOINT_CORRUPTIONS = "fault_checkpoint_corruptions"
+
+FLEET_FAULT_KPIS = (
+    CHECKPOINT_WRITES,
+    CHECKPOINT_BYTES,
+    CHECKPOINT_WRITE_MS,
+    CHECKPOINT_RESTORES,
+    CHECKPOINT_CORRUPTIONS_DETECTED,
+    WORKER_RESTARTS,
+    WORKER_HARD_KILLS,
+    FLEET_TENANT_QUARANTINES,
+    FAULT_WORKER_CRASHES,
+    FAULT_CHECKPOINT_CORRUPTIONS,
+)
+
 # guarded-commit counters (decision-level robustness; see repro.guard and
 # docs/robustness.md). The commit guard owns all guard_* names; they live
 # in the shared telemetry MetricRegistry like the fault counters above.

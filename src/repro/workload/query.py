@@ -117,6 +117,15 @@ class Query:
             object.__setattr__(self, "_hash", h)
         return h
 
+    def __getstate__(self):
+        # the hash memo is salted per interpreter (str hashing), so a
+        # pickled memo is wrong in any other process — e.g. a run
+        # resumed from a durable fleet checkpoint, where a stale memo
+        # would turn every restored plan/cost-cache key into a miss
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def __str__(self) -> str:
         if self.aggregate:
             target = self.aggregate_column or "*"

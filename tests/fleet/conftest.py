@@ -1,0 +1,29 @@
+"""Fleet-suite hardening: a hang in any fleet test must fail loudly.
+
+The fleet suite forks worker processes and (in this PR's tests) kills
+and SIGSTOPs them on purpose. A supervision bug here historically means
+a *hang*, not a failure — a blocking ``recv`` on a dead worker's pipe
+waits forever and CI times the whole job out with no traceback. Every
+test in this directory therefore runs under a ``faulthandler`` watchdog:
+if a single test exceeds the deadline, the tracebacks of every thread
+are dumped and the process exits hard, turning a silent hang into an
+attributable stack.
+
+(``pytest-timeout`` would do the same; it is not available in this
+environment, and ``faulthandler`` is in the standard library.)
+"""
+
+import faulthandler
+
+import pytest
+
+#: generous per-test deadline — an actual supervision hang would block
+#: forever; no passing fleet test comes anywhere near this
+_WATCHDOG_S = 600.0
+
+
+@pytest.fixture(autouse=True)
+def _fleet_watchdog():
+    faulthandler.dump_traceback_later(_WATCHDOG_S, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()

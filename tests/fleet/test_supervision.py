@@ -1,0 +1,205 @@
+"""Worker supervision: crashes are detected, recovered, and invisible.
+
+The strong claim of the supervision layer is the same bit-identity the
+parallel barrier already holds, extended across process death: a fleet
+whose worker is SIGKILL'd mid-bin (directly, or by the seeded chaos
+schedule) must finish with exactly the serial run's bin records, event
+streams, final configurations, and rollup counters. The crash shows up
+*only* in the fleet-infrastructure counters and events.
+
+Also here: the poll-with-timeout RPC layer (a SIGSTOP'd worker becomes
+a ``WorkerCrashed``, not a deadlock) and the structured hard-kill
+reporting in ``FleetWorkerPool.stop`` (a wedged worker at shutdown
+bumps a counter and emits an event instead of dying silently).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.fleet import build_fleet
+from repro.fleet.parallel import FleetWorkerPool, WorkerCrashed
+from repro.kpi.metrics import (
+    FAULT_WORKER_CRASHES,
+    WORKER_HARD_KILLS,
+    WORKER_RESTARTS,
+)
+from repro.telemetry.metrics import MetricRegistry
+from tests.fleet.test_parallel import _fingerprint
+
+BINS = 6
+ROWS = 3_000
+TENANTS = 3
+KILL_BIN = 2
+
+
+def _run_serial(seed):
+    fleet = build_fleet(
+        TENANTS, seed=seed, bins=BINS, rows=ROWS, parallel="serial"
+    )
+    return _fingerprint(fleet, fleet.run())
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints():
+    cache = {}
+
+    def get(seed):
+        if seed not in cache:
+            cache[seed] = _run_serial(seed)
+        return cache[seed]
+
+    return get
+
+
+# ----------------------------------------------------------------------
+# crash recovery is bit-identical
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_sigkilled_worker_leaves_run_bit_identical(
+    serial_fingerprints, seed
+):
+    fleet = build_fleet(
+        TENANTS, seed=seed, bins=BINS, rows=ROWS,
+        parallel="process", workers=2,
+    )
+    for index in range(KILL_BIN):
+        fleet.run_bin(index)
+    fleet._pool.kill_worker(0)  # SIGKILL, no cleanup: mid-"bin" death
+    report = fleet.run()
+    assert _fingerprint(fleet, report) == serial_fingerprints(seed)
+    assert report.fleet_counters[WORKER_RESTARTS] == 1.0
+    kinds = [e["kind"] for e in fleet.fleet_events]
+    assert "worker_crash_recovery" in kinds
+
+
+def test_chaos_schedule_kills_and_recovers_bit_identically(
+    serial_fingerprints,
+):
+    seed = 1
+    chaos = FaultConfig(seed=9, worker_crash_rate=0.5)
+    # the schedule is a pure function of (seed, bin): compute the
+    # expected kill bins offline with an independent injector
+    oracle = FaultInjector(chaos)
+    expected_kills = [
+        b for b in range(BINS) if oracle.worker_crash(b, 2) is not None
+    ]
+    assert expected_kills, "pick chaos seed/rate that kills at least once"
+
+    fleet = build_fleet(
+        TENANTS, seed=seed, bins=BINS, rows=ROWS,
+        parallel="process", workers=2, chaos=chaos,
+    )
+    report = fleet.run()
+    assert _fingerprint(fleet, report) == serial_fingerprints(seed)
+    assert report.fleet_counters[WORKER_RESTARTS] == len(expected_kills)
+    assert report.fleet_counters[FAULT_WORKER_CRASHES] == len(
+        expected_kills
+    )
+    killed_bins = [
+        e["bin"]
+        for e in fleet.fleet_events
+        if e["kind"] == "chaos_worker_kill"
+    ]
+    assert killed_bins == expected_kills
+
+
+def test_crash_during_final_sync_is_recovered(serial_fingerprints):
+    seed = 2
+    fleet = build_fleet(
+        TENANTS, seed=seed, bins=BINS, rows=ROWS,
+        parallel="process", workers=2,
+    )
+    for index in range(BINS):
+        fleet.run_bin(index)
+    fleet._pool.kill_worker(1)
+    # report() -> sync_workers() hits the dead worker; recovery restores
+    # the final bin boundary from the restore point instead of merging
+    report = fleet.report()
+    assert _fingerprint(fleet, report) == serial_fingerprints(seed)
+    assert report.fleet_counters[WORKER_RESTARTS] == 1.0
+
+
+def test_worker_crashed_carries_worker_and_tenants():
+    exc = WorkerCrashed(1, ("t2", "t5"), "process died (exit code -9)")
+    assert exc.worker == 1
+    assert exc.tenants == ("t2", "t5")
+    assert "t2, t5" in str(exc)
+    assert "exit code -9" in str(exc)
+
+
+def test_recovery_gives_up_after_max_crash_recoveries():
+    fleet = build_fleet(
+        2, seed=1, bins=2, rows=800,
+        parallel="process", workers=2, max_crash_recoveries=0,
+    )
+    fleet.run_bin(0)
+    fleet._pool.kill_worker(0)
+    with pytest.raises(WorkerCrashed):
+        fleet.run_bin(1)
+
+
+# ----------------------------------------------------------------------
+# the supervised RPC layer (pool-level)
+
+
+def _make_pool(**kwargs):
+    fleet = build_fleet(2, seed=3, bins=2, rows=800)
+    registry = MetricRegistry()
+    events = []
+    pool = FleetWorkerPool(
+        list(fleet.tenants),
+        fleet.arbiter.config,
+        workers=2,
+        registry=registry,
+        on_event=events.append,
+        **kwargs,
+    )
+    return pool, registry, events
+
+
+def test_dead_worker_raises_worker_crashed_not_hang():
+    pool, _, _ = _make_pool()
+    try:
+        os.kill(pool.pids[0], signal.SIGKILL)
+        with pytest.raises(WorkerCrashed) as info:
+            pool.execute_all(0)
+        assert info.value.worker == 0
+        assert info.value.tenants == pool.tenants_of(0)
+    finally:
+        pool.abandon()
+
+
+def test_hung_worker_hits_rpc_timeout():
+    pool, _, _ = _make_pool(rpc_timeout_s=1.5, stop_timeout_s=1.0)
+    try:
+        os.kill(pool.pids[0], signal.SIGSTOP)
+        with pytest.raises(WorkerCrashed, match="no reply within"):
+            pool.execute_all(0)
+    finally:
+        pool.abandon()
+
+
+def test_stop_reports_hard_kill_of_wedged_worker():
+    """The silent terminate() in shutdown is now counted and evented."""
+    pool, registry, events = _make_pool(stop_timeout_s=0.5)
+    wedged_pid = pool.pids[1]
+    os.kill(wedged_pid, signal.SIGSTOP)
+    pool.stop()
+    assert registry.snapshot_counters()[WORKER_HARD_KILLS] == 1.0
+    kills = [e for e in events if e["kind"] == "worker_hard_kill"]
+    assert len(kills) == 1
+    assert kills[0]["worker"] == 1
+    assert kills[0]["pid"] == wedged_pid
+    assert kills[0]["phase"] == "shutdown"
+    assert kills[0]["tenants"] == pool.tenants_of(1)
+
+
+def test_clean_stop_reports_no_hard_kills():
+    pool, registry, events = _make_pool()
+    pool.stop()
+    assert registry.snapshot_counters()[WORKER_HARD_KILLS] == 0.0
+    assert events == []
